@@ -1,0 +1,1 @@
+"""Benchmark harness: one bench per figure of the paper's evaluation."""

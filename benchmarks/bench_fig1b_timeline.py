@@ -1,0 +1,62 @@
+"""Figure 1(b): evolution timeline — model vs simulation (PSS 5 and 50).
+
+Paper setting: B = 200, k = 7, PSS in {5, 50}.  Expected shape: both
+timelines monotone; the small peer set downloads far slower (bootstrap
+plateau + last-phase tail); the model tracks the simulation tightly for
+the large peer set and more loosely — same phases — for PSS = 5.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_checks
+from repro.analysis.validation import compare_series, timeline_shape
+from repro.experiments.fig1b import run_fig1b
+
+SMALL_PSS, LARGE_PSS = 5, 40
+NUM_PIECES = 100
+MAX_CONNS = 7
+
+
+def bench_workload():
+    return run_fig1b(
+        pss_values=(SMALL_PSS, LARGE_PSS),
+        num_pieces=NUM_PIECES,
+        max_conns=MAX_CONNS,
+        model_runs=16,
+        sim_instrument=6,
+        max_time=600.0,
+        seed=0,
+    )
+
+
+def test_fig1b_timeline(benchmark):
+    result = run_once(benchmark, bench_workload)
+    print()
+    print(result.format())
+
+    for pss in (SMALL_PSS, LARGE_PSS):
+        checks = timeline_shape(
+            result.model[pss], num_pieces=NUM_PIECES, max_conns=MAX_CONNS
+        )
+        print(format_checks(f"model timeline shape [PSS={pss}]", checks))
+        assert checks["monotone"], checks
+        assert checks["respects_parallelism_bound"], checks
+
+    # The large peer set downloads faster than the small one, in both
+    # model and simulation.
+    assert result.model[LARGE_PSS][-1] < result.model[SMALL_PSS][-1]
+    sim_small = result.sim[SMALL_PSS][-1]
+    sim_large = result.sim[LARGE_PSS][-1]
+    if np.isfinite(sim_small) and np.isfinite(sim_large):
+        assert sim_large < sim_small
+
+    # Model-vs-sim agreement at the large peer set (the paper's
+    # "high accuracy for higher values of the peer set size").
+    sim = result.sim[LARGE_PSS]
+    mask = np.isfinite(sim)
+    comparison = compare_series(result.model[LARGE_PSS][mask], sim[mask])
+    print(f"model-vs-sim [PSS={LARGE_PSS}]: rmse={comparison.rmse:.2f} "
+          f"corr={comparison.correlation:.3f}")
+    assert comparison.correlation > 0.98
+    assert result.sim_completed[LARGE_PSS] > 0

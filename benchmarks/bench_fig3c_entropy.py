@@ -1,0 +1,48 @@
+"""Figure 3/4(c): effect of B on entropy.
+
+Paper finding: from the same high-skew start, the entropy E collapses
+toward 0 for B = 3 (the skew wins) and recovers toward 1 for B = 10
+(rarest-first repairs the replication imbalance).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import ascii_chart, format_series
+from repro.experiments.fig3bc import run_fig3bc
+
+
+def bench_workload():
+    return run_fig3bc(
+        piece_counts=(3, 10),
+        initial_leechers=250,
+        arrival_rate=15.0,
+        max_time=120.0,
+        seed=1,
+        entropy_every=4,
+    )
+
+
+def test_fig3c_entropy(benchmark):
+    result = run_once(benchmark, bench_workload)
+    print()
+    for num_pieces in (3, 10):
+        run = result.runs[num_pieces]
+        print(format_series(
+            f"entropy (B={num_pieces})", run.times, run.entropy,
+            max_rows=14, x_label="t", y_label="E",
+        ))
+
+    print()
+    print(ascii_chart(
+        {f"B={b}": result.runs[b].entropy for b in (3, 10)},
+        title="entropy over time (Figure 3/4(c))",
+    ))
+
+    run3, run10 = result.runs[3], result.runs[10]
+    tail3 = run3.entropy[-run3.entropy.size // 4:].mean()
+    tail10 = run10.entropy[-run10.entropy.size // 4:].mean()
+    print(f"tail entropy: B=3 -> {tail3:.3f}, B=10 -> {tail10:.3f}")
+
+    assert tail3 < 0.05, "B=3 entropy must collapse toward 0"
+    assert tail10 > 0.4, "B=10 entropy must recover"
+    assert run10.entropy_recovered
+    assert not run3.entropy_recovered

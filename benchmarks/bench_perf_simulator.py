@@ -1,0 +1,51 @@
+"""Performance: simulator throughput (the one true timing bench).
+
+Unlike the figure benches (timed once, asserted on shape), this bench
+actually uses pytest-benchmark for what it is for: timing.  It measures
+the simulator's round throughput on a mid-size steady swarm so
+regressions in the hot paths (potential sets, matching, exchanges) are
+visible in the benchmark table.
+"""
+
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.sim.swarm import Swarm
+
+ROUNDS = 60
+
+
+def run_swarm_once():
+    config = SimConfig(
+        num_pieces=60,
+        max_conns=4,
+        ns_size=25,
+        arrival_process="poisson",
+        arrival_rate=3.0,
+        initial_leechers=100,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        piece_selection="rarest",
+        max_time=float(ROUNDS),
+        seed=9,
+    )
+    metrics = MetricsCollector(config.max_conns, entropy_every=10)
+    swarm = Swarm(config, metrics=metrics)
+    result = swarm.run()
+    return result
+
+
+def test_perf_simulator_throughput(benchmark):
+    result = benchmark.pedantic(
+        run_swarm_once, rounds=3, iterations=1, warmup_rounds=1
+    )
+    # Sanity: the workload actually ran.
+    assert result.total_rounds == ROUNDS
+    assert len(result.metrics.completed) > 50
+    mean_seconds = benchmark.stats.stats.mean
+    rounds_per_second = ROUNDS / mean_seconds
+    print(f"\nthroughput: {rounds_per_second:.0f} protocol rounds/s "
+          f"(~100-peer swarm)")
+    # Generous floor: catches order-of-magnitude regressions only.
+    assert rounds_per_second > 20

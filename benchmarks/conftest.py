@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's figures at reduced scale,
+prints the same rows/series the figure plots, and asserts the *shape*
+the paper reports (who wins, where inflections fall) — absolute numbers
+are substrate-dependent and not compared.
+
+Benches run the workload exactly once via ``benchmark.pedantic`` (these
+are minutes-scale simulations, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

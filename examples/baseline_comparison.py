@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""BitTorrent vs the related-work baselines (paper Section 2.2).
+
+Contrasts the paper's protocol-level view with the two families of
+models it argues against:
+
+* the **coupon replication system** [Massoulie & Vojnovic] — whole-swarm
+  random encounters, a single connection, failed encounters with
+  positive probability;
+* the **Qiu-Srikant fluid model** — aggregate leecher/seed ODEs whose
+  efficiency ``eta`` is an exogenous input rather than a derived
+  quantity; here we *feed it* the efficiency our balance equations
+  derive, closing the loop the fluid model leaves open.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.baselines.coupon import run_coupon_system
+from repro.baselines.fluid import FluidModel
+from repro.efficiency.efficiency import efficiency_curve
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.sim.swarm import Swarm
+
+NUM_PIECES = 40
+ARRIVAL = 2.0
+ROUNDS = 150
+
+
+def bittorrent_run():
+    config = SimConfig(
+        num_pieces=NUM_PIECES, max_conns=4, ns_size=25,
+        arrival_process="poisson", arrival_rate=ARRIVAL,
+        initial_leechers=50, initial_distribution="uniform",
+        initial_fill=0.5, num_seeds=1, seed_upload_slots=2,
+        optimistic_unchoke_prob=0.5, piece_selection="rarest",
+        connection_setup_prob=0.8, connection_failure_prob=0.1,
+        max_time=float(ROUNDS), seed=5,
+    )
+    metrics = MetricsCollector(config.max_conns, entropy_every=10)
+    Swarm(config, metrics=metrics).run()
+    return metrics
+
+
+def main() -> None:
+    print(f"Workload: B={NUM_PIECES} pieces, lambda={ARRIVAL}/round, "
+          f"{ROUNDS} rounds\n")
+
+    bt = bittorrent_run()
+    coupon = run_coupon_system(
+        NUM_PIECES, ROUNDS, arrival_rate=ARRIVAL, initial_peers=50, seed=5
+    )
+
+    print(format_table(
+        ["system", "completed", "mean sojourn", "efficiency",
+         "failed encounters"],
+        [
+            ["BitTorrent (k=4, NS-limited)", len(bt.completed),
+             round(bt.mean_download_duration(), 1),
+             round(bt.efficiency(), 3), "n/a (potential-set gated)"],
+            ["Coupon system (k=1, global)", coupon.completed,
+             round(coupon.mean_sojourn, 1),
+             round(coupon.efficiency, 3),
+             f"{coupon.failed_encounter_fraction:.1%}"],
+        ],
+    ))
+    print(
+        "\nThe coupon system's whole-swarm sampling wastes encounters on\n"
+        "untradable partners - the failure mode BitTorrent's potential\n"
+        "set structurally avoids - and its single connection forfeits\n"
+        "the k >= 2 efficiency gain of Figure 3/4(a).\n"
+    )
+
+    print("Fluid model fed with the balance-equation efficiency:")
+    rows = []
+    for k in (1, 2, 4):
+        eta = efficiency_curve([k])[0].eta
+        fluid = FluidModel(
+            arrival_rate=ARRIVAL, upload_rate=1.0 / 10.0,
+            download_rate=1.0, efficiency=eta, seed_departure_rate=0.5,
+        )
+        steady = fluid.steady_state()
+        rows.append([
+            k, round(eta, 3), round(steady.leechers, 1),
+            round(steady.seeds, 1), round(steady.mean_download_time, 1),
+            "downlink" if steady.download_constrained else "uplink",
+        ])
+    print(format_table(
+        ["k", "eta (derived)", "leechers", "seeds", "mean T", "bottleneck"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Calibration workflow: measure traces, fit the model, predict.
+
+An end-to-end tour of the measurement/modelling loop:
+
+1. collect instrumented traces from a swarm (as in paper Section 4.2);
+2. fit the model's free parameters — alpha, gamma, p_r — to the traces
+   with the estimators in :mod:`repro.analysis.calibration`;
+3. run the fitted download-evolution chain and compare its predicted
+   completion time against what the traces actually showed;
+4. separately, close the paper's own loop for the efficiency model:
+   measure the system-average p_r / p_n per k from the simulator and
+   feed the measured p_r into the Section-5 balance equations.
+
+Run:  python examples/calibration_workflow.py
+"""
+
+import numpy as np
+
+from repro.analysis.calibration import calibrate_parameters
+from repro.analysis.reporting import format_table
+from repro.core.chain import DownloadChain
+from repro.core.timeline import mean_timeline
+from repro.efficiency.measurement import calibrated_efficiency_curve
+from repro.sim.config import SimConfig
+from repro.traces.collector import collect_traces
+
+MAX_CONNS = 4
+NS_SIZE = 12
+
+
+def main() -> None:
+    print("1. Collect instrumented traces from a simulated swarm")
+    print("-" * 60)
+    config = SimConfig(
+        num_pieces=50,
+        max_conns=MAX_CONNS,
+        ns_size=NS_SIZE,
+        arrival_process="poisson",
+        arrival_rate=1.0,
+        initial_leechers=30,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        optimistic_unchoke_prob=0.4,
+        optimistic_targets="empty",   # strict regime: stalls observable
+        connection_failure_prob=0.2,
+        connection_setup_prob=0.8,
+        piece_selection="rarest",
+        max_time=300.0,
+        seed=3,
+    )
+    traces = collect_traces(config, 8, avoid_seeds=True)
+    completed = [t for t in traces if t.is_complete]
+    print(f"collected {len(traces)} traces, {len(completed)} complete")
+
+    print("\n2. Fit the model parameters to the traces")
+    print("-" * 60)
+    params, evidence = calibrate_parameters(
+        traces, max_conns=MAX_CONNS, ns_size=NS_SIZE
+    )
+    print(format_table(
+        ["parameter", "estimate", "evidence"],
+        [
+            ["alpha", round(evidence.alpha, 4) if evidence.alpha == evidence.alpha else "n/a",
+             f"{evidence.bootstrap_escapes}/{evidence.bootstrap_stall_rounds} "
+             "escapes/stall-rounds"],
+            ["gamma", round(evidence.gamma, 4) if evidence.gamma == evidence.gamma else "n/a",
+             f"{evidence.last_escapes}/{evidence.last_stall_rounds}"],
+            ["p_r", round(evidence.p_reenc, 4),
+             f"{evidence.connection_drops}/{evidence.connection_rounds} "
+             "drops/conn-rounds"],
+        ],
+    ))
+
+    print("\n3. Predict with the fitted chain vs. observed durations")
+    print("-" * 60)
+    chain = DownloadChain(params)
+    predicted = mean_timeline(chain, runs=48, seed=11).total_download_time()
+    observed = np.mean([t.duration() for t in completed]) if completed else float("nan")
+    print(f"fitted-model expected download time: {predicted:.1f} rounds")
+    print(f"observed mean over complete traces:  {observed:.1f} rounds")
+
+    print("\n4. Calibrated efficiency loop (measured p_r per k)")
+    print("-" * 60)
+    points = calibrated_efficiency_curve((1, 2, 4))
+    print(format_table(
+        ["k", "measured p_r", "sim eta", "calibrated model eta"],
+        [[p.max_conns, round(p.p_reenc, 3), round(p.sim_eta, 3),
+          round(p.model_eta, 3)] for p in points],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design-space exploration: which protocol parameters actually matter.
+
+Three analyses the library adds on top of the paper's figures:
+
+1. **Sensitivity ranking** — sweep each model parameter around a
+   baseline and rank them by the elasticity of the expected download
+   time, in both a healthy (large neighbor set) and a starved (small
+   neighbor set) regime — the regime flips which knobs matter.
+2. **Stability phase boundary** — the minimal piece count B that keeps
+   the high-skew swarm stable, per arrival rate: the paper's "B and the
+   arrival rate decide stability" as a measurable curve.
+3. **Multiclass efficiency** — the heterogeneous-peer generalisation of
+   the Section-5 occupancy chain: per-class efficiency when slow and
+   fast peers share one connection market.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.core.parameters import ModelParameters
+from repro.efficiency.multiclass import PeerClass, multiclass_balance
+from repro.stability.critical import phase_boundary
+
+
+def sensitivity_section() -> None:
+    print("1. Parameter sensitivity (elasticity of expected download time)")
+    print("-" * 66)
+    regimes = {
+        "healthy (s = 30)": ModelParameters(
+            num_pieces=60, max_conns=4, ns_size=30, alpha=0.1, gamma=0.1
+        ),
+        "starved (s = 4)": ModelParameters(
+            num_pieces=60, max_conns=4, ns_size=4, alpha=0.05, gamma=0.05
+        ),
+    }
+    for label, baseline in regimes.items():
+        report = sensitivity_analysis(baseline, runs=24, seed=5)
+        top = report.ranked()[:4]
+        print(f"\n{label}: top levers")
+        print(format_table(
+            ["parameter", "elasticity", "T(low)", "T(high)"],
+            [[p.parameter, round(p.elasticity, 2), round(p.low_time, 1),
+              round(p.high_time, 1)] for p in top],
+        ))
+
+
+def boundary_section() -> None:
+    print("\n2. Stability phase boundary (critical B per arrival rate)")
+    print("-" * 66)
+    boundary = phase_boundary(
+        [4.0, 10.0, 18.0], initial_leechers=120, max_time=60.0, seed=1
+    )
+    print(boundary.format())
+
+
+def multiclass_section() -> None:
+    print("\n3. Multiclass efficiency (slow and fast peers share the market)")
+    print("-" * 66)
+    result = multiclass_balance([
+        PeerClass(0.5, 0.55, 4, "slow uploaders"),
+        PeerClass(0.5, 0.90, 4, "fast uploaders"),
+    ])
+    print(format_table(
+        ["class", "share", "p_r", "eta"],
+        [
+            [c.label, c.fraction, c.p_reenc, round(eta, 3)]
+            for c, eta in zip(result.classes, result.etas)
+        ] + [["aggregate", 1.0, "-", round(result.aggregate_eta, 3)]],
+    ))
+    print(
+        "\nThe per-class split mirrors the simulator's heterogeneous-\n"
+        "bandwidth runs (slow uploaders download ~2x slower under strict\n"
+        "tit-for-tat) - see benchmarks/bench_extension_heterogeneous.py."
+    )
+
+
+if __name__ == "__main__":
+    sensitivity_section()
+    boundary_section()
+    multiclass_section()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Model validation: chain timelines against the discrete-event swarm.
+
+The paper validates its multiphased model by comparing the download
+timeline it predicts with the one measured in simulation (Figure 1(b)),
+for a small and a large peer set.  This example runs that comparison
+and prints agreement metrics, plus the potential-set curves behind
+Figure 1(a).
+
+Run:  python examples/model_vs_simulation.py
+"""
+
+import numpy as np
+
+from repro.analysis.validation import compare_series
+from repro.experiments.fig1a import run_fig1a
+from repro.experiments.fig1b import run_fig1b
+
+
+def main() -> None:
+    print("Figure 1(b): download timeline, model vs simulation")
+    print("-" * 60)
+    fig1b = run_fig1b(
+        pss_values=(5, 40),
+        num_pieces=100,
+        model_runs=24,
+        sim_instrument=6,
+        max_time=600.0,
+        seed=0,
+    )
+    print(fig1b.format(max_rows=15))
+
+    for pss in (5, 40):
+        sim = fig1b.sim[pss]
+        mask = np.isfinite(sim)
+        if not mask.any() or fig1b.sim_completed[pss] == 0:
+            print(f"\nPSS={pss}: no instrumented peer completed "
+                  "(deep starvation) - the bootstrap/last phases dominate")
+            continue
+        comparison = compare_series(fig1b.model[pss][mask], sim[mask])
+        print(f"\nPSS={pss}: completed={fig1b.sim_completed[pss]} "
+              f"model total={fig1b.model[pss][-1]:.0f} rounds, "
+              f"sim total={sim[-1]:.0f} rounds, "
+              f"corr={comparison.correlation:.3f}, rmse={comparison.rmse:.1f}")
+    print(
+        "\nAs in the paper, the model tracks the simulation tightly for\n"
+        "realistic peer sets (clients use 40-70) and only loosely for\n"
+        "PSS=5, where neighborhood piece correlations - which the phi-\n"
+        "based trading power cannot see - prolong the stalls."
+    )
+
+    print()
+    print("Figure 1(a): potential-set ratio by pieces downloaded (model)")
+    print("-" * 60)
+    fig1a = run_fig1a(pss_values=(5, 10, 25, 40), num_pieces=100,
+                      runs=24, seed=0)
+    print(fig1a.format(max_rows=15))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Stability study: how the number of pieces B decides the swarm's fate.
+
+Reproduces the paper's Section-6 finding across a sweep of B values:
+from a high-skew start under a sustained arrival stream, small B means
+the rarest piece cannot be replicated before its holders leave — the
+population diverges and the entropy collapses — while larger B gives
+rarest-first enough of a trading window to repair the skew.
+
+Also prints the first-order analytical verdicts from the drift model
+next to the simulated outcomes.
+
+Run:  python examples/stability_study.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.stability.drift import phase_drift_analysis
+from repro.stability.experiments import (
+    run_stability_experiment,
+    stability_config,
+)
+
+ARRIVAL_RATE = 12.0
+INITIAL = 150
+HORIZON = 90.0
+
+
+def main() -> None:
+    print("Stability sweep: high-skew start, Poisson arrivals "
+          f"(lambda={ARRIVAL_RATE}/round, N0={INITIAL})\n")
+
+    rows = []
+    for num_pieces in (2, 3, 5, 10, 20):
+        config = stability_config(
+            num_pieces,
+            arrival_rate=ARRIVAL_RATE,
+            initial_leechers=INITIAL,
+            max_time=HORIZON,
+            seed=3,
+        )
+        run = run_stability_experiment(config, entropy_every=4)
+        analysis = phase_drift_analysis(
+            num_pieces, config.max_conns, ARRIVAL_RATE
+        )
+        rows.append([
+            num_pieces,
+            run.final_population(),
+            round(float(run.entropy[-10:].mean()), 3),
+            "diverged" if run.diverged else "bounded",
+            "unstable" if not analysis.predicted_stable else "stable",
+            round(analysis.replication_factor, 1),
+            round(analysis.required_factor, 1),
+        ])
+
+    print(format_table(
+        ["B", "final peers", "tail entropy", "simulated", "drift model",
+         "repl. factor", "required"],
+        rows,
+    ))
+    print(
+        "\nReading: the drift model predicts instability when the rarest\n"
+        "piece's per-generation replication factor (~B/2) falls short of\n"
+        "the arrival-load requirement; the simulation shows the same\n"
+        "boundary through population divergence and entropy collapse."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Streaming over a swarm: scheduling policy vs. reciprocity regime.
+
+The paper's related work [1] concludes BitTorrent "can be effective for
+streaming content provided proper upload scheduling policies are used".
+This walkthrough quantifies that on the simulator:
+
+* playback consumes pieces in *index order* at a fixed rate, so the
+  metric is the minimal startup delay after which playback never stalls;
+* three selection policies — rarest-first, strictly in-order
+  ("sequential"), and a sliding in-order window ("windowed") — are
+  compared under the paper's strict piece-barter tit-for-tat and under
+  bandwidth-style (non-strict) reciprocity.
+
+Run:  python examples/streaming_study.py
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.streaming import (
+    minimal_startup_delay,
+    availability_times,
+    swarm_streaming_summary,
+)
+from repro.sim.config import SimConfig
+from repro.sim.swarm import run_swarm
+
+NUM_PIECES = 40
+PLAYBACK_INTERVAL = 0.5  # pieces consumed per half round: tight bandwidth
+
+
+def run_cell(policy: str, strict: bool):
+    config = SimConfig(
+        num_pieces=NUM_PIECES, max_conns=2, ns_size=20,
+        arrival_process="poisson", arrival_rate=1.5,
+        initial_leechers=30, initial_distribution="uniform",
+        initial_fill=0.5, num_seeds=1, seed_upload_slots=2,
+        piece_selection=policy, strict_tft=strict,
+        max_time=120.0, seed=7,
+    )
+    result = run_swarm(config)
+    summary = swarm_streaming_summary(
+        result.metrics.completed, NUM_PIECES,
+        playback_interval=PLAYBACK_INTERVAL,
+    )
+    return summary, len(result.metrics.completed)
+
+
+def main() -> None:
+    print(f"Streaming study: B={NUM_PIECES}, playback 1 piece per "
+          f"{PLAYBACK_INTERVAL} rounds\n")
+    rows = []
+    for strict in (True, False):
+        regime = "strict barter" if strict else "bandwidth-style"
+        for policy in ("rarest", "windowed", "sequential"):
+            summary, completed = run_cell(policy, strict)
+            delay = summary["mean_startup_delay"]
+            rows.append([
+                regime, policy, completed, int(summary["downloads"]),
+                round(delay, 1) if delay == delay else "starved",
+            ])
+    print(format_table(
+        ["reciprocity", "policy", "completed", "measurable", "mean startup"],
+        rows,
+    ))
+    print(
+        "\nReading: under the paper's strict piece-barter assumption, any\n"
+        "in-order bias erodes mutual novelty (strictly sequential starves\n"
+        "the swarm entirely) and rarest-first is the best streaming policy\n"
+        "by default.  Relax reciprocity to bandwidth-style and the sliding\n"
+        "in-order window wins on startup delay at comparable throughput -\n"
+        "the 'proper upload scheduling' of the related work [1]."
+    )
+
+    # Single-trace illustration: availability vs the playhead.
+    config = SimConfig(
+        num_pieces=NUM_PIECES, max_conns=2, ns_size=20,
+        arrival_rate=1.5, initial_leechers=30,
+        initial_distribution="uniform", initial_fill=0.5,
+        piece_selection="windowed", strict_tft=False,
+        max_time=120.0, seed=7,
+    )
+    result = run_swarm(config)
+    for download in result.metrics.completed:
+        if len(download.stats.piece_log) == NUM_PIECES:
+            availability = availability_times(
+                download.stats.piece_log, NUM_PIECES,
+                joined_at=download.joined_at, prefilled_available=False,
+            )
+            delay = minimal_startup_delay(
+                availability, joined_at=download.joined_at,
+                playback_interval=PLAYBACK_INTERVAL,
+            )
+            print(f"\nexample peer {download.peer_id}: download "
+                  f"{download.duration:.1f} rounds, minimal stall-free "
+                  f"startup delay {delay:.1f} rounds")
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""repro — reproduction of the ICDCS 2007 multiphased BitTorrent model.
+
+This package reproduces *"A Multiphased Approach for Modeling and Analysis
+of the BitTorrent Protocol"* (Rai, Sivasubramanian, Bhulai, Garbacki,
+van Steen; ICDCS 2007) as a production-quality Python library.
+
+The package is organised around the paper's artifacts:
+
+``repro.core``
+    The three-dimensional Markov chain ``(n, b, i)`` that models the
+    evolution of a single peer's download (Section 3 of the paper),
+    together with the trading-power function ``p(b+n)`` (Eq. 1), the
+    transition kernels ``f``, ``g``, ``h`` (Eqs. 2-3), phase
+    classification, and timeline / hitting-time estimators.
+
+``repro.efficiency``
+    The connection-occupancy Markov chain of Section 5: balance
+    equations (Eqs. 4-6), the efficiency metric
+    ``eta = (1/k) * sum(i * x_i)``, and a birth-death cross-check.
+
+``repro.stability``
+    The entropy metric ``E = min(d)/max(d)`` of Section 6, drift
+    analysis, and runnable stability experiments.
+
+``repro.sim``
+    A discrete-event BitTorrent swarm simulator equivalent to the C++
+    simulator of Section 4.1 (Poisson arrivals, strict tit-for-tat,
+    neighbor sets, rarest-first piece selection, choking, seeds, and the
+    peer-set "shaking" mitigation of Section 7.1).
+
+``repro.traces``
+    Trace schema, collection, and synthetic generation standing in for
+    the instrumented-BitTornado real-world traces of Section 4.2.
+
+``repro.baselines``
+    The coupon-replication system and the Qiu-Srikant fluid model that
+    the paper positions itself against.
+
+``repro.experiments``
+    One runner per figure panel of the paper's evaluation, each
+    returning structured series that the benchmark harness prints.
+"""
+
+from repro._version import __version__
+from repro.core.chain import DownloadChain, State
+from repro.core.parameters import ModelParameters, alpha_from_swarm
+from repro.core.phases import Phase, classify_state, phase_durations
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.core.trading_power import exchange_probability
+from repro.efficiency.efficiency import efficiency_curve, efficiency_eta
+from repro.sim.config import SimConfig
+from repro.sim.swarm import Swarm, run_swarm
+from repro.stability.entropy import entropy, replication_degrees
+
+__all__ = [
+    "__version__",
+    "DownloadChain",
+    "State",
+    "ModelParameters",
+    "alpha_from_swarm",
+    "Phase",
+    "classify_state",
+    "phase_durations",
+    "PieceCountDistribution",
+    "exchange_probability",
+    "efficiency_curve",
+    "efficiency_eta",
+    "SimConfig",
+    "Swarm",
+    "run_swarm",
+    "entropy",
+    "replication_degrees",
+]

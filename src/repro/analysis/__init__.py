@@ -1,0 +1,59 @@
+"""Cross-cutting analysis helpers: series math, validation, reporting.
+
+* :mod:`repro.analysis.series` — binning, smoothing and step
+  interpolation for the time series the experiments produce;
+* :mod:`repro.analysis.validation` — model-vs-simulation comparison
+  metrics and the shape assertions each figure reproduction must pass;
+* :mod:`repro.analysis.reporting` — plain-text table/series rendering
+  used by the benchmark harness and the CLI (this reproduction has no
+  plotting dependency; every figure is emitted as labelled rows).
+"""
+
+from repro.analysis.calibration import (
+    CalibrationResult,
+    calibrate_parameters,
+    estimate_alpha,
+    estimate_gamma,
+    estimate_survival,
+)
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.sensitivity import (
+    SensitivityReport,
+    sensitivity_analysis,
+)
+from repro.analysis.series import bin_series, moving_average, step_interpolate
+from repro.analysis.streaming import (
+    PlaybackResult,
+    availability_times,
+    minimal_startup_delay,
+    playback_stalls,
+    swarm_streaming_summary,
+)
+from repro.analysis.validation import (
+    compare_series,
+    potential_ratio_shape,
+    timeline_shape,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_parameters",
+    "estimate_alpha",
+    "estimate_gamma",
+    "estimate_survival",
+    "SensitivityReport",
+    "sensitivity_analysis",
+    "format_series",
+    "format_table",
+    "bin_series",
+    "moving_average",
+    "step_interpolate",
+    "compare_series",
+    "potential_ratio_shape",
+    "timeline_shape",
+    "PlaybackResult",
+    "availability_times",
+    "minimal_startup_delay",
+    "playback_stalls",
+    "swarm_streaming_summary",
+]

@@ -1,0 +1,204 @@
+"""Trace-driven calibration of the model parameters.
+
+The paper validates its model against measured traces; this module
+closes the other direction — *fitting* the model's free parameters to a
+collection of traces, so the chain can be parameterised from data
+rather than hand-set:
+
+* ``alpha`` — the per-round bootstrap-escape probability.  Bootstrap
+  stalls (leading samples with an empty potential set and at most one
+  piece) have geometric duration under the model; the MLE for the
+  geometric parameter is ``escapes / total stalled rounds``.
+* ``gamma`` — identically, from last-phase stalls (empty potential set
+  with more than one piece).
+* ``p_r`` — from the active-connection series: the model drops each of
+  the ``n_t`` connections independently, so the aggregate expected
+  drops per round are ``(1 - p_r) * n_t``.  Individual connections are
+  not observable in a trace (simultaneous drop + formation cancel in
+  the count), so the net-decrease moment estimator
+  ``1 - sum(max(n_t - n_{t+1}, 0)) / sum(n_t)`` *over-estimates*
+  ``p_r``; it is exact when drops and formations do not co-occur.
+
+``p_init`` and ``p_n`` are not identifiable from the logged series
+(formation attempts are not recorded) and keep their defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.parameters import ModelParameters
+from repro.errors import ParameterError
+from repro.traces.schema import ClientTrace
+
+__all__ = [
+    "CalibrationResult",
+    "estimate_alpha",
+    "estimate_gamma",
+    "estimate_survival",
+    "calibrate_parameters",
+]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Fitted parameters and the evidence behind them.
+
+    Attributes:
+        alpha / gamma / p_reenc: point estimates (NaN when the traces
+            contain no relevant observations).
+        bootstrap_stall_rounds / bootstrap_escapes: evidence for alpha.
+        last_stall_rounds / last_escapes: evidence for gamma.
+        connection_rounds / connection_drops: evidence for p_r.
+    """
+
+    alpha: float
+    gamma: float
+    p_reenc: float
+    bootstrap_stall_rounds: int
+    bootstrap_escapes: int
+    last_stall_rounds: int
+    last_escapes: int
+    connection_rounds: int
+    connection_drops: int
+
+
+def _stall_runs(trace: ClientTrace, *, bootstrap: bool) -> Tuple[int, int]:
+    """(stalled rounds, escape events) for one trace.
+
+    ``bootstrap=True`` counts stalls at *exactly one* piece — the
+    model's stuck state ``(0, 1, 0)`` whose escape is governed by
+    ``alpha``.  Zero-piece samples are excluded: the first-piece
+    acquisition and the initial potential-set draw are governed by
+    ``p_init``, and counting them would contaminate the estimate.
+    ``bootstrap=False`` counts stalls at more than one piece but before
+    completion (the last phase, escape probability ``gamma``).  A run
+    that ends because the trace ends (censored) contributes its rounds
+    but no escape — exactly the right likelihood treatment for
+    geometric data.
+    """
+    piece = trace.piece_size_bytes
+    file_size = trace.file_size_bytes
+    stalled_rounds = 0
+    escapes = 0
+    in_stall = False
+    for sample in trace.samples:
+        pieces_held = sample.cumulative_bytes
+        is_bootstrap_state = pieces_held == piece
+        is_last_state = piece < pieces_held < file_size
+        relevant = is_bootstrap_state if bootstrap else is_last_state
+        if sample.potential_set_size == 0 and relevant:
+            stalled_rounds += 1
+            in_stall = True
+        else:
+            if in_stall and sample.potential_set_size > 0:
+                escapes += 1
+            in_stall = False
+    return stalled_rounds, escapes
+
+
+def estimate_alpha(traces: Sequence[ClientTrace]) -> Tuple[float, int, int]:
+    """Geometric MLE for the bootstrap-escape probability.
+
+    Returns:
+        ``(alpha_hat, stalled_rounds, escapes)``; ``alpha_hat`` is NaN
+        when no bootstrap stall was observed.
+    """
+    total_rounds = 0
+    total_escapes = 0
+    for trace in traces:
+        rounds, escapes = _stall_runs(trace, bootstrap=True)
+        total_rounds += rounds
+        total_escapes += escapes
+    alpha = total_escapes / total_rounds if total_rounds else float("nan")
+    return min(alpha, 1.0) if total_rounds else float("nan"), total_rounds, total_escapes
+
+
+def estimate_gamma(traces: Sequence[ClientTrace]) -> Tuple[float, int, int]:
+    """Geometric MLE for the last-phase escape probability."""
+    total_rounds = 0
+    total_escapes = 0
+    for trace in traces:
+        rounds, escapes = _stall_runs(trace, bootstrap=False)
+        total_rounds += rounds
+        total_escapes += escapes
+    gamma = total_escapes / total_rounds if total_rounds else float("nan")
+    return min(gamma, 1.0) if total_rounds else float("nan"), total_rounds, total_escapes
+
+
+def estimate_survival(traces: Sequence[ClientTrace]) -> Tuple[float, int, int]:
+    """Net-decrease moment estimator for ``p_r`` (see module docstring).
+
+    Returns:
+        ``(p_r_hat, connection_rounds, observed_drops)``.
+    """
+    total_conn_rounds = 0
+    total_drops = 0
+    for trace in traces:
+        series = trace.connection_series()
+        for current, following in zip(series[:-1], series[1:]):
+            total_conn_rounds += current
+            total_drops += max(current - following, 0)
+    if total_conn_rounds == 0:
+        return float("nan"), 0, 0
+    return 1.0 - total_drops / total_conn_rounds, total_conn_rounds, total_drops
+
+
+def calibrate_parameters(
+    traces: Sequence[ClientTrace],
+    *,
+    max_conns: int,
+    ns_size: int,
+    fallback_alpha: float = 0.1,
+    fallback_gamma: float = 0.1,
+    fallback_p_reenc: float = 0.7,
+) -> Tuple[ModelParameters, CalibrationResult]:
+    """Fit a :class:`ModelParameters` to a collection of traces.
+
+    The file geometry (``B``, piece size) is read off the traces; the
+    chain dimensions ``k`` and ``s`` are protocol configuration and must
+    be supplied.  Parameters without observations fall back to the
+    given defaults.
+
+    Raises:
+        ParameterError: for an empty trace collection or inconsistent
+            file geometry across traces.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ParameterError("need at least one trace to calibrate")
+    num_pieces = traces[0].num_pieces
+    for trace in traces:
+        if trace.num_pieces != num_pieces:
+            raise ParameterError(
+                "traces cover different files: "
+                f"B={trace.num_pieces} vs B={num_pieces}"
+            )
+
+    alpha, boot_rounds, boot_escapes = estimate_alpha(traces)
+    gamma, last_rounds, last_escapes = estimate_gamma(traces)
+    p_reenc, conn_rounds, drops = estimate_survival(traces)
+
+    import math
+
+    result = CalibrationResult(
+        alpha=alpha,
+        gamma=gamma,
+        p_reenc=p_reenc,
+        bootstrap_stall_rounds=boot_rounds,
+        bootstrap_escapes=boot_escapes,
+        last_stall_rounds=last_rounds,
+        last_escapes=last_escapes,
+        connection_rounds=conn_rounds,
+        connection_drops=drops,
+    )
+    params = ModelParameters(
+        num_pieces=num_pieces,
+        max_conns=max_conns,
+        ns_size=ns_size,
+        alpha=fallback_alpha if math.isnan(alpha) else alpha,
+        gamma=fallback_gamma if math.isnan(gamma) else gamma,
+        p_reenc=fallback_p_reenc if math.isnan(p_reenc) else max(p_reenc, 0.0),
+    )
+    return params, result

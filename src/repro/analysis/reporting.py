@@ -1,0 +1,158 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and readable without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["format_table", "format_series", "format_checks", "ascii_chart"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if not np.isfinite(value):
+            return str(value)
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table with a header rule."""
+    if not headers:
+        raise ParameterError("headers must be non-empty")
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    *,
+    max_rows: int = 24,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render a named series, down-sampled evenly to ``max_rows`` rows."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys):
+        raise ParameterError(f"series lengths differ: {len(xs)} vs {len(ys)}")
+    if max_rows < 2:
+        raise ParameterError(f"max_rows must be >= 2, got {max_rows}")
+    if not xs:
+        return f"{name}: (empty)"
+    if len(xs) > max_rows:
+        idx = np.linspace(0, len(xs) - 1, max_rows).round().astype(int)
+        xs = [xs[i] for i in idx]
+        ys = [ys[i] for i in idx]
+    body = format_table([x_label, y_label], zip(xs, ys))
+    return f"{name}\n{body}"
+
+
+def ascii_chart(
+    series: dict,
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render one or more named y-series as an ASCII line chart.
+
+    Args:
+        series: ``{label: sequence_of_y_values}``; series are drawn over
+            a shared x-index (resampled to ``width`` columns) and a
+            shared y-range, each with its own glyph.
+        width / height: plot area in characters.
+        title: optional heading line.
+
+    Returns:
+        A multi-line string: title, plot rows (y-axis labels on the
+        left), an x-axis rule, and a legend mapping glyphs to labels.
+    """
+    if not series:
+        raise ParameterError("ascii_chart needs at least one series")
+    if width < 8 or height < 3:
+        raise ParameterError(
+            f"need width >= 8 and height >= 3, got {width}x{height}"
+        )
+    glyphs = "*o+x#@%&"
+    if len(series) > len(glyphs):
+        raise ParameterError(
+            f"at most {len(glyphs)} series supported, got {len(series)}"
+        )
+
+    arrays = {}
+    for label, values in series.items():
+        arr = np.asarray(list(values), dtype=float)
+        finite = arr[np.isfinite(arr)]
+        if finite.size == 0:
+            raise ParameterError(f"series {label!r} has no finite values")
+        arrays[label] = arr
+    y_min = min(float(a[np.isfinite(a)].min()) for a in arrays.values())
+    y_max = max(float(a[np.isfinite(a)].max()) for a in arrays.values())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (label, arr) in zip(glyphs, arrays.items()):
+        columns = np.linspace(0, arr.size - 1, width).round().astype(int)
+        for col, idx in enumerate(columns):
+            value = arr[idx]
+            if not np.isfinite(value):
+                continue
+            row = int(round((value - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    left_labels = [f"{y_max:>10.3g} |", " " * 10 + " |", f"{y_min:>10.3g} |"]
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = left_labels[0]
+        elif row_index == height - 1:
+            prefix = left_labels[2]
+        else:
+            prefix = left_labels[1]
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "   ".join(
+        f"{glyph} {label}" for glyph, label in zip(glyphs, arrays)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def format_checks(name: str, checks: dict) -> str:
+    """Render a shape-check dict: PASS/FAIL per boolean, values verbatim."""
+    lines = [name]
+    for key, value in checks.items():
+        if isinstance(value, bool):
+            lines.append(f"  [{'PASS' if value else 'FAIL'}] {key}")
+        else:
+            lines.append(f"  {key} = {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Time-series utilities shared by experiments and benches."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["bin_series", "moving_average", "step_interpolate"]
+
+
+def bin_series(
+    times: np.ndarray,
+    values: np.ndarray,
+    bin_width: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Average ``values`` into fixed-width time bins.
+
+    Returns ``(bin_centers, bin_means)``; empty bins are dropped.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.shape != values.shape:
+        raise ParameterError(
+            f"times and values must align, got {times.shape} vs {values.shape}"
+        )
+    if bin_width <= 0:
+        raise ParameterError(f"bin_width must be > 0, got {bin_width}")
+    if times.size == 0:
+        return np.array([]), np.array([])
+    start = times.min()
+    indices = ((times - start) / bin_width).astype(int)
+    centers = []
+    means = []
+    for idx in np.unique(indices):
+        mask = indices == idx
+        centers.append(start + (idx + 0.5) * bin_width)
+        means.append(values[mask].mean())
+    return np.asarray(centers), np.asarray(means)
+
+
+def moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centered moving average with edge shrinkage (output length = input).
+
+    Raises:
+        ParameterError: for ``window < 1``.
+    """
+    values = np.asarray(values, dtype=float)
+    if window < 1:
+        raise ParameterError(f"window must be >= 1, got {window}")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    half = window // 2
+    out = np.empty_like(values)
+    for idx in range(values.size):
+        lo = max(idx - half, 0)
+        hi = min(idx + half + 1, values.size)
+        out[idx] = values[lo:hi].mean()
+    return out
+
+
+def step_interpolate(
+    times: np.ndarray,
+    values: np.ndarray,
+    query_times: np.ndarray,
+) -> np.ndarray:
+    """Piecewise-constant (last-observation-carried-forward) interpolation.
+
+    Queries before the first sample get the first value.
+    """
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    query_times = np.asarray(query_times, dtype=float)
+    if times.shape != values.shape:
+        raise ParameterError(
+            f"times and values must align, got {times.shape} vs {values.shape}"
+        )
+    if times.size == 0:
+        raise ParameterError("cannot interpolate an empty series")
+    if not np.all(np.diff(times) >= 0):
+        raise ParameterError("times must be non-decreasing")
+    idx = np.searchsorted(times, query_times, side="right") - 1
+    idx = np.clip(idx, 0, values.size - 1)
+    return values[idx]

@@ -1,0 +1,196 @@
+"""Streaming-playback analysis over piece acquisition logs.
+
+The paper's related work [1] (Arthur & Panigrahy) asks whether
+BitTorrent-style swarms can stream content: playback consumes pieces
+*in index order* at a fixed rate, so what matters is when each piece
+index became available — not how many pieces are held.
+
+Given a peer's indexed acquisition log, this module computes:
+
+* the minimal **startup delay** after which in-order playback never
+  stalls;
+* the **stall profile** (count and total stalled time) for a given
+  startup delay;
+
+and aggregates either across a swarm.  Together with the
+``"sequential"`` piece-selection policy these quantify the paper's
+summary of [1]: BitTorrent "can be effective for streaming content
+provided proper upload scheduling policies are used".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "PlaybackResult",
+    "availability_times",
+    "minimal_startup_delay",
+    "playback_stalls",
+    "swarm_streaming_summary",
+]
+
+
+@dataclass(frozen=True)
+class PlaybackResult:
+    """Outcome of simulated in-order playback for one download.
+
+    Attributes:
+        startup_delay: delay between arrival and pressing play.
+        stall_count: number of distinct rebuffering events.
+        stalled_time: total time spent stalled.
+    """
+
+    startup_delay: float
+    stall_count: int
+    stalled_time: float
+
+
+def availability_times(
+    piece_log: Sequence[Tuple[float, int]],
+    num_pieces: int,
+    *,
+    joined_at: float = 0.0,
+    prefilled_available: bool = True,
+) -> np.ndarray:
+    """Per-index availability times from an acquisition log.
+
+    Pieces absent from the log (held before instrumentation started,
+    e.g. a pre-filled initial peer) are treated as available at
+    ``joined_at`` when ``prefilled_available`` is True, else as never
+    available (``inf``).
+    """
+    if num_pieces < 1:
+        raise ParameterError(f"num_pieces must be >= 1, got {num_pieces}")
+    default = joined_at if prefilled_available else np.inf
+    availability = np.full(num_pieces, default, dtype=float)
+    seen = np.zeros(num_pieces, dtype=bool)
+    for time, piece in piece_log:
+        if not 0 <= piece < num_pieces:
+            raise ParameterError(f"piece {piece} outside 0..{num_pieces - 1}")
+        availability[piece] = time
+        seen[piece] = True
+    if not prefilled_available:
+        availability[~seen] = np.inf
+    return availability
+
+
+def playback_stalls(
+    availability: np.ndarray,
+    *,
+    joined_at: float = 0.0,
+    startup_delay: float = 0.0,
+    playback_interval: float = 1.0,
+) -> PlaybackResult:
+    """Simulate in-order playback and count rebuffering events.
+
+    Playback starts at ``joined_at + startup_delay`` and wants piece
+    ``j`` at ``start + j * playback_interval``; whenever the piece is
+    not yet available the player stalls until it is (a rebuffering
+    event) and the schedule shifts accordingly.
+    """
+    availability = np.asarray(availability, dtype=float)
+    if playback_interval <= 0:
+        raise ParameterError(
+            f"playback_interval must be > 0, got {playback_interval}"
+        )
+    if startup_delay < 0:
+        raise ParameterError(f"startup_delay must be >= 0, got {startup_delay}")
+    if not np.isfinite(availability).all():
+        raise ParameterError(
+            "availability must be finite (incomplete download?)"
+        )
+    clock = joined_at + startup_delay
+    stall_count = 0
+    stalled_time = 0.0
+    for ready_at in availability:
+        if ready_at > clock:
+            stall_count += 1
+            stalled_time += ready_at - clock
+            clock = ready_at
+        clock += playback_interval
+    return PlaybackResult(
+        startup_delay=startup_delay,
+        stall_count=stall_count,
+        stalled_time=stalled_time,
+    )
+
+
+def minimal_startup_delay(
+    availability: np.ndarray,
+    *,
+    joined_at: float = 0.0,
+    playback_interval: float = 1.0,
+) -> float:
+    """Smallest startup delay with stall-free in-order playback.
+
+    Closed form: piece ``j`` must be available by
+    ``joined_at + d + j * interval``, so
+    ``d = max_j (availability[j] - joined_at - j * interval)`` (clamped
+    at 0).
+    """
+    availability = np.asarray(availability, dtype=float)
+    if playback_interval <= 0:
+        raise ParameterError(
+            f"playback_interval must be > 0, got {playback_interval}"
+        )
+    if not np.isfinite(availability).all():
+        raise ParameterError(
+            "availability must be finite (incomplete download?)"
+        )
+    offsets = availability - joined_at - playback_interval * np.arange(
+        availability.size
+    )
+    return float(max(offsets.max(), 0.0))
+
+
+def swarm_streaming_summary(
+    completed_downloads,
+    num_pieces: int,
+    *,
+    playback_interval: float = 1.0,
+) -> Dict[str, float]:
+    """Aggregate streaming metrics over a swarm's completed downloads.
+
+    Args:
+        completed_downloads: iterable of
+            :class:`repro.sim.metrics.CompletedDownload`.
+        num_pieces: ``B``.
+        playback_interval: playback speed, time units per piece.
+
+    Returns:
+        Dict with ``mean_startup_delay``, ``p90_startup_delay``, and
+        ``downloads`` (count contributing); NaNs when empty.
+    """
+    delays: List[float] = []
+    for download in completed_downloads:
+        log = download.stats.piece_log
+        if len(log) < num_pieces:
+            continue  # pre-filled peers lack a full indexed log
+        availability = availability_times(
+            log, num_pieces, joined_at=download.joined_at,
+            prefilled_available=False,
+        )
+        delays.append(
+            minimal_startup_delay(
+                availability,
+                joined_at=download.joined_at,
+                playback_interval=playback_interval,
+            )
+        )
+    if not delays:
+        return {
+            "mean_startup_delay": float("nan"),
+            "p90_startup_delay": float("nan"),
+            "downloads": 0.0,
+        }
+    return {
+        "mean_startup_delay": float(np.mean(delays)),
+        "p90_startup_delay": float(np.percentile(delays, 90)),
+        "downloads": float(len(delays)),
+    }

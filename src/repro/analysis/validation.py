@@ -1,0 +1,166 @@
+"""Model-vs-simulation validation metrics and figure shape checks.
+
+The reproduction's acceptance criterion is *shape*, not absolute
+numbers (our substrate is a simulator, not the authors' 2007 testbed):
+who wins, by roughly what factor, where inflections fall.  This module
+gives each figure an explicit, testable shape predicate plus generic
+series-agreement metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "SeriesComparison",
+    "compare_series",
+    "potential_ratio_shape",
+    "timeline_shape",
+    "efficiency_shape",
+]
+
+
+@dataclass(frozen=True)
+class SeriesComparison:
+    """Agreement metrics between two aligned series.
+
+    Attributes:
+        rmse: root-mean-square error.
+        max_abs_error: worst-case pointwise gap.
+        mean_relative_error: mean of ``|a - b| / max(|b|, eps)``.
+        correlation: Pearson correlation (NaN for constant series).
+    """
+
+    rmse: float
+    max_abs_error: float
+    mean_relative_error: float
+    correlation: float
+
+
+def compare_series(candidate: np.ndarray, reference: np.ndarray) -> SeriesComparison:
+    """Compare two aligned series (e.g. model vs simulation timeline)."""
+    candidate = np.asarray(candidate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if candidate.shape != reference.shape:
+        raise ParameterError(
+            f"series must align, got {candidate.shape} vs {reference.shape}"
+        )
+    if candidate.size == 0:
+        raise ParameterError("cannot compare empty series")
+    mask = np.isfinite(candidate) & np.isfinite(reference)
+    if not mask.any():
+        raise ParameterError("no finite overlapping points to compare")
+    a = candidate[mask]
+    b = reference[mask]
+    diff = a - b
+    rmse = float(np.sqrt(np.mean(diff**2)))
+    max_abs = float(np.abs(diff).max())
+    rel = float(np.mean(np.abs(diff) / np.maximum(np.abs(b), 1e-12)))
+    if a.std() == 0 or b.std() == 0:
+        corr = float("nan")
+    else:
+        corr = float(np.corrcoef(a, b)[0, 1])
+    return SeriesComparison(
+        rmse=rmse,
+        max_abs_error=max_abs,
+        mean_relative_error=rel,
+        correlation=corr,
+    )
+
+
+def potential_ratio_shape(
+    pieces: np.ndarray,
+    ratio: np.ndarray,
+    *,
+    mid_level: float = 0.75,
+    edge_level: float = 0.7,
+) -> dict:
+    """Figure 1(a) shape predicate for the potential-set ratio curve.
+
+    Expected: the ratio climbs from ~0.5 near ``b = 1``, peaks near the
+    middle of the file above ``mid_level``, and declines toward the end
+    below the mid-range peak (the paper: 0.5 at ``b = 1`` and
+    ``b = B - 1``, max at ``b = B/2``).
+
+    Returns a dict of named boolean checks plus measured levels, so
+    failures are diagnosable in test output.
+    """
+    pieces = np.asarray(pieces)
+    ratio = np.asarray(ratio, dtype=float)
+    if pieces.shape != ratio.shape or pieces.size < 8:
+        raise ParameterError("need aligned series with at least 8 points")
+    finite = np.isfinite(ratio)
+    num_pieces = int(pieces[-1])
+    mid_band = finite & (pieces >= 0.4 * num_pieces) & (pieces <= 0.6 * num_pieces)
+    early_band = finite & (pieces >= 1) & (pieces <= max(0.05 * num_pieces, 2))
+    late_band = finite & (pieces >= 0.95 * num_pieces) & (pieces < num_pieces)
+    mid = float(ratio[mid_band].mean()) if mid_band.any() else float("nan")
+    early = float(ratio[early_band].mean()) if early_band.any() else float("nan")
+    late = float(ratio[late_band].mean()) if late_band.any() else float("nan")
+    return {
+        "mid_high": bool(mid >= mid_level),
+        "rises_from_start": bool(early < mid),
+        "falls_to_end": bool(late < mid),
+        "edges_moderate": bool(early <= edge_level and late <= edge_level + 0.1),
+        "early": early,
+        "mid": mid,
+        "late": late,
+    }
+
+
+def timeline_shape(
+    mean_steps: np.ndarray,
+    *,
+    num_pieces: int,
+    max_conns: int,
+) -> dict:
+    """Figure 1(b) shape predicate for a download timeline.
+
+    Expected: monotone non-decreasing first-passage times, total time at
+    least the parallelism bound ``B / k``, and a finite completion.
+    """
+    mean_steps = np.asarray(mean_steps, dtype=float)
+    if mean_steps.size != num_pieces + 1:
+        raise ParameterError(
+            f"timeline must have B+1 = {num_pieces + 1} entries, "
+            f"got {mean_steps.size}"
+        )
+    diffs = np.diff(mean_steps)
+    return {
+        "monotone": bool((diffs >= -1e-9).all()),
+        "respects_parallelism_bound": bool(
+            mean_steps[-1] >= num_pieces / max_conns - 1e-9
+        ),
+        "finite": bool(np.isfinite(mean_steps).all()),
+        "total": float(mean_steps[-1]),
+    }
+
+
+def efficiency_shape(k_values: np.ndarray, etas: np.ndarray) -> dict:
+    """Figure 3/4(a) shape predicate for the efficiency curve.
+
+    Expected: the gain from ``k = 1`` to ``k = 2`` dominates every
+    subsequent single-step gain, and the curve saturates (every eta for
+    ``k >= 2`` within a tight band of the final value).
+    """
+    k_values = np.asarray(k_values)
+    etas = np.asarray(etas, dtype=float)
+    if k_values.shape != etas.shape or k_values.size < 3:
+        raise ParameterError("need aligned k/eta series with >= 3 points")
+    if k_values[0] != 1:
+        raise ParameterError("efficiency shape check expects the sweep to start at k=1")
+    gains = np.diff(etas)
+    first_gain = float(gains[0])
+    later_max = float(gains[1:].max()) if gains.size > 1 else 0.0
+    plateau_band = float(etas[-1] - etas[1:].min())
+    return {
+        "first_gain_dominates": bool(first_gain >= later_max - 1e-12),
+        "first_gain_positive": bool(first_gain > 0),
+        "plateau_after_two": bool(plateau_band <= 0.15),
+        "first_gain": first_gain,
+        "later_max_gain": later_max,
+    }

@@ -1,0 +1,25 @@
+"""Baselines the paper positions itself against (Section 2.2).
+
+* :mod:`repro.baselines.coupon` — the coupon replication system of
+  Massoulie & Vojnovic [8]: encounters drawn uniformly from the *whole*
+  swarm (no neighbor set), a *single* connection per encounter, and a
+  positive probability of failed encounters.  The paper argues
+  BitTorrent's neighbor-set-limited, multi-connection dynamics differ
+  materially; this implementation makes the comparison runnable.
+* :mod:`repro.baselines.fluid` — the Qiu-Srikant fluid model [9]:
+  aggregate leecher/seed ODEs that hide protocol dynamics behind an
+  efficiency parameter ``eta`` — the "fundamental limitation" the
+  paper's protocol-level model addresses.
+"""
+
+from repro.baselines.coupon import CouponResult, CouponSystem, run_coupon_system
+from repro.baselines.fluid import FluidModel, FluidSteadyState, FluidTrajectory
+
+__all__ = [
+    "CouponResult",
+    "CouponSystem",
+    "run_coupon_system",
+    "FluidModel",
+    "FluidSteadyState",
+    "FluidTrajectory",
+]

@@ -1,0 +1,183 @@
+"""Coupon replication system (Massoulie & Vojnovic, SIGMETRICS '05).
+
+The comparison baseline of the paper's related work: peers collect
+``B`` distinct coupons (pieces).  Per round, every peer makes **one**
+encounter with a peer sampled uniformly from the **entire** population
+— no neighbor set, no multi-connection parallelism.  An encounter
+succeeds iff the pair can swap novel coupons (mutual novelty under the
+strict-exchange regime); otherwise it *fails*, which happens with
+positive probability — the structural difference from BitTorrent the
+paper highlights.  Peers depart as soon as they hold all coupons.
+
+Arrivals are Poisson; each arriving peer brings one uniformly random
+coupon (the exogenous piece injection of the coupon-system model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.sim.bitfield import Bitfield
+from repro.stability.entropy import entropy, replication_degrees
+
+__all__ = ["CouponResult", "CouponSystem", "run_coupon_system"]
+
+
+@dataclass(frozen=True)
+class CouponResult:
+    """Aggregate outcome of a coupon-system run.
+
+    Attributes:
+        rounds: rounds executed.
+        completed: number of peers that collected all coupons.
+        mean_sojourn: average rounds from arrival to completion.
+        failed_encounter_fraction: failed / attempted encounters — the
+            quantity that is structurally zero-free in BitTorrent's
+            potential-set regime but positive here.
+        population_series: ``(round, population)`` samples.
+        entropy_series: ``(round, E)`` samples.
+        efficiency: fraction of rounds in which a peer's single
+            connection slot carried a transfer (the coupon analogue of
+            the paper's ``eta`` with ``k = 1``).
+    """
+
+    rounds: int
+    completed: int
+    mean_sojourn: float
+    failed_encounter_fraction: float
+    population_series: List[Tuple[int, int]]
+    entropy_series: List[Tuple[int, float]]
+    efficiency: float
+
+
+class CouponSystem:
+    """Round-based coupon replication simulator."""
+
+    def __init__(
+        self,
+        num_coupons: int,
+        *,
+        arrival_rate: float = 2.0,
+        initial_peers: int = 50,
+        seed: Optional[int] = None,
+    ):
+        if num_coupons < 1:
+            raise ParameterError(f"num_coupons must be >= 1, got {num_coupons}")
+        if arrival_rate < 0:
+            raise ParameterError(f"arrival_rate must be >= 0, got {arrival_rate}")
+        if initial_peers < 0:
+            raise ParameterError(f"initial_peers must be >= 0, got {initial_peers}")
+        self.num_coupons = num_coupons
+        self.arrival_rate = arrival_rate
+        self.rng = np.random.default_rng(seed)
+        #: peer id -> (bitfield, arrival_round)
+        self.peers: dict[int, Tuple[Bitfield, int]] = {}
+        self._next_id = 0
+        self._sojourns: List[int] = []
+        self._attempted = 0
+        self._failed = 0
+        self._active_slot_rounds = 0
+        self._peer_rounds = 0
+        for _ in range(initial_peers):
+            self._arrive(0)
+
+    def _arrive(self, round_index: int) -> None:
+        coupon = int(self.rng.integers(self.num_coupons))
+        bitfield = Bitfield.from_pieces(self.num_coupons, [coupon])
+        self.peers[self._next_id] = (bitfield, round_index)
+        self._next_id += 1
+
+    def step(self, round_index: int) -> None:
+        """One round: Poisson arrivals, then uniform random encounters."""
+        arrivals = int(self.rng.poisson(self.arrival_rate))
+        for _ in range(arrivals):
+            self._arrive(round_index)
+
+        ids = list(self.peers)
+        if len(ids) >= 2:
+            order = self.rng.permutation(len(ids))
+            for idx in order:
+                peer_id = ids[idx]
+                entry = self.peers.get(peer_id)
+                if entry is None:
+                    continue  # departed earlier this round
+                bitfield, _ = entry
+                self._peer_rounds += 1
+                # Uniform whole-population sampling: the defining
+                # difference from BitTorrent's neighbor-set encounters.
+                partner_id = peer_id
+                while partner_id == peer_id:
+                    partner_id = ids[int(self.rng.integers(len(ids)))]
+                partner_entry = self.peers.get(partner_id)
+                if partner_entry is None:
+                    continue
+                partner_bf, _ = partner_entry
+                self._attempted += 1
+                if not bitfield.mutual_interest(partner_bf):
+                    self._failed += 1
+                    continue
+                self._active_slot_rounds += 1
+                gets = bitfield.exchangeable_pieces_from(partner_bf)
+                gives = partner_bf.exchangeable_pieces_from(bitfield)
+                bitfield.add(int(gets[self.rng.integers(len(gets))]))
+                partner_bf.add(int(gives[self.rng.integers(len(gives))]))
+
+        # Departures.
+        for peer_id in list(self.peers):
+            bitfield, arrived = self.peers[peer_id]
+            if bitfield.is_complete:
+                self._sojourns.append(round_index - arrived)
+                del self.peers[peer_id]
+
+    def run(self, rounds: int, *, sample_every: int = 1) -> CouponResult:
+        """Run for a number of rounds and report aggregates."""
+        if rounds < 1:
+            raise ParameterError(f"rounds must be >= 1, got {rounds}")
+        if sample_every < 1:
+            raise ParameterError(f"sample_every must be >= 1, got {sample_every}")
+        population: List[Tuple[int, int]] = []
+        entropy_series: List[Tuple[int, float]] = []
+        for round_index in range(1, rounds + 1):
+            self.step(round_index)
+            if round_index % sample_every == 0:
+                population.append((round_index, len(self.peers)))
+                bitfields = [bf for bf, _ in self.peers.values()]
+                if bitfields:
+                    degrees = replication_degrees(bitfields, self.num_coupons)
+                    entropy_series.append((round_index, entropy(degrees)))
+        mean_sojourn = float(np.mean(self._sojourns)) if self._sojourns else float("nan")
+        failed_fraction = self._failed / self._attempted if self._attempted else 0.0
+        efficiency = (
+            self._active_slot_rounds / self._peer_rounds if self._peer_rounds else 0.0
+        )
+        return CouponResult(
+            rounds=rounds,
+            completed=len(self._sojourns),
+            mean_sojourn=mean_sojourn,
+            failed_encounter_fraction=failed_fraction,
+            population_series=population,
+            entropy_series=entropy_series,
+            efficiency=efficiency,
+        )
+
+
+def run_coupon_system(
+    num_coupons: int,
+    rounds: int,
+    *,
+    arrival_rate: float = 2.0,
+    initial_peers: int = 50,
+    seed: Optional[int] = None,
+) -> CouponResult:
+    """Convenience wrapper: build and run a coupon system."""
+    system = CouponSystem(
+        num_coupons,
+        arrival_rate=arrival_rate,
+        initial_peers=initial_peers,
+        seed=seed,
+    )
+    return system.run(rounds)

@@ -1,0 +1,215 @@
+"""Qiu-Srikant fluid model of BitTorrent-like networks (SIGCOMM '04).
+
+The related-work baseline [9]: the swarm is summarised by two fluids,
+``x(t)`` leechers and ``y(t)`` seeds, evolving as::
+
+    dx/dt = lambda - theta * x - min(c * x, mu * (eta * x + y))
+    dy/dt = min(c * x, mu * (eta * x + y)) - gamma_s * y
+
+with ``lambda`` the arrival rate, ``theta`` the abort rate, ``c`` the
+download capacity, ``mu`` the upload capacity, ``eta`` the
+*effectiveness of file sharing* (an exogenous input — exactly the
+protocol detail the multiphased model derives instead of assuming), and
+``gamma_s`` the seed departure rate.
+
+Provided: trajectory integration (``scipy.integrate.solve_ivp``), the
+closed-form steady state for ``theta = 0``, a numerical steady state
+for ``theta > 0``, and Little's-law mean download time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.integrate
+import scipy.optimize
+
+from repro.errors import ConvergenceError, ParameterError
+
+__all__ = ["FluidModel", "FluidSteadyState", "FluidTrajectory"]
+
+
+@dataclass(frozen=True)
+class FluidSteadyState:
+    """Equilibrium of the fluid ODEs.
+
+    Attributes:
+        leechers: ``x_bar``.
+        seeds: ``y_bar``.
+        download_constrained: True when ``c * x_bar`` (the downlink) is
+            the binding capacity, False when the uplink is.
+        mean_download_time: Little's-law ``T = x_bar / lambda`` (with
+            the abort-corrected throughput for ``theta > 0``).
+    """
+
+    leechers: float
+    seeds: float
+    download_constrained: bool
+    mean_download_time: float
+
+
+@dataclass(frozen=True)
+class FluidTrajectory:
+    """Integrated fluid trajectory: aligned time / leecher / seed arrays."""
+
+    times: np.ndarray
+    leechers: np.ndarray
+    seeds: np.ndarray
+
+
+@dataclass(frozen=True)
+class FluidModel:
+    """Parameterised Qiu-Srikant fluid model.
+
+    Attributes:
+        arrival_rate: ``lambda``, peers per time unit.
+        upload_rate: ``mu``, files per peer per time unit uploaded.
+        download_rate: ``c``, files per peer per time unit downloaded.
+        efficiency: ``eta`` in (0, 1] — sharing effectiveness.
+        abort_rate: ``theta`` >= 0, leecher abandonment rate.
+        seed_departure_rate: ``gamma_s`` > 0.
+    """
+
+    arrival_rate: float
+    upload_rate: float = 1.0
+    download_rate: float = 2.0
+    efficiency: float = 1.0
+    abort_rate: float = 0.0
+    seed_departure_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ParameterError(
+                f"arrival_rate must be >= 0, got {self.arrival_rate}"
+            )
+        if self.upload_rate <= 0 or self.download_rate <= 0:
+            raise ParameterError("upload_rate and download_rate must be > 0")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ParameterError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.abort_rate < 0:
+            raise ParameterError(f"abort_rate must be >= 0, got {self.abort_rate}")
+        if self.seed_departure_rate <= 0:
+            raise ParameterError(
+                f"seed_departure_rate must be > 0, got {self.seed_departure_rate}"
+            )
+
+    # ------------------------------------------------------------------
+    def service_rate(self, leechers: float, seeds: float) -> float:
+        """Completed downloads per time unit at state ``(x, y)``."""
+        uplink = self.upload_rate * (self.efficiency * leechers + seeds)
+        downlink = self.download_rate * leechers
+        return min(uplink, downlink)
+
+    def derivatives(self, state: np.ndarray) -> np.ndarray:
+        """Right-hand side of the ODE system at ``state = (x, y)``."""
+        x, y = float(state[0]), float(state[1])
+        x = max(x, 0.0)
+        y = max(y, 0.0)
+        completed = self.service_rate(x, y)
+        dx = self.arrival_rate - self.abort_rate * x - completed
+        dy = completed - self.seed_departure_rate * y
+        return np.array([dx, dy])
+
+    def integrate(
+        self,
+        horizon: float,
+        *,
+        x0: float = 0.0,
+        y0: float = 1.0,
+        points: int = 200,
+    ) -> FluidTrajectory:
+        """Integrate the fluid ODEs from ``(x0, y0)`` to ``horizon``."""
+        if horizon <= 0:
+            raise ParameterError(f"horizon must be > 0, got {horizon}")
+        if points < 2:
+            raise ParameterError(f"points must be >= 2, got {points}")
+        times = np.linspace(0.0, horizon, points)
+        solution = scipy.integrate.solve_ivp(
+            lambda _t, state: self.derivatives(state),
+            (0.0, horizon),
+            [x0, y0],
+            t_eval=times,
+            method="RK45",
+            max_step=horizon / points,
+        )
+        if not solution.success:
+            raise ConvergenceError(f"fluid ODE integration failed: {solution.message}")
+        leechers = np.clip(solution.y[0], 0.0, None)
+        seeds = np.clip(solution.y[1], 0.0, None)
+        return FluidTrajectory(times=times, leechers=leechers, seeds=seeds)
+
+    def steady_state(self) -> FluidSteadyState:
+        """Equilibrium ``(x_bar, y_bar)`` of the fluid system.
+
+        For ``theta = 0`` the closed form applies: all arrivals
+        eventually complete, ``y_bar = lambda / gamma_s`` and ``x_bar``
+        solves ``min(c x, mu(eta x + y_bar)) = lambda``.  For
+        ``theta > 0`` the balance is found numerically (Brent's method
+        on the leecher balance equation).
+        """
+        lam = self.arrival_rate
+        if lam == 0:
+            return FluidSteadyState(0.0, 0.0, False, 0.0)
+        if self.abort_rate == 0:
+            y_bar = lam / self.seed_departure_rate
+            # Uplink-constrained candidate: mu(eta x + y) = lambda.
+            x_up = (lam / self.upload_rate - y_bar) / self.efficiency
+            x_down = lam / self.download_rate
+            # The binding constraint is whichever requires more leechers.
+            if x_down >= x_up:
+                x_bar, constrained = x_down, True
+            else:
+                x_bar, constrained = max(x_up, 0.0), False
+            return FluidSteadyState(
+                leechers=x_bar,
+                seeds=y_bar,
+                download_constrained=constrained,
+                mean_download_time=x_bar / lam,
+            )
+
+        def leecher_balance(x: float) -> float:
+            completed = self.service_rate(
+                x, self._seed_balance(x)
+            )
+            return lam - self.abort_rate * x - completed
+
+        upper = max(lam / min(self.upload_rate, self.download_rate), 1.0) * 10 + 10
+        try:
+            x_bar = scipy.optimize.brentq(leecher_balance, 0.0, upper)
+        except ValueError as exc:
+            raise ConvergenceError(
+                f"no steady state found in [0, {upper}]"
+            ) from exc
+        y_bar = self._seed_balance(x_bar)
+        throughput = lam - self.abort_rate * x_bar
+        constrained = (
+            self.download_rate * x_bar
+            < self.upload_rate * (self.efficiency * x_bar + y_bar)
+        )
+        mean_time = x_bar / throughput if throughput > 0 else float("inf")
+        return FluidSteadyState(
+            leechers=x_bar,
+            seeds=y_bar,
+            download_constrained=constrained,
+            mean_download_time=mean_time,
+        )
+
+    def _seed_balance(self, x: float) -> float:
+        """Seed level balancing inflow at leecher level ``x``.
+
+        Solves ``min(c x, mu(eta x + y)) = gamma_s * y`` for ``y``.
+        """
+        # Uplink branch: mu(eta x + y) = gamma_s y  ->  y = mu eta x / (gamma_s - mu)
+        if self.seed_departure_rate > self.upload_rate:
+            y_up = (
+                self.upload_rate * self.efficiency * x
+                / (self.seed_departure_rate - self.upload_rate)
+            )
+        else:
+            y_up = float("inf")
+        y_down = self.download_rate * x / self.seed_departure_rate
+        y = min(y_up, y_down)
+        return max(y, 0.0)

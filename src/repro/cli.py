@@ -1,0 +1,280 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    repro-bt list                     # enumerate reproducible figures
+    repro-bt run F1a                  # paper-scale Figure 1(a)
+    repro-bt run F3bc --quick         # reduced-scale stability panels
+    repro-bt trace smooth out.jsonl   # generate a Figure-2 archetype
+    repro-bt calibrate out.jsonl --max-conns 4 --ns-size 20
+    repro-bt stability 3 10 20        # B sweep of the stability runs
+    repro-bt seeding                  # the Section-7.2 seeding study
+    repro-bt scenario                 # list curated swarm scenarios
+    repro-bt scenario flash-crowd     # run one and summarise it
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.analysis.reporting import format_table
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bt",
+        description=(
+            "Reproduction of 'A Multiphased Approach for Modeling and "
+            "Analysis of the BitTorrent Protocol' (ICDCS 2007)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible figures")
+
+    run = subparsers.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id, e.g. F1a (see 'list')")
+    run.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced-scale parameters (fast smoke run)",
+    )
+    run.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+
+    trace = subparsers.add_parser(
+        "trace", help="generate a Figure-2 archetype trace to a JSONL file"
+    )
+    trace.add_argument(
+        "archetype", choices=("smooth", "last", "bootstrap"),
+        help="which download-evolution archetype to generate",
+    )
+    trace.add_argument("output", help="output JSONL path")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--count", type=int, default=1,
+        help="how many archetype traces to generate (distinct seeds)",
+    )
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="fit model parameters to a JSONL trace file"
+    )
+    calibrate.add_argument("traces", help="input JSONL path")
+    calibrate.add_argument("--max-conns", type=int, required=True,
+                           help="protocol k for the fitted model")
+    calibrate.add_argument("--ns-size", type=int, required=True,
+                           help="protocol s for the fitted model")
+
+    stability = subparsers.add_parser(
+        "stability", help="run the high-skew stability experiment per B"
+    )
+    stability.add_argument(
+        "pieces", type=int, nargs="+", help="piece counts B to sweep"
+    )
+    stability.add_argument("--arrival-rate", type=float, default=20.0)
+    stability.add_argument("--initial", type=int, default=400)
+    stability.add_argument("--horizon", type=float, default=150.0)
+    stability.add_argument("--seed", type=int, default=0)
+
+    seeding = subparsers.add_parser(
+        "seeding", help="run the Section-7.2 seeding study"
+    )
+    seeding.add_argument("--seed", type=int, default=0)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="run a curated swarm scenario and summarise it"
+    )
+    scenario.add_argument(
+        "name", nargs="?", default=None,
+        help="scenario name (omit to list the available scenarios)",
+    )
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--horizon", type=float, default=None,
+                          help="override max_time")
+
+    return parser
+
+
+def _command_list() -> int:
+    rows = [
+        [spec.exp_id, spec.figure, spec.description]
+        for spec in EXPERIMENTS.values()
+    ]
+    print(format_table(["id", "figure", "description"], rows))
+    return 0
+
+
+def _command_run(experiment: str, quick: bool, seed: Optional[int]) -> int:
+    spec = get_experiment(experiment)
+    kwargs = dict(spec.quick_kwargs) if quick else {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    print(f"== {spec.figure}: {spec.description} ==")
+    result = spec.runner(**kwargs)
+    print(result.format())
+    return 0
+
+
+def _command_trace(archetype: str, output: str, seed: int, count: int) -> int:
+    from repro.traces.io import write_trace_jsonl
+    from repro.traces.synthetic import generate_archetype
+
+    traces = []
+    for index in range(count):
+        trace, config = generate_archetype(archetype, seed=seed + 100 * index)
+        traces.append(trace)
+        print(
+            f"generated {archetype!r} trace "
+            f"({trace.pieces_downloaded()}/{trace.num_pieces} pieces, "
+            f"{len(trace.samples)} samples, swarm seed {config.seed})"
+        )
+    write_trace_jsonl(traces, output)
+    print(f"wrote {len(traces)} trace(s) to {output}")
+    return 0
+
+
+def _command_calibrate(path: str, max_conns: int, ns_size: int) -> int:
+    from repro.analysis.calibration import calibrate_parameters
+    from repro.traces.io import read_trace_jsonl
+
+    traces = read_trace_jsonl(path)
+    params, evidence = calibrate_parameters(
+        traces, max_conns=max_conns, ns_size=ns_size
+    )
+    print(f"fitted model: {params.describe()}")
+    print(format_table(
+        ["parameter", "estimate", "evidence"],
+        [
+            ["alpha", evidence.alpha,
+             f"{evidence.bootstrap_escapes} escapes / "
+             f"{evidence.bootstrap_stall_rounds} stalled rounds"],
+            ["gamma", evidence.gamma,
+             f"{evidence.last_escapes} escapes / "
+             f"{evidence.last_stall_rounds} stalled rounds"],
+            ["p_r", evidence.p_reenc,
+             f"{evidence.connection_drops} drops / "
+             f"{evidence.connection_rounds} connection-rounds"],
+        ],
+    ))
+    return 0
+
+
+def _command_stability(
+    pieces: List[int], arrival_rate: float, initial: int,
+    horizon: float, seed: int,
+) -> int:
+    from repro.stability.drift import phase_drift_analysis
+    from repro.stability.experiments import (
+        run_stability_experiment,
+        stability_config,
+    )
+
+    rows = []
+    for offset, num_pieces in enumerate(pieces):
+        config = stability_config(
+            num_pieces,
+            arrival_rate=arrival_rate,
+            initial_leechers=initial,
+            max_time=horizon,
+            seed=seed + offset,
+        )
+        run = run_stability_experiment(config, entropy_every=4)
+        drift = phase_drift_analysis(num_pieces, config.max_conns, arrival_rate)
+        rows.append([
+            num_pieces,
+            run.final_population(),
+            round(float(run.entropy[-10:].mean()), 3),
+            "DIVERGED" if run.diverged else "bounded",
+            "unstable" if not drift.predicted_stable else "stable",
+        ])
+    print(format_table(
+        ["B", "final peers", "tail entropy", "simulated", "drift model"],
+        rows,
+    ))
+    return 0
+
+
+def _command_seeding(seed: int) -> int:
+    from repro.experiments.seeding import run_seeding_study
+
+    print(run_seeding_study(seed=seed).format())
+    return 0
+
+
+def _command_scenario(name: Optional[str], seed: int,
+                      horizon: Optional[float]) -> int:
+    from repro.errors import ParameterError
+    from repro.sim.scenarios import SCENARIOS
+    from repro.sim.swarm import run_swarm
+
+    if name is None:
+        rows = [
+            [key, (factory.__doc__ or "").strip().splitlines()[0]]
+            for key, factory in sorted(SCENARIOS.items())
+        ]
+        print(format_table(["scenario", "description"], rows))
+        return 0
+    factory = SCENARIOS.get(name)
+    if factory is None:
+        raise ParameterError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        )
+    config = factory(seed=seed)
+    if horizon is not None:
+        config = config.with_changes(max_time=horizon)
+    result = run_swarm(config)
+    metrics = result.metrics
+    stats = result.connection_stats
+    print(f"scenario {name!r}: {result.total_rounds} rounds")
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["completed downloads", len(metrics.completed)],
+            ["mean download time", round(metrics.mean_download_duration(), 2)],
+            ["aborted downloads", metrics.abort_count()],
+            ["final leechers", result.final_leechers],
+            ["final seeds", result.final_seeds],
+            ["measured p_r", round(stats.p_reenc(), 3)],
+            ["measured p_n", round(stats.p_new(), 3)],
+            ["seed uploads", result.seed_upload_count],
+        ],
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args.experiment, args.quick, args.seed)
+    if args.command == "trace":
+        return _command_trace(args.archetype, args.output, args.seed, args.count)
+    if args.command == "calibrate":
+        return _command_calibrate(args.traces, args.max_conns, args.ns_size)
+    if args.command == "stability":
+        return _command_stability(
+            args.pieces, args.arrival_rate, args.initial, args.horizon,
+            args.seed,
+        )
+    if args.command == "seeding":
+        return _command_seeding(args.seed)
+    if args.command == "scenario":
+        return _command_scenario(args.name, args.seed, args.horizon)
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

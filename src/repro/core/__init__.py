@@ -1,0 +1,45 @@
+"""Core multiphased download-evolution model (Section 3 of the paper).
+
+The central object is :class:`repro.core.chain.DownloadChain`, the
+three-dimensional Markov chain over states ``(n, b, i)``:
+
+``n``
+    number of active connections, ``0 <= n <= k``;
+``b``
+    number of downloaded pieces, ``0 <= b <= B``;
+``i``
+    size of the potential set, ``0 <= i <= s``.
+
+The transition kernel factors as ``f(b'|n,b) * g(i'|n,b,i) * h(n'|n,b,i')``
+(paper Eqs. 2-3), built from the trading-power function ``p(b+n)``
+(paper Eq. 1) in :mod:`repro.core.trading_power`.
+"""
+
+from repro.core.binomial import binomial_pmf, convolve_pmf
+from repro.core.chain import DownloadChain, State
+from repro.core.exact import (
+    TransientResult,
+    exact_potential_ratio,
+    propagate_distribution,
+)
+from repro.core.parameters import ModelParameters, alpha_from_swarm
+from repro.core.phases import Phase, classify_state, phase_durations
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.core.trading_power import exchange_probability
+
+__all__ = [
+    "binomial_pmf",
+    "convolve_pmf",
+    "DownloadChain",
+    "State",
+    "ModelParameters",
+    "alpha_from_swarm",
+    "Phase",
+    "classify_state",
+    "phase_durations",
+    "PieceCountDistribution",
+    "exchange_probability",
+    "TransientResult",
+    "exact_potential_ratio",
+    "propagate_distribution",
+]

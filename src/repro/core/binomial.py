@@ -1,0 +1,132 @@
+"""Binomial distribution machinery used by the transition kernels.
+
+The model uses four binomially distributed random variables (paper
+Section 3.1):
+
+* ``X1 ~ Bin(s, p_init)`` — initial connection attempts on joining;
+* ``X2 ~ Bin(s, p(b+n))`` — potential-set size in the trading phase;
+* ``Y1 ~ Bin(n, p_r)`` — surviving re-encounters;
+* ``Y2 ~ Bin(max(min(i', k) - n, 0), p_n)`` — newly formed connections.
+
+``Y1 + Y2`` (the next connection count) is the convolution of two
+binomial pmfs, provided here by :func:`convolve_pmf`.
+
+All pmfs are computed with a multiplicative recurrence rather than via
+factorials so they stay exact-to-float for the small ``n`` (tens) this
+model uses, without any dependency on ``scipy`` in the hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "binomial_pmf",
+    "convolve_pmf",
+    "binomial_mean",
+    "sample_pmf",
+    "validate_pmf",
+]
+
+#: Tolerance used when checking that a pmf sums to one.
+PMF_ATOL = 1e-9
+
+
+def binomial_pmf(n: int, p: float) -> np.ndarray:
+    """Return the pmf of ``Bin(n, p)`` as an array of length ``n + 1``.
+
+    ``pmf[m] == Pr(X = m)``.  Uses the stable recurrence
+    ``pmf[m+1] = pmf[m] * (n - m) / (m + 1) * p / (1 - p)`` seeded from
+    ``pmf[0] = (1 - p)**n``, with the degenerate endpoints ``p == 0`` and
+    ``p == 1`` special-cased so no division by zero occurs.
+
+    Raises:
+        ParameterError: if ``n < 0`` or ``p`` is outside ``[0, 1]``.
+    """
+    if n < 0:
+        raise ParameterError(f"binomial trial count must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"binomial success probability must be in [0, 1], got {p}")
+
+    pmf = np.zeros(n + 1)
+    if p == 0.0:
+        pmf[0] = 1.0
+        return pmf
+    if p == 1.0:
+        pmf[n] = 1.0
+        return pmf
+    if p > 0.5:
+        # Symmetry Bin(n, p)[m] == Bin(n, 1-p)[n-m]: keeps the seed term
+        # (1-p)**n away from underflow when p approaches 1.
+        return binomial_pmf(n, 1.0 - p)[::-1].copy()
+
+    ratio = p / (1.0 - p)
+    pmf[0] = (1.0 - p) ** n
+    for m in range(n):
+        pmf[m + 1] = pmf[m] * (n - m) / (m + 1) * ratio
+    # Guard against accumulated round-off: renormalise only when the drift
+    # is within numerical-noise range; a larger drift indicates a bug.
+    total = pmf.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise ParameterError(
+            f"binomial pmf for n={n}, p={p} summed to {total}, expected 1"
+        )
+    pmf /= total
+    return pmf
+
+
+def convolve_pmf(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Convolve two pmfs: the distribution of the sum of independent variables.
+
+    The result has length ``len(a) + len(b) - 1`` and sums to one
+    (up to floating-point noise) whenever the inputs do.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 1 or b.ndim != 1 or a.size == 0 or b.size == 0:
+        raise ParameterError("convolve_pmf expects two non-empty 1-D arrays")
+    return np.convolve(a, b)
+
+
+def binomial_mean(n: int, p: float) -> float:
+    """Mean of ``Bin(n, p)``; validates its arguments like :func:`binomial_pmf`."""
+    if n < 0:
+        raise ParameterError(f"binomial trial count must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ParameterError(f"binomial success probability must be in [0, 1], got {p}")
+    return n * p
+
+
+def validate_pmf(pmf: np.ndarray, *, name: str = "pmf") -> np.ndarray:
+    """Check that ``pmf`` is a valid probability mass function.
+
+    Returns the array unchanged on success so the call can be inlined.
+
+    Raises:
+        ParameterError: on negative entries or a sum that deviates from one
+            by more than :data:`PMF_ATOL`.
+    """
+    pmf = np.asarray(pmf, dtype=float)
+    if pmf.ndim != 1:
+        raise ParameterError(f"{name} must be 1-D, got shape {pmf.shape}")
+    if (pmf < -PMF_ATOL).any():
+        raise ParameterError(f"{name} has negative entries")
+    total = pmf.sum()
+    if abs(total - 1.0) > 1e-6:
+        raise ParameterError(f"{name} sums to {total}, expected 1")
+    return pmf
+
+
+def sample_pmf(pmf: np.ndarray, rng: np.random.Generator) -> int:
+    """Draw one index from a pmf using inverse-transform sampling."""
+    u = rng.random()
+    acc = 0.0
+    for idx, mass in enumerate(pmf):
+        acc += mass
+        if u < acc:
+            return idx
+    # Floating-point slack: return the last index with positive mass.
+    nonzero = np.flatnonzero(pmf > 0)
+    return int(nonzero[-1]) if nonzero.size else 0

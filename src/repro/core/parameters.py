@@ -1,0 +1,120 @@
+"""Model parameters for the multiphased download-evolution chain.
+
+Groups every symbol of paper Section 3 into a single validated,
+immutable :class:`ModelParameters` value:
+
+==============  =====================================================
+``num_pieces``  ``B`` — pieces the file is split into
+``max_conns``   ``k`` — maximum simultaneous active connections
+``ns_size``     ``s`` — (maximum achievable) neighbor-set size
+``p_init``      success probability of initial connection attempts
+``alpha``       bootstrap-escape probability (``= lambda*w*s / N``)
+``gamma``       last-phase-escape probability (new pieces flowing in)
+``p_reenc``     ``p_r`` — an established connection does not fail
+``p_new``       ``p_n`` — a new connection is established
+``phi``         swarm piece-count distribution feeding Eq. (1)
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.errors import ParameterError
+
+__all__ = ["ModelParameters", "alpha_from_swarm", "DEFAULT_PARAMETERS"]
+
+
+def _check_probability(value: float, name: str) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value}")
+
+
+def alpha_from_swarm(
+    arrival_rate: float,
+    tradeable_probability: float,
+    ns_size: int,
+    swarm_size: int,
+) -> float:
+    """Derive the bootstrap parameter ``alpha = lambda * w * s / N``.
+
+    Paper Section 3.2: ``lambda`` is the peer arrival rate, ``w`` the
+    probability that a newly arriving peer has a piece to exchange,
+    ``s`` the neighbor-set size and ``N`` the swarm population.  The
+    product is clamped to 1 since it is used as a per-step probability.
+    """
+    if arrival_rate < 0:
+        raise ParameterError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    _check_probability(tradeable_probability, "tradeable_probability")
+    if ns_size < 1:
+        raise ParameterError(f"ns_size must be >= 1, got {ns_size}")
+    if swarm_size < 1:
+        raise ParameterError(f"swarm_size must be >= 1, got {swarm_size}")
+    return min(1.0, arrival_rate * tradeable_probability * ns_size / swarm_size)
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """Validated parameter set for :class:`repro.core.chain.DownloadChain`.
+
+    Instances are immutable; derive variants with :meth:`with_changes`.
+    ``phi`` defaults to the uniform distribution — the trading-phase
+    equilibrium the paper derives in Section 6.
+    """
+
+    num_pieces: int
+    max_conns: int
+    ns_size: int
+    p_init: float = 0.5
+    alpha: float = 0.1
+    gamma: float = 0.1
+    p_reenc: float = 0.7
+    p_new: float = 0.7
+    phi: Optional[PieceCountDistribution] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.num_pieces < 1:
+            raise ParameterError(f"num_pieces must be >= 1, got {self.num_pieces}")
+        if self.max_conns < 1:
+            raise ParameterError(f"max_conns must be >= 1, got {self.max_conns}")
+        if self.ns_size < 1:
+            raise ParameterError(f"ns_size must be >= 1, got {self.ns_size}")
+        _check_probability(self.p_init, "p_init")
+        _check_probability(self.alpha, "alpha")
+        _check_probability(self.gamma, "gamma")
+        _check_probability(self.p_reenc, "p_reenc")
+        _check_probability(self.p_new, "p_new")
+        if self.phi is None:
+            object.__setattr__(
+                self, "phi", PieceCountDistribution.uniform(self.num_pieces)
+            )
+        elif self.phi.num_pieces != self.num_pieces:
+            raise ParameterError(
+                f"phi covers B={self.phi.num_pieces} pieces but "
+                f"num_pieces={self.num_pieces}"
+            )
+
+    def with_changes(self, **changes: object) -> "ModelParameters":
+        """Return a copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def state_count(self) -> int:
+        """Size of the full state space ``(k+1) * (B+1) * (s+1)``."""
+        return (self.max_conns + 1) * (self.num_pieces + 1) * (self.ns_size + 1)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by CLI output."""
+        return (
+            f"B={self.num_pieces} k={self.max_conns} s={self.ns_size} "
+            f"p_init={self.p_init} alpha={self.alpha} gamma={self.gamma} "
+            f"p_r={self.p_reenc} p_n={self.p_new} phi={self.phi!r}"
+        )
+
+
+#: The paper's canonical configuration: B=200 pieces, k=7 connections
+#: (the BitTorrent default of 4 uploads + optimistic unchokes is in this
+#: range), neighbor sets of 50 (paper: real clients use 40-70).
+DEFAULT_PARAMETERS = ModelParameters(num_pieces=200, max_conns=7, ns_size=50)

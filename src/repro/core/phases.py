@@ -1,0 +1,94 @@
+"""Phase classification for the multiphased download evolution (Sec. 3.2).
+
+The paper decomposes a peer's download into three phases:
+
+* **Bootstrap** — the peer is acquiring (or has just acquired) its
+  first piece and has not yet started trading: ``b + n <= 1``.
+  While ``(0, 1, 0)`` the peer is *stuck* in bootstrap and escapes with
+  per-step probability ``alpha``.
+* **Efficient download (trading)** — the potential set is non-empty
+  (``i > 0``) and pieces flow at rate ``n`` per step.  Most of the file
+  is downloaded here.
+* **Last download** — the potential set has collapsed to 0 while the
+  peer still misses pieces (``b + n > 1``, ``i == 0``); progress waits
+  on new pieces flowing into the neighborhood (probability ``gamma``
+  per step).
+* **Complete** — the absorbing state ``b == B``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.chain import State
+
+__all__ = ["Phase", "classify_state", "phase_durations", "phase_boundaries"]
+
+
+class Phase(enum.Enum):
+    """One of the paper's three download phases, plus completion."""
+
+    BOOTSTRAP = "bootstrap"
+    EFFICIENT = "efficient"
+    LAST = "last"
+    COMPLETE = "complete"
+
+    def __str__(self) -> str:  # nicer CLI / report output
+        return self.value
+
+
+def classify_state(state: "State", num_pieces: int) -> Phase:
+    """Map a chain state ``(n, b, i)`` to its phase.
+
+    Precedence: completion, then bootstrap (``b + n <= 1``), then the
+    last phase (``i == 0``), else the efficient/trading phase.
+    """
+    n, b, i = state
+    if b >= num_pieces:
+        return Phase.COMPLETE
+    if b + n <= 1:
+        return Phase.BOOTSTRAP
+    if i == 0:
+        return Phase.LAST
+    return Phase.EFFICIENT
+
+
+def phase_durations(
+    trajectory: Sequence["State"], num_pieces: int
+) -> Dict[Phase, int]:
+    """Count steps spent in each phase along a trajectory.
+
+    The terminal :attr:`Phase.COMPLETE` state contributes zero steps;
+    every non-terminal state contributes one.
+    """
+    durations: Dict[Phase, int] = {
+        Phase.BOOTSTRAP: 0,
+        Phase.EFFICIENT: 0,
+        Phase.LAST: 0,
+    }
+    for state in trajectory:
+        phase = classify_state(state, num_pieces)
+        if phase is Phase.COMPLETE:
+            break
+        durations[phase] += 1
+    return durations
+
+
+def phase_boundaries(
+    trajectory: Sequence["State"], num_pieces: int
+) -> Dict[Phase, tuple]:
+    """Return, per phase, the ``(first_step, last_step)`` it was observed.
+
+    Phases never entered are absent from the result.  Useful when
+    segmenting traces for the Figure-2 style plots.
+    """
+    bounds: Dict[Phase, tuple] = {}
+    for step, state in enumerate(trajectory):
+        phase = classify_state(state, num_pieces)
+        if phase not in bounds:
+            bounds[phase] = (step, step)
+        else:
+            bounds[phase] = (bounds[phase][0], step)
+    return bounds

@@ -1,0 +1,170 @@
+"""Piece-count distributions ``phi`` over the swarm (paper Eq. 1).
+
+``phi(j)`` is the fraction of peers in the swarm that currently hold
+exactly ``j`` complete pieces, for ``j = 1, ..., B``.  Peers holding zero
+pieces never contribute to anyone's potential set, so — following the
+paper — the support starts at 1.
+
+The paper argues (Section 6) that in the trading phase the protocol
+drives ``phi`` toward the uniform distribution; :meth:`uniform` is
+therefore the default everywhere.  Skewed variants are provided for the
+stability study, and :meth:`empirical` lets the distribution be measured
+from a running swarm and fed back into the analytical model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import DistributionError, ParameterError
+
+__all__ = ["PieceCountDistribution"]
+
+
+class PieceCountDistribution:
+    """Distribution of the number of pieces held by a random peer.
+
+    Wraps a pmf indexed ``1..B``.  Instances are immutable; construct
+    them through the factory classmethods.
+
+    Attributes:
+        num_pieces: ``B``, the number of pieces the file is split into.
+    """
+
+    __slots__ = ("num_pieces", "_pmf")
+
+    def __init__(self, num_pieces: int, pmf: np.ndarray):
+        if num_pieces < 1:
+            raise ParameterError(f"num_pieces must be >= 1, got {num_pieces}")
+        pmf = np.asarray(pmf, dtype=float)
+        if pmf.shape != (num_pieces,):
+            raise DistributionError(
+                f"pmf must have shape ({num_pieces},) for support 1..{num_pieces}, "
+                f"got {pmf.shape}"
+            )
+        if (pmf < 0).any():
+            raise DistributionError("phi has negative probabilities")
+        total = pmf.sum()
+        if abs(total - 1.0) > 1e-6:
+            raise DistributionError(f"phi sums to {total}, expected 1")
+        self.num_pieces = int(num_pieces)
+        self._pmf = pmf / total
+        self._pmf.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, num_pieces: int) -> "PieceCountDistribution":
+        """Uniform ``phi(j) = 1/B`` — the trading-phase equilibrium shape."""
+        if num_pieces < 1:
+            raise ParameterError(f"num_pieces must be >= 1, got {num_pieces}")
+        return cls(num_pieces, np.full(num_pieces, 1.0 / num_pieces))
+
+    @classmethod
+    def point_mass(cls, num_pieces: int, at: int) -> "PieceCountDistribution":
+        """All peers hold exactly ``at`` pieces (useful in unit tests)."""
+        if not 1 <= at <= num_pieces:
+            raise ParameterError(f"point mass location {at} outside 1..{num_pieces}")
+        pmf = np.zeros(num_pieces)
+        pmf[at - 1] = 1.0
+        return cls(num_pieces, pmf)
+
+    @classmethod
+    def linear_skew(cls, num_pieces: int, *, toward_full: bool = True) -> "PieceCountDistribution":
+        """A linearly skewed swarm.
+
+        ``toward_full=True`` weights peers proportionally to their piece
+        count (a mature swarm: most peers are nearly done);
+        ``toward_full=False`` inverts it (a young swarm).  Used by the
+        stability experiments as a high-skew starting condition.
+        """
+        weights = np.arange(1, num_pieces + 1, dtype=float)
+        if not toward_full:
+            weights = weights[::-1].copy()
+        return cls(num_pieces, weights / weights.sum())
+
+    @classmethod
+    def truncated_geometric(cls, num_pieces: int, ratio: float) -> "PieceCountDistribution":
+        """``phi(j) proportional to ratio**j`` on ``1..B``.
+
+        ``ratio < 1`` concentrates mass on low piece counts, ``ratio > 1``
+        on high ones, ``ratio == 1`` recovers the uniform distribution.
+        """
+        if ratio <= 0:
+            raise ParameterError(f"ratio must be > 0, got {ratio}")
+        exponents = np.arange(1, num_pieces + 1, dtype=float)
+        # Normalise in log-space for numerical robustness with large B.
+        logs = exponents * np.log(ratio)
+        logs -= logs.max()
+        weights = np.exp(logs)
+        return cls(num_pieces, weights / weights.sum())
+
+    @classmethod
+    def empirical(
+        cls, num_pieces: int, counts: Mapping[int, float] | Iterable[int]
+    ) -> "PieceCountDistribution":
+        """Build ``phi`` from observed piece counts.
+
+        Args:
+            num_pieces: ``B``.
+            counts: either a mapping ``{j: weight}`` or an iterable of
+                per-peer piece counts.  Peers with 0 pieces (or ``> B``)
+                are rejected — they are outside ``phi``'s support; filter
+                them out before calling.
+        """
+        pmf = np.zeros(num_pieces)
+        if isinstance(counts, Mapping):
+            items = counts.items()
+        else:
+            observed: dict[int, float] = {}
+            for j in counts:
+                observed[j] = observed.get(j, 0.0) + 1.0
+            items = observed.items()
+        for j, weight in items:
+            if not 1 <= j <= num_pieces:
+                raise DistributionError(
+                    f"piece count {j} outside support 1..{num_pieces}"
+                )
+            if weight < 0:
+                raise DistributionError(f"negative weight {weight} for count {j}")
+            pmf[j - 1] += weight
+        total = pmf.sum()
+        if total <= 0:
+            raise DistributionError("empirical phi has no mass")
+        return cls(num_pieces, pmf / total)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pmf(self, j: int) -> float:
+        """``phi(j)``: the fraction of peers holding exactly ``j`` pieces."""
+        if not 1 <= j <= self.num_pieces:
+            return 0.0
+        return float(self._pmf[j - 1])
+
+    def as_array(self) -> np.ndarray:
+        """Return the pmf over ``j = 1..B`` as a read-only array of length B."""
+        return self._pmf
+
+    def mean(self) -> float:
+        """Expected piece count of a random peer."""
+        return float(np.arange(1, self.num_pieces + 1) @ self._pmf)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PieceCountDistribution):
+            return NotImplemented
+        return self.num_pieces == other.num_pieces and np.allclose(
+            self._pmf, other._pmf
+        )
+
+    def __hash__(self) -> int:  # immutable value type
+        return hash((self.num_pieces, self._pmf.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"PieceCountDistribution(B={self.num_pieces}, "
+            f"mean={self.mean():.2f})"
+        )

@@ -1,0 +1,126 @@
+"""Trading power ``p(b+n)`` — paper Eq. (1).
+
+``p(c)`` is the probability that a randomly selected peer has at least
+one piece to exchange with a peer ``P`` holding ``c = b + n`` complete
+pieces, given the swarm-wide piece-count distribution ``phi``.
+
+Eq. (1) splits the other peer ``Q`` by its piece count ``j``:
+
+* ``j > c``: Q has *more* pieces.  Q has nothing for P only if all of
+  P's ``c`` pieces are among Q's ``j`` — probability
+  ``C(j, c) / C(B, c)``.
+* ``j <= c``: Q has *fewer or equal* pieces.  P has nothing from Q only
+  if all of Q's ``j`` pieces are among P's ``c`` — probability
+  ``C(c, j) / C(B, j)``.
+
+Both binomial-coefficient ratios are evaluated as telescoping products,
+which is exact in the ranges involved and immune to the overflow a naive
+``comb(B, c)`` evaluation would hit for ``B`` in the hundreds.
+
+The shape the paper highlights (Section 3.2): with uniform ``phi``,
+``p(c)`` rises from about 0.5 at ``c = 1`` to its maximum near
+``c = B/2`` and falls back to about 0.5 at ``c = B - 1``; ``p(B) = 0``
+(a complete peer has nothing left to *receive*, hence strict tit-for-tat
+gives it no exchange partner).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.errors import ParameterError
+
+__all__ = [
+    "exchange_probability",
+    "exchange_probability_curve",
+    "binomial_ratio",
+]
+
+
+def binomial_ratio(top: int, bottom: int, choose: int) -> float:
+    """Return ``C(top, choose) / C(bottom, choose)`` for ``top <= bottom``.
+
+    Computed as ``prod_{t=0}^{choose-1} (top - t) / (bottom - t)``.
+    When ``choose > top`` the numerator coefficient is zero and so is the
+    ratio.  ``choose == 0`` gives 1 (both coefficients are 1).
+
+    Raises:
+        ParameterError: if ``top > bottom``, any argument is negative, or
+            ``choose > bottom``.
+    """
+    if top < 0 or bottom < 0 or choose < 0:
+        raise ParameterError(
+            f"binomial_ratio arguments must be non-negative, got "
+            f"top={top}, bottom={bottom}, choose={choose}"
+        )
+    if top > bottom:
+        raise ParameterError(f"binomial_ratio requires top <= bottom, got {top} > {bottom}")
+    if choose > bottom:
+        raise ParameterError(f"choose={choose} exceeds bottom={bottom}")
+    if choose > top:
+        return 0.0
+    ratio = 1.0
+    for t in range(choose):
+        ratio *= (top - t) / (bottom - t)
+    return ratio
+
+
+def exchange_probability(
+    pieces_held: int,
+    num_pieces: int,
+    phi: PieceCountDistribution,
+) -> float:
+    """``p(c)`` of paper Eq. (1): probability a random peer can trade with P.
+
+    Args:
+        pieces_held: ``c = b + n``, P's count of complete pieces
+            (downloaded plus those committed on active connections).
+        num_pieces: ``B``, the total number of pieces in the file.
+        phi: swarm piece-count distribution (must have the same ``B``).
+
+    Returns:
+        A probability in ``[0, 1]``.  Defined as 0 for ``c == 0`` (a peer
+        with nothing cannot trade under strict tit-for-tat) and equals 0
+        at ``c == B``.
+    """
+    if num_pieces < 1:
+        raise ParameterError(f"num_pieces must be >= 1, got {num_pieces}")
+    if phi.num_pieces != num_pieces:
+        raise ParameterError(
+            f"phi is over B={phi.num_pieces} pieces but num_pieces={num_pieces}"
+        )
+    if not 0 <= pieces_held <= num_pieces:
+        raise ParameterError(
+            f"pieces_held={pieces_held} outside 0..{num_pieces}"
+        )
+    c = pieces_held
+    if c == 0:
+        return 0.0
+
+    total = 0.0
+    # Case 1: peers with j > c pieces. Q useless iff all of P's c pieces
+    # are within Q's j: probability C(j, c) / C(B, c).
+    for j in range(c + 1, num_pieces + 1):
+        weight = phi.pmf(j)
+        if weight == 0.0:
+            continue
+        total += weight * (1.0 - binomial_ratio(j, num_pieces, c))
+    # Case 2: peers with j <= c pieces. Q useless to P iff all of Q's j
+    # pieces are within P's c: probability C(c, j) / C(B, j).
+    for j in range(1, c + 1):
+        weight = phi.pmf(j)
+        if weight == 0.0:
+            continue
+        total += weight * (1.0 - binomial_ratio(c, num_pieces, j))
+    # Clamp floating noise.
+    return min(max(total, 0.0), 1.0)
+
+
+def exchange_probability_curve(
+    num_pieces: int, phi: PieceCountDistribution
+) -> np.ndarray:
+    """Vector of ``p(c)`` for ``c = 0..B`` (index ``c`` holds ``p(c)``)."""
+    return np.array(
+        [exchange_probability(c, num_pieces, phi) for c in range(num_pieces + 1)]
+    )

@@ -1,0 +1,252 @@
+"""Transition kernels ``f``, ``g``, ``h`` of the download chain (Eqs. 2-3).
+
+The chain state is ``(n, b, i)`` — active connections, downloaded
+pieces, potential-set size.  The paper factors the transition
+probability as::
+
+    Pr{(n,b,i) -> (n',b',i')} = f(b'|n,b) * g(i'|n,b,i) * h(n'|n,b,i')
+
+reflecting the update order: pieces first, then the potential set, then
+the connections (which are capped by the *new* potential set ``i'``).
+
+Conventions used throughout:
+
+* ``c = min(b + n, B)`` is the peer's *trading power input* — pieces it
+  can commit to exchanges (downloaded plus in-flight on the ``n``
+  active connections), clamped at ``B``.
+* ``b == B`` dominates every kernel (the absorbing row of Eqs. 2-3).
+
+The kernels are exposed both as pmf builders (exact analysis, tests)
+and through :class:`TransitionKernel`, which caches the expensive
+pieces (the ``p(c)`` curve and the binomial convolutions) for fast
+Monte-Carlo stepping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.binomial import binomial_pmf, convolve_pmf
+from repro.core.parameters import ModelParameters
+from repro.core.trading_power import exchange_probability_curve
+from repro.errors import ParameterError
+
+__all__ = [
+    "piece_successor",
+    "potential_set_pmf",
+    "connection_pmf",
+    "TransitionKernel",
+]
+
+
+def piece_successor(n: int, b: int, num_pieces: int) -> int:
+    """``f`` of Eq. (2) collapsed to its deterministic successor.
+
+    * ``b == 0`` → ``b' = 1`` (first piece arrives via seeds or
+      optimistic unchoking, regardless of connections);
+    * ``b >= 1`` → ``b' = min(b + n, B)`` (one piece per active
+      connection per step, capped at the file size).
+    """
+    if b < 0 or b > num_pieces:
+        raise ParameterError(f"b={b} outside 0..{num_pieces}")
+    if n < 0:
+        raise ParameterError(f"n={n} must be >= 0")
+    if b == 0:
+        return 1
+    return min(b + n, num_pieces)
+
+
+def _trading_power_input(n: int, b: int, num_pieces: int) -> int:
+    """``c = min(b + n, B)``: complete-piece count entering Eq. (1)."""
+    return min(b + n, num_pieces)
+
+
+def potential_set_pmf(
+    n: int,
+    b: int,
+    i: int,
+    params: ModelParameters,
+    *,
+    p_curve: np.ndarray | None = None,
+) -> np.ndarray:
+    """``g(i' | n, b, i)`` of Eq. (2) as a pmf over ``i' = 0..s``.
+
+    Branches, in the paper's order (``c = min(b+n, B)``):
+
+    1. ``b == B`` — the download is complete: ``i' = 0``.
+    2. ``c == 0`` — the peer just joined: ``i' ~ Bin(s, p_init)``.
+    3. ``c == 1 and i == 0`` — stuck in bootstrap: escape with
+       probability ``alpha``.
+    4. ``i > 0`` (with ``c >= 1``) — trading phase:
+       ``i' ~ Bin(s, p(c))``.
+    5. ``c > 1 and i == 0`` — last download phase: escape with
+       probability ``gamma``.
+
+    Args:
+        p_curve: optional precomputed ``p(c)`` curve (index ``c``);
+            computed on the fly when omitted.
+    """
+    s = params.ns_size
+    num_pieces = params.num_pieces
+    if not 0 <= i <= s:
+        raise ParameterError(f"i={i} outside 0..{s}")
+    pmf = np.zeros(s + 1)
+    c = _trading_power_input(n, b, num_pieces)
+
+    if b == num_pieces:
+        pmf[0] = 1.0
+        return pmf
+    if c == 0:
+        binom = binomial_pmf(s, params.p_init)
+        pmf[: binom.size] = binom
+        return pmf
+    if i == 0:
+        escape = params.alpha if c == 1 else params.gamma
+        pmf[1] = escape
+        pmf[0] = 1.0 - escape
+        return pmf
+    # Trading phase: i' ~ Bin(s, p(c)).
+    if p_curve is None:
+        p_curve = exchange_probability_curve(num_pieces, params.phi)
+    binom = binomial_pmf(s, float(p_curve[c]))
+    pmf[: binom.size] = binom
+    return pmf
+
+
+def connection_pmf(
+    n: int,
+    b: int,
+    i_next: int,
+    params: ModelParameters,
+) -> np.ndarray:
+    """``h(n' | n, b, i')`` of Eq. (3) as a pmf over ``n' = 0..k``.
+
+    * ``b == B`` or ``c == 0`` → ``n' = 0`` deterministically;
+    * otherwise ``n' = Y1 + Y2`` with ``Y1 ~ Bin(n, p_r)`` (surviving
+      re-encounters) and ``Y2 ~ Bin(max(min(i', k) - n, 0), p_n)`` (new
+      connections filling the slots the new potential set allows).
+
+    Since ``Y1 <= n <= k`` and ``Y2 <= min(i', k) - n`` (when positive),
+    the sum never exceeds ``k`` and the returned pmf has length
+    ``k + 1``.
+    """
+    k = params.max_conns
+    num_pieces = params.num_pieces
+    if not 0 <= n <= k:
+        raise ParameterError(f"n={n} outside 0..{k}")
+    if i_next < 0 or i_next > params.ns_size:
+        raise ParameterError(f"i'={i_next} outside 0..{params.ns_size}")
+    pmf = np.zeros(k + 1)
+    c = _trading_power_input(n, b, num_pieces)
+    if b == num_pieces or c == 0:
+        pmf[0] = 1.0
+        return pmf
+    survivors = binomial_pmf(n, params.p_reenc)
+    new_trials = max(min(i_next, k) - n, 0)
+    fresh = binomial_pmf(new_trials, params.p_new)
+    total = convolve_pmf(survivors, fresh)
+    if total.size > k + 1:
+        # Cannot happen by construction (see docstring); guard anyway.
+        overflow = total[k + 1 :].sum()
+        total = total[: k + 1].copy()
+        total[k] += overflow
+    pmf[: total.size] = total
+    return pmf
+
+
+class TransitionKernel:
+    """Cached, sampling-ready transition kernel for one parameter set.
+
+    Precomputes the trading-power curve ``p(c)`` and memoises every
+    binomial pmf and convolution encountered, so a Monte-Carlo step
+    costs two table lookups plus two inverse-transform draws.
+    """
+
+    def __init__(self, params: ModelParameters):
+        self.params = params
+        self._p_curve = exchange_probability_curve(params.num_pieces, params.phi)
+        self._g_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._h_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._g_cum_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._h_cum_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    @property
+    def p_curve(self) -> np.ndarray:
+        """Precomputed ``p(c)`` for ``c = 0..B`` (paper Eq. 1)."""
+        return self._p_curve
+
+    # -- g -------------------------------------------------------------
+    def _g_key(self, n: int, b: int, i: int) -> Tuple[int, int, int]:
+        # g depends on (c, whether i == 0, whether b == B); collapse the
+        # state into that minimal key so the cache stays small.
+        num_pieces = self.params.num_pieces
+        if b == num_pieces:
+            return (-1, 0, 0)
+        c = _trading_power_input(n, b, num_pieces)
+        return (c, int(i == 0), 0)
+
+    def g_pmf(self, n: int, b: int, i: int) -> np.ndarray:
+        key = self._g_key(n, b, i)
+        pmf = self._g_cache.get(key)
+        if pmf is None:
+            pmf = potential_set_pmf(n, b, i, self.params, p_curve=self._p_curve)
+            pmf.setflags(write=False)
+            self._g_cache[key] = pmf
+            self._g_cum_cache[key] = np.cumsum(pmf)
+        return pmf
+
+    # -- h -------------------------------------------------------------
+    def _h_key(self, n: int, b: int, i_next: int) -> Tuple[int, int]:
+        num_pieces = self.params.num_pieces
+        k = self.params.max_conns
+        if b == num_pieces or _trading_power_input(n, b, num_pieces) == 0:
+            return (-1, 0)
+        return (n, max(min(i_next, k) - n, 0))
+
+    def h_pmf(self, n: int, b: int, i_next: int) -> np.ndarray:
+        key = self._h_key(n, b, i_next)
+        pmf = self._h_cache.get(key)
+        if pmf is None:
+            pmf = connection_pmf(n, b, i_next, self.params)
+            pmf.setflags(write=False)
+            self._h_cache[key] = pmf
+            self._h_cum_cache[key] = np.cumsum(pmf)
+        return pmf
+
+    # -- sampling --------------------------------------------------------
+    def sample_i_next(self, n: int, b: int, i: int, rng: np.random.Generator) -> int:
+        self.g_pmf(n, b, i)  # populate caches
+        cum = self._g_cum_cache[self._g_key(n, b, i)]
+        return int(np.searchsorted(cum, rng.random(), side="right"))
+
+    def sample_n_next(
+        self, n: int, b: int, i_next: int, rng: np.random.Generator
+    ) -> int:
+        self.h_pmf(n, b, i_next)
+        cum = self._h_cum_cache[self._h_key(n, b, i_next)]
+        return int(np.searchsorted(cum, rng.random(), side="right"))
+
+    # -- exact kernel ------------------------------------------------------
+    def transition_distribution(
+        self, n: int, b: int, i: int
+    ) -> Dict[Tuple[int, int, int], float]:
+        """Full successor distribution of state ``(n, b, i)``.
+
+        Returns a dict ``{(n', b', i'): probability}`` whose values sum
+        to 1; used by exact hitting-time analysis and kernel tests.
+        """
+        b_next = piece_successor(n, b, self.params.num_pieces) if b < self.params.num_pieces else b
+        out: Dict[Tuple[int, int, int], float] = {}
+        g = self.g_pmf(n, b, i)
+        for i_next, gi in enumerate(g):
+            if gi == 0.0:
+                continue
+            h = self.h_pmf(n, b, i_next)
+            for n_next, hn in enumerate(h):
+                if hn == 0.0:
+                    continue
+                state = (n_next, b_next, i_next)
+                out[state] = out.get(state, 0.0) + float(gi * hn)
+        return out

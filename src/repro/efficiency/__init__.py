@@ -1,0 +1,61 @@
+"""Connection-efficiency model (Section 5 of the paper).
+
+Models the swarm-wide distribution ``x_0 .. x_k`` of peers over their
+number of active connections as a migration-process Markov chain:
+
+* downward transitions (connection failures) with binomial weights
+  ``w^i_l = C(i, l) (1 - p_r)^l p_r^(i - l)`` — paper Eq. (4);
+* upward transitions (connection formation between peers with open
+  slots) — paper Eqs. (5)-(6);
+
+and reports the efficiency ``eta = (1/k) * sum(i * x_i)``.
+"""
+
+from repro.efficiency.balance import (
+    BalanceResult,
+    failure_weights,
+    iterate_balance,
+    downward_sweep,
+    upward_sweep,
+)
+from repro.efficiency.balance import balance_flow
+from repro.efficiency.birth_death import birth_death_equilibrium
+from repro.efficiency.efficiency import efficiency_curve, efficiency_eta
+from repro.efficiency.lifetime import ConnectionLifetimeModel
+from repro.efficiency.multiclass import (
+    MulticlassResult,
+    PeerClass,
+    multiclass_balance,
+)
+
+__all__ = [
+    "BalanceResult",
+    "failure_weights",
+    "iterate_balance",
+    "downward_sweep",
+    "upward_sweep",
+    "balance_flow",
+    "birth_death_equilibrium",
+    "efficiency_curve",
+    "efficiency_eta",
+    "ConnectionLifetimeModel",
+    "MulticlassResult",
+    "PeerClass",
+    "multiclass_balance",
+    "MeasuredPoint",
+    "measure_connection_rates",
+    "calibrated_efficiency_curve",
+]
+
+_LAZY = {"MeasuredPoint", "measure_connection_rates", "calibrated_efficiency_curve"}
+
+
+def __getattr__(name: str):
+    # The measurement loop depends on the simulator, which depends on
+    # this package's balance metrics — resolved lazily to avoid the
+    # import cycle.
+    if name in _LAZY:
+        from repro.efficiency import measurement
+
+        return getattr(measurement, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

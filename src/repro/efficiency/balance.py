@@ -1,0 +1,274 @@
+"""Balance-equation iteration for the connection-occupancy chain (Sec. 5).
+
+State: the vector ``x = (x_0, ..., x_k)`` of fractions of peers having
+``i`` active connections.  One iteration round applies
+
+1. the **downward sweep** — connection failures.  A peer with ``l``
+   active connections keeps each independently with probability ``p_r``,
+   so class ``l`` mass is redistributed binomially over classes
+   ``0..l``.  This is paper Eq. (4): the loss term
+   ``x_i * sum_{l=1..i} w^i_l`` and gain term
+   ``sum_{l>i} w^l_{l-i} x_l`` are exactly binomial thinning.
+2. the **upward sweep** — connection formation.  Classes are processed
+   in increasing order (paper: "we update x0 first, followed by x1,
+   ..."), and for each initiating class ``i < k``: every class-``i``
+   peer attempts one connection; it succeeds iff the chosen partner has
+   an open slot (class ``l < k``, probability ``1 - x_k``).  A success
+   moves the initiator ``i -> i+1`` and the partner ``l -> l+1``; the
+   paper's special cases ``l = i-1`` (no net change in ``x_i``) and
+   ``l = i`` (two peers leave class ``i``) fall out of this bookkeeping,
+   matching the net rate ``(1 - x_{i-1} + x_i - x_k) x_i`` quoted before
+   Eq. (5).  Eqs. (5)-(6) express the same flows per single peer
+   (``1/N`` granularity); aggregating over the ``x_i * N`` attempting
+   peers cancels the ``1/N`` and yields the sweep implemented here.
+
+As the paper notes, the sequential increasing-``i`` order lets peers
+that just migrated upward connect again within the same round, so the
+fixed point **upper-bounds** the true efficiency; the discrepancy
+against the discrete-event simulator is largest at ``k = 1`` and
+shrinks below a few percent for ``k >= 2`` (Figure 3/4(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binomial import binomial_pmf
+from repro.errors import ConvergenceError, ParameterError
+
+__all__ = [
+    "BalanceResult",
+    "failure_weights",
+    "downward_sweep",
+    "upward_sweep",
+    "balance_flow",
+    "iterate_balance",
+]
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    """Fixed point of the balance equations.
+
+    Attributes:
+        x: equilibrium occupancy vector ``x_0..x_k`` (sums to 1).
+        eta: efficiency ``(1/k) * sum(i * x_i)``.
+        iterations: rounds used to converge.
+        residual: final L1 change between successive rounds.
+    """
+
+    x: np.ndarray
+    eta: float
+    iterations: int
+    residual: float
+
+
+def failure_weights(connections: int, p_reenc: float) -> np.ndarray:
+    """``w^i_l`` of Eq. (4): probability that ``l`` of ``i`` connections fail.
+
+    Returned as an array over ``l = 0..connections``; this is the pmf of
+    ``Bin(i, 1 - p_r)``.
+    """
+    return binomial_pmf(connections, 1.0 - p_reenc)
+
+
+def downward_sweep(x: np.ndarray, p_reenc: float) -> np.ndarray:
+    """Apply one round of connection failures (Eq. 4).
+
+    Mass-conserving binomial thinning: class ``l`` sends
+    ``C(l, l-i) (1-p_r)^{l-i} p_r^i`` of its mass to each class
+    ``i <= l``.
+    """
+    x = np.asarray(x, dtype=float)
+    k = x.size - 1
+    out = np.zeros_like(x)
+    for l in range(k + 1):
+        if x[l] == 0.0:
+            continue
+        # survivors ~ Bin(l, p_r): out[i] gains x[l] * Pr(survivors = i)
+        survive = binomial_pmf(l, p_reenc)
+        out[: l + 1] += x[l] * survive
+    return out
+
+
+def upward_sweep(x: np.ndarray) -> np.ndarray:
+    """Apply one round of connection formation (Eqs. 5-6).
+
+    Classes initiate in increasing order.  For initiating class ``i``,
+    with the *current* (partially updated) vector ``x``:
+
+    * initiators that find an open partner (``prob 1 - x_k``) move to
+      ``i + 1``;
+    * partners are drawn proportionally to their fraction among open
+      classes and each moves up one class.
+
+    The sweep conserves total mass exactly.  Two physical constraints
+    bound the per-round formation volume:
+
+    * **one initiation per peer per round** — mass that already moved up
+      during this sweep (as initiator or partner) is tracked in a
+      ``moved`` vector and does not initiate again from its new class;
+    * a **congestion cap** scales flows down whenever a class would be
+      drained below zero (more connections cannot form than there are
+      open peers to form them).
+
+    Without the first constraint, low survival probabilities would
+    paradoxically *raise* the fixed-point efficiency: the large idle
+    mass would chain up through every class within a single sweep.
+    """
+    x = np.asarray(x, dtype=float).copy()
+    k = x.size - 1
+    if k == 0:
+        raise ParameterError("upward_sweep needs k >= 1 (x of length >= 2)")
+    moved = np.zeros_like(x)
+    for i in range(k):
+        eligible = min(max(x[i] - moved[i], 0.0), x[i])
+        if eligible <= 0.0:
+            continue
+        open_mass = 1.0 - x[k]
+        if open_mass <= 0.0:
+            break  # nobody left to connect to
+        # Initiators move up on success (partner found among open classes).
+        initiator_flow = eligible * open_mass
+        # Partners: one per successful attempt, drawn from open classes
+        # with probability x_l (paper: "occurs with probability x_l");
+        # sum(partner_flow) == initiator_flow by construction.
+        partner_flow = eligible * x[:k]
+        outflow = partner_flow.copy()
+        outflow[i] += initiator_flow
+        # Congestion cap: no class may lose more mass than it holds.
+        scale = 1.0
+        for l in range(k):
+            if outflow[l] > x[l] > 0.0:
+                scale = min(scale, x[l] / outflow[l])
+            elif outflow[l] > 0.0 and x[l] == 0.0:
+                scale = 0.0
+        if scale < 1.0:
+            initiator_flow *= scale
+            partner_flow = partner_flow * scale
+        x[i] -= initiator_flow
+        x[i + 1] += initiator_flow
+        moved[i + 1] += initiator_flow
+        x[:k] -= partner_flow
+        x[1 : k + 1] += partner_flow
+        moved[1 : k + 1] += partner_flow
+    return x
+
+
+def balance_flow(x: np.ndarray, p_reenc: float) -> np.ndarray:
+    """Net probability flow ``dx/dt`` of the balance equations.
+
+    Failure (downward) flow, per Eq. (4)'s per-connection failure
+    probability: each of a class-``l`` peer's ``l`` connections fails at
+    rate ``1 - p_r``, moving the peer down one class —
+    ``l * (1 - p_r) * x_l`` from ``l`` to ``l - 1``.
+
+    Formation (upward) flow, per Eqs. (5)-(6): every open peer (class
+    ``l < k``) attempts one connection per round; the partner is drawn
+    with probability ``x_j`` and the attempt fails iff the partner has
+    no open slot (class ``k``).  A success moves *two* peers up — the
+    initiator and the partner — so class ``l < k`` loses
+    ``x_l * (1 - x_k)`` as initiator and ``(1 - x_k) * x_l`` as chosen
+    partner: ``2 * x_l * (1 - x_k)`` up-flow in total.
+
+    The flow vector sums to zero (mass conservation).
+    """
+    x = np.asarray(x, dtype=float)
+    k = x.size - 1
+    if k < 1:
+        raise ParameterError("balance_flow needs k >= 1 (x of length >= 2)")
+    if not 0.0 <= p_reenc <= 1.0:
+        raise ParameterError(f"p_reenc must be in [0, 1], got {p_reenc}")
+    fail = 1.0 - p_reenc
+    flow = np.zeros_like(x)
+    open_mass = 1.0 - x[k]
+    for l in range(k + 1):
+        if l < k:
+            up = 2.0 * x[l] * open_mass
+            flow[l] -= up
+            flow[l + 1] += up
+        down = l * fail * x[l]
+        if down > 0.0:
+            flow[l] -= down
+            flow[l - 1] += down
+    return flow
+
+
+def iterate_balance(
+    max_conns: int,
+    p_reenc: float,
+    *,
+    x0: np.ndarray | None = None,
+    tol: float = 1e-9,
+    max_iterations: int = 200_000,
+    step: float = 0.1,
+) -> BalanceResult:
+    """Integrate the balance equations to their steady state.
+
+    Per the paper (citing Chung): the chain is unichain and aperiodic, so
+    "by iterating this set of equations, the state of the system
+    converges to the steady-state distribution".  The iteration is an
+    explicit Euler integration of :func:`balance_flow`; the step is
+    small enough that classes never go negative for probabilities in
+    range.
+
+    Args:
+        max_conns: ``k``, the maximum simultaneous connections.
+        p_reenc: ``p_r``, probability an established connection survives
+            a round.
+        x0: optional starting occupancy (defaults to everyone at 0
+            connections, the state of a freshly bootstrapped swarm).
+        tol: L1 convergence threshold between successive iterations.
+        max_iterations: iteration budget.
+        step: Euler step size.
+
+    Raises:
+        ConvergenceError: if the budget is exhausted first.
+    """
+    if max_conns < 1:
+        raise ParameterError(f"max_conns must be >= 1, got {max_conns}")
+    if not 0.0 <= p_reenc <= 1.0:
+        raise ParameterError(f"p_reenc must be in [0, 1], got {p_reenc}")
+    if not 0.0 < step <= 0.5:
+        raise ParameterError(f"step must be in (0, 0.5], got {step}")
+    if x0 is None:
+        x = np.zeros(max_conns + 1)
+        x[0] = 1.0
+    else:
+        x = np.asarray(x0, dtype=float).copy()
+        if x.shape != (max_conns + 1,):
+            raise ParameterError(
+                f"x0 must have shape ({max_conns + 1},), got {x.shape}"
+            )
+        if (x < 0).any() or abs(x.sum() - 1.0) > 1e-6:
+            raise ParameterError("x0 must be a probability vector")
+
+    residual = np.inf
+    for iteration in range(1, max_iterations + 1):
+        flow = balance_flow(x, p_reenc)
+        delta = step * flow
+        x = x + delta
+        # Clamp floating noise at the simplex boundary.
+        np.clip(x, 0.0, None, out=x)
+        total = x.sum()
+        if total > 0:
+            x /= total
+        residual = float(np.abs(delta).sum())
+        if residual < tol:
+            eta = efficiency_from_occupancy(x)
+            return BalanceResult(x=x, eta=eta, iterations=iteration, residual=residual)
+    raise ConvergenceError(
+        f"balance equations did not converge within {max_iterations} iterations "
+        f"(last residual {residual:.3e})"
+    )
+
+
+def efficiency_from_occupancy(x: np.ndarray) -> float:
+    """``eta = (1/k) * sum_i i * x_i`` — average utilisation of the k slots."""
+    x = np.asarray(x, dtype=float)
+    k = x.size - 1
+    if k < 1:
+        raise ParameterError("occupancy vector must cover classes 0..k with k >= 1")
+    return float(np.arange(k + 1) @ x / k)

@@ -1,0 +1,113 @@
+"""Birth-death cross-check for the connection-occupancy equilibrium.
+
+The paper observes that "the number of active connections at a peer
+evolves as a general birth/death process" (Section 5).  This module
+solves that formulation directly as an independent sanity check on the
+balance-equation iteration of :mod:`repro.efficiency.balance`:
+
+* death rate from class ``i``: each of the ``i`` connections fails
+  independently with probability ``1 - p_r`` per round, so the expected
+  downward flow is ``i * (1 - p_r)`` (we use the standard birth-death
+  single-step approximation);
+* birth rate from class ``i < k``: an attempt succeeds iff the partner
+  has an open slot, i.e. with probability ``1 - x_k`` — which depends on
+  the equilibrium itself, so the chain is solved self-consistently by a
+  fixed-point loop on the success probability.
+
+The two formulations agree on the qualitative Figure 3/4(a) result: a
+large efficiency gain from ``k = 1`` to ``k = 2`` and diminishing
+returns beyond.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.efficiency.balance import efficiency_from_occupancy
+from repro.errors import ConvergenceError, ParameterError
+
+__all__ = ["BirthDeathResult", "birth_death_equilibrium"]
+
+
+@dataclass(frozen=True)
+class BirthDeathResult:
+    """Self-consistent birth-death equilibrium.
+
+    Attributes:
+        x: equilibrium occupancy ``x_0..x_k``.
+        eta: efficiency ``(1/k) * sum(i * x_i)``.
+        success_probability: converged connection-formation success
+            probability ``1 - x_k``.
+        iterations: fixed-point iterations used.
+    """
+
+    x: np.ndarray
+    eta: float
+    success_probability: float
+    iterations: int
+
+
+def _stationary_for_success(k: int, p_reenc: float, success: float) -> np.ndarray:
+    """Stationary vector of the birth-death chain for a fixed success prob.
+
+    Detailed balance: ``x_{i+1} / x_i = birth_i / death_{i+1}``
+    with ``birth_i = success`` and ``death_{i+1} = (i + 1) * (1 - p_r)``.
+    """
+    fail = 1.0 - p_reenc
+    x = np.zeros(k + 1)
+    x[0] = 1.0
+    for i in range(k):
+        death = (i + 1) * fail
+        if death == 0.0:
+            # p_r == 1: connections never fail; all mass drifts to k.
+            x[: i + 1] = 0.0
+            x[i + 1] = 1.0
+            continue
+        x[i + 1] = x[i] * success / death
+    total = x.sum()
+    return x / total
+
+
+def birth_death_equilibrium(
+    max_conns: int,
+    p_reenc: float,
+    *,
+    tol: float = 1e-12,
+    max_iterations: int = 10_000,
+    damping: float = 0.5,
+) -> BirthDeathResult:
+    """Solve the self-consistent birth-death occupancy equilibrium.
+
+    Iterates ``success = 1 - x_k`` against the stationary distribution it
+    induces, with damping for robustness near ``p_r = 1``.
+
+    Raises:
+        ConvergenceError: if the fixed point is not reached in budget.
+    """
+    if max_conns < 1:
+        raise ParameterError(f"max_conns must be >= 1, got {max_conns}")
+    if not 0.0 <= p_reenc <= 1.0:
+        raise ParameterError(f"p_reenc must be in [0, 1], got {p_reenc}")
+    if not 0.0 < damping <= 1.0:
+        raise ParameterError(f"damping must be in (0, 1], got {damping}")
+
+    success = 0.5
+    x = _stationary_for_success(max_conns, p_reenc, success)
+    for iteration in range(1, max_iterations + 1):
+        new_success = 1.0 - float(x[max_conns])
+        success = (1.0 - damping) * success + damping * new_success
+        new_x = _stationary_for_success(max_conns, p_reenc, success)
+        if np.abs(new_x - x).sum() < tol:
+            x = new_x
+            return BirthDeathResult(
+                x=x,
+                eta=efficiency_from_occupancy(x),
+                success_probability=success,
+                iterations=iteration,
+            )
+        x = new_x
+    raise ConvergenceError(
+        f"birth-death fixed point did not converge in {max_iterations} iterations"
+    )

@@ -1,0 +1,112 @@
+"""Connection-lifetime model: the paper's explanation of the k=1->2 jump.
+
+Section 5 of the paper attributes the efficiency gain from ``k = 1`` to
+``k = 2`` to connection *durations*:
+
+    "For k = 1, the duration of a connection is determined by the
+    number of exchangeable pieces at the start of the connection.
+    However, for k > 2, peers maintain multiple simultaneous
+    connections.  Therefore, new pieces are simultaneously arriving at
+    the peers, which can also be exchanged.  Thus, the expected duration
+    of connections increases significantly by increasing k from 1 to 2.
+    Longer duration of established connections implies low re-encounter
+    probabilities, and hence a high efficiency of the system."
+
+This module turns that argument into a quantitative model of the
+re-encounter survival probability ``p_r(k)``:
+
+* a freshly established connection starts with an exchangeable pool of
+  ``initial_pool`` pieces (pieces the two endpoints can still trade);
+* every round consumes one piece of the pool;
+* every round, each of the peer's *other* ``k - 1`` connections
+  delivers a new piece, useful to this partner with probability
+  ``usefulness`` — so the pool drains at net rate
+  ``1 - (k - 1) * usefulness`` per round;
+* the connection cannot outlive the endpoints' downloads, capping the
+  lifetime at ``residual_cap`` rounds (mid-download residual, of order
+  ``B / (2k)``).
+
+The expected lifetime ``L(k)`` then yields the per-round survival
+probability ``p_r(k) = 1 - 1/L(k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["ConnectionLifetimeModel"]
+
+
+@dataclass(frozen=True)
+class ConnectionLifetimeModel:
+    """Maps ``k`` to an expected connection lifetime and survival ``p_r(k)``.
+
+    Attributes:
+        initial_pool: expected number of exchangeable pieces between two
+            freshly connected neighbors.  Small in practice (pieces
+            within a neighborhood are correlated); default 5.
+        usefulness: probability that a piece arriving from a third
+            party is new to this connection's partner.  The default of
+            1.0 encodes the paper's own claim that the duration jump
+            happens exactly at ``k = 2`` ("for k > 2 ... new pieces are
+            simultaneously arriving at the peers, which can also be
+            exchanged"): with one other connection delivering a novel
+            piece per round, replenishment already matches consumption.
+            Lower values move the saturation point to larger ``k``.
+        residual_cap: upper bound on a connection's lifetime in rounds,
+            set by the endpoints completing their downloads.
+    """
+
+    initial_pool: float = 5.0
+    usefulness: float = 1.0
+    residual_cap: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.initial_pool < 1.0:
+            raise ParameterError(
+                f"initial_pool must be >= 1, got {self.initial_pool}"
+            )
+        if not 0.0 <= self.usefulness <= 1.0:
+            raise ParameterError(
+                f"usefulness must be in [0, 1], got {self.usefulness}"
+            )
+        if self.residual_cap < 1.0:
+            raise ParameterError(
+                f"residual_cap must be >= 1, got {self.residual_cap}"
+            )
+
+    def expected_lifetime(self, max_conns: int) -> float:
+        """Expected connection duration in rounds for a given ``k``."""
+        if max_conns < 1:
+            raise ParameterError(f"max_conns must be >= 1, got {max_conns}")
+        drain = 1.0 - (max_conns - 1) * self.usefulness
+        if drain <= 0.0:
+            # Replenishment matches or beats consumption: the pool never
+            # empties in expectation; the download's end is the only cap.
+            return self.residual_cap
+        return max(1.0, min(self.initial_pool / drain, self.residual_cap))
+
+    def survival_probability(self, max_conns: int) -> float:
+        """``p_r(k) = 1 - 1 / L(k)`` — per-round survival of a connection."""
+        return 1.0 - 1.0 / self.expected_lifetime(max_conns)
+
+    @classmethod
+    def for_file(
+        cls, num_pieces: int, *, initial_pool: float = 5.0, usefulness: float = 1.0
+    ) -> "ConnectionLifetimeModel":
+        """Build a model whose residual cap is derived from the file size.
+
+        Uses ``residual_cap = max(num_pieces / 4, 1)`` — a mid-download
+        peer at full parallelism has on the order of ``B / (2k)`` rounds
+        left; ``B / 4`` is the ``k = 2`` pivot the paper's argument
+        turns on.
+        """
+        if num_pieces < 1:
+            raise ParameterError(f"num_pieces must be >= 1, got {num_pieces}")
+        return cls(
+            initial_pool=initial_pool,
+            usefulness=usefulness,
+            residual_cap=max(num_pieces / 4.0, 1.0),
+        )

@@ -1,0 +1,124 @@
+"""Measured connection parameters and the calibrated model loop.
+
+The paper defines ``p_r`` as "the probability (averaged over all peers
+in the system) that an established encounter does not fail" and ``p_n``
+as the probability a new connection is established — i.e. both are
+*measured system averages*, not free constants.  This module closes
+that loop:
+
+1. run the discrete-event swarm for a given ``k`` and read the measured
+   ``p_r(k)`` / ``p_n(k)`` off the accumulated connection statistics;
+2. feed the measured ``p_r(k)`` into the Section-5 balance equations to
+   obtain a *calibrated* model efficiency.
+
+The calibrated curve is the apples-to-apples companion of the
+lifetime-model curve in :mod:`repro.efficiency.efficiency`: the latter
+predicts ``p_r(k)`` from first principles, the former measures it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.efficiency.balance import iterate_balance
+from repro.errors import ParameterError
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.sim.swarm import Swarm
+
+__all__ = ["MeasuredPoint", "measure_connection_rates", "calibrated_efficiency_curve"]
+
+
+@dataclass(frozen=True)
+class MeasuredPoint:
+    """One ``k`` of the calibrated sweep.
+
+    Attributes:
+        max_conns: ``k``.
+        p_reenc / p_new: measured system-average survival and formation
+            probabilities.
+        sim_eta: efficiency measured directly from occupancy.
+        model_eta: balance-equation efficiency at the *measured*
+            ``p_r`` — the calibrated model line.
+    """
+
+    max_conns: int
+    p_reenc: float
+    p_new: float
+    sim_eta: float
+    model_eta: float
+
+
+def _default_config(max_conns: int, seed: int) -> SimConfig:
+    return SimConfig(
+        num_pieces=60,
+        max_conns=max_conns,
+        ns_size=30,
+        arrival_process="poisson",
+        arrival_rate=4.0,
+        initial_leechers=80,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        optimistic_unchoke_prob=0.5,
+        connection_setup_prob=0.8,
+        connection_failure_prob=0.1,
+        matching="blind",
+        piece_selection="rarest",
+        max_time=120.0,
+        seed=seed,
+    )
+
+
+def measure_connection_rates(
+    config: SimConfig,
+) -> tuple:
+    """Run one swarm and return ``(p_r, p_n, sim_eta)`` system averages."""
+    metrics = MetricsCollector(config.max_conns, entropy_every=1_000_000)
+    swarm = Swarm(config, metrics=metrics)
+    result = swarm.run()
+    stats = result.connection_stats
+    return stats.p_reenc(), stats.p_new(), metrics.efficiency()
+
+
+def calibrated_efficiency_curve(
+    k_values: Sequence[int],
+    *,
+    config_factory=None,
+    seed: int = 0,
+) -> list:
+    """Measured-``p_r`` model line next to the simulated efficiency.
+
+    Args:
+        k_values: the ``k`` sweep.
+        config_factory: optional ``f(k, seed) -> SimConfig`` override of
+            the default dense-swarm configuration.
+        seed: base RNG seed (incremented per ``k``).
+
+    Returns:
+        A list of :class:`MeasuredPoint`, one per ``k``.
+    """
+    if not k_values:
+        raise ParameterError("k_values must be non-empty")
+    factory = config_factory or _default_config
+    points = []
+    for offset, k in enumerate(k_values):
+        config = factory(k, seed + offset)
+        p_reenc, p_new, sim_eta = measure_connection_rates(config)
+        if not 0.0 <= p_reenc <= 1.0:
+            raise ParameterError(
+                f"no connection events observed at k={k}; run too short?"
+            )
+        model_eta = iterate_balance(k, p_reenc).eta
+        points.append(
+            MeasuredPoint(
+                max_conns=k,
+                p_reenc=p_reenc,
+                p_new=p_new,
+                sim_eta=sim_eta,
+                model_eta=model_eta,
+            )
+        )
+    return points

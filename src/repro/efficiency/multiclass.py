@@ -1,0 +1,161 @@
+"""Multiclass connection-occupancy model (heterogeneous peers).
+
+The paper assumes homogeneous bandwidth and cites Venot-Perronnin,
+Nain & Ross [11] for the multiclass generalisation.  This module
+extends the Section-5 balance flows to peer classes that differ in
+their connection-survival probability ``p_r`` (slow uploaders get
+choked sooner) and/or their slot count ``k``:
+
+* each class ``c`` has its own occupancy vector ``x^c_0..x^c_{k_c}``;
+* failure flows act within a class, per connection, at rate
+  ``1 - p_r_c``;
+* formation couples the classes through a shared market: an attempt by
+  any open peer succeeds iff the partner — drawn across classes with
+  probability ``fraction_c * x^c_l`` — has an open slot, so the global
+  busy mass ``sum_c fraction_c * x^c_{k_c}`` throttles everyone
+  equally.
+
+The per-class efficiency ``eta_c`` and the population-weighted
+aggregate come out of the coupled fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.efficiency.balance import efficiency_from_occupancy
+from repro.errors import ConvergenceError, ParameterError
+
+__all__ = ["PeerClass", "MulticlassResult", "multiclass_balance"]
+
+
+@dataclass(frozen=True)
+class PeerClass:
+    """One peer class of the multiclass occupancy model.
+
+    Attributes:
+        fraction: population share (> 0; shares must sum to 1).
+        p_reenc: per-round connection-survival probability.
+        max_conns: the class's slot count ``k``.
+        label: display name.
+    """
+
+    fraction: float
+    p_reenc: float
+    max_conns: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fraction <= 0:
+            raise ParameterError(f"fraction must be > 0, got {self.fraction}")
+        if not 0.0 <= self.p_reenc <= 1.0:
+            raise ParameterError(f"p_reenc must be in [0, 1], got {self.p_reenc}")
+        if self.max_conns < 1:
+            raise ParameterError(f"max_conns must be >= 1, got {self.max_conns}")
+
+
+@dataclass
+class MulticlassResult:
+    """Coupled fixed point of the multiclass balance flows.
+
+    Attributes:
+        classes: the input classes.
+        occupancies: per class, the equilibrium ``x^c``.
+        etas: per class, ``eta_c``.
+        aggregate_eta: population-weighted efficiency.
+        iterations: Euler iterations to convergence.
+    """
+
+    classes: List[PeerClass]
+    occupancies: List[np.ndarray]
+    etas: List[float]
+    aggregate_eta: float
+    iterations: int
+
+
+def _busy_mass(classes: Sequence[PeerClass], xs: List[np.ndarray]) -> float:
+    return float(sum(c.fraction * x[-1] for c, x in zip(classes, xs)))
+
+
+def multiclass_balance(
+    classes: Sequence[PeerClass],
+    *,
+    tol: float = 1e-9,
+    max_iterations: int = 300_000,
+    step: float = 0.1,
+) -> MulticlassResult:
+    """Integrate the coupled per-class balance flows to their fixed point.
+
+    Raises:
+        ParameterError: for empty classes or fractions not summing to 1.
+        ConvergenceError: if the iteration budget is exhausted.
+    """
+    classes = list(classes)
+    if not classes:
+        raise ParameterError("need at least one peer class")
+    total = sum(c.fraction for c in classes)
+    if abs(total - 1.0) > 1e-6:
+        raise ParameterError(f"class fractions must sum to 1, got {total}")
+    if not 0.0 < step <= 0.5:
+        raise ParameterError(f"step must be in (0, 0.5], got {step}")
+
+    xs: List[np.ndarray] = []
+    for peer_class in classes:
+        x = np.zeros(peer_class.max_conns + 1)
+        x[0] = 1.0
+        xs.append(x)
+
+    for iteration in range(1, max_iterations + 1):
+        busy = _busy_mass(classes, xs)
+        open_mass = 1.0 - busy
+        residual = 0.0
+        new_xs: List[np.ndarray] = []
+        for peer_class, x in zip(classes, xs):
+            k = peer_class.max_conns
+            fail = 1.0 - peer_class.p_reenc
+            flow = np.zeros_like(x)
+            for l in range(k + 1):
+                if l < k:
+                    # Initiator flow: the class's open peers attempt; the
+                    # market-wide open mass gates success.  Partner flow:
+                    # this class is chosen as partner in proportion to its
+                    # share of the open population; the total attempting
+                    # mass across classes is open_mass, so the per-class
+                    # partner in-flow is open_mass * fraction-weighted —
+                    # expressed per *class-internal* fraction by dividing
+                    # the class's own share out again:
+                    up = x[l] * open_mass          # as initiator
+                    up += open_mass * x[l]         # as chosen partner
+                    flow[l] -= up
+                    flow[l + 1] += up
+                down = l * fail * x[l]
+                if down > 0.0:
+                    flow[l] -= down
+                    flow[l - 1] += down
+            delta = step * flow
+            x_new = x + delta
+            np.clip(x_new, 0.0, None, out=x_new)
+            mass = x_new.sum()
+            if mass > 0:
+                x_new /= mass
+            residual += float(np.abs(delta).sum())
+            new_xs.append(x_new)
+        xs = new_xs
+        if residual < tol:
+            etas = [efficiency_from_occupancy(x) for x in xs]
+            aggregate = float(
+                sum(c.fraction * eta for c, eta in zip(classes, etas))
+            )
+            return MulticlassResult(
+                classes=classes,
+                occupancies=xs,
+                etas=etas,
+                aggregate_eta=aggregate,
+                iterations=iteration,
+            )
+    raise ConvergenceError(
+        f"multiclass balance did not converge in {max_iterations} iterations"
+    )

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this package derive from
+:class:`ReproError`, so callers can catch package failures with a single
+``except ReproError`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or simulation parameter is out of its valid range."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A probability distribution is malformed (wrong support, sum != 1)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class TraceError(ReproError, ValueError):
+    """A download trace is malformed or fails schema validation."""

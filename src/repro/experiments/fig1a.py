@@ -1,0 +1,114 @@
+"""Figure 1(a): effect of the peer-set size on the potential set.
+
+The model chain is run for each peer-set size (PSS) and the normalised
+potential-set size E[ i / s | b ] is plotted against the number of
+downloaded pieces ``b``.  Paper setting: B = 200 pieces, PSS in
+{5, 10, 25, 40}.  Expected shape: ~0.5 near the first piece, a plateau
+near 1 around mid-download, a decline toward ~0.5 at the end; small PSS
+curves run lower/noisier and visit 0 (bootstrap/last phases occur).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.chain import DownloadChain
+from repro.core.exact import exact_potential_ratio
+from repro.core.parameters import ModelParameters
+from repro.core.timeline import potential_ratio_by_pieces
+from repro.errors import ParameterError
+
+__all__ = ["Fig1aResult", "run_fig1a"]
+
+
+@dataclass
+class Fig1aResult:
+    """Series for Figure 1(a).
+
+    Attributes:
+        pieces: x-axis, ``0..B``.
+        ratios: per PSS, the E[ i / s | b ] curve (NaN where ``b`` was
+            skipped by parallel arrivals).
+        params: per PSS, the model parameters used.
+    """
+
+    pieces: np.ndarray
+    ratios: Dict[int, np.ndarray]
+    params: Dict[int, ModelParameters]
+
+    def format(self, *, max_rows: int = 21) -> str:
+        """Printable rows: one column per PSS curve."""
+        pss_values = sorted(self.ratios)
+        idx = np.linspace(0, self.pieces.size - 1, max_rows).round().astype(int)
+        headers = ["pieces"] + [f"PSS={s}" for s in pss_values]
+        rows = []
+        for i in idx:
+            row = [int(self.pieces[i])]
+            for s in pss_values:
+                value = self.ratios[s][i]
+                row.append(float(value) if np.isfinite(value) else float("nan"))
+            rows.append(row)
+        return "Figure 1(a): potential-set size / neighbor-set size vs pieces\n" + \
+            format_table(headers, rows)
+
+
+def run_fig1a(
+    pss_values: Sequence[int] = (5, 10, 25, 40),
+    *,
+    num_pieces: int = 200,
+    max_conns: int = 7,
+    runs: int = 48,
+    seed: int = 0,
+    alpha: float = 0.2,
+    gamma: float = 0.2,
+    method: str = "monte-carlo",
+) -> Fig1aResult:
+    """Reproduce the Figure 1(a) model curves.
+
+    Args:
+        pss_values: neighbor-set sizes to sweep (paper: 5, 10, 25, 40).
+        num_pieces: ``B`` (paper: 200).
+        max_conns: ``k`` (paper: 7 — "more than k = 7 other peers").
+        runs: Monte-Carlo trajectories per PSS (``monte-carlo`` method).
+        alpha / gamma: bootstrap and last-phase escape probabilities.
+        method: ``"monte-carlo"`` (default; any scale) or ``"exact"``
+            (full distribution propagation — noise-free curves, small
+            parameter sets only: the reachable state space grows with
+            ``B * k * s``).
+    """
+    if not pss_values:
+        raise ParameterError("pss_values must be non-empty")
+    if method not in ("monte-carlo", "exact"):
+        raise ParameterError(
+            f"method must be 'monte-carlo' or 'exact', got {method!r}"
+        )
+    if method == "exact" and num_pieces > 64:
+        raise ParameterError(
+            "exact propagation is intended for small B (<= 64); "
+            "use method='monte-carlo' for paper-scale parameters"
+        )
+    ratios: Dict[int, np.ndarray] = {}
+    params: Dict[int, ModelParameters] = {}
+    pieces = np.arange(num_pieces + 1)
+    for offset, pss in enumerate(pss_values):
+        model = ModelParameters(
+            num_pieces=num_pieces,
+            max_conns=max_conns,
+            ns_size=pss,
+            alpha=alpha,
+            gamma=gamma,
+        )
+        chain = DownloadChain(model)
+        if method == "exact":
+            ratios[pss] = exact_potential_ratio(chain)
+        else:
+            result = potential_ratio_by_pieces(
+                chain, runs=runs, seed=seed + offset
+            )
+            ratios[pss] = result.ratio
+        params[pss] = model
+    return Fig1aResult(pieces=pieces, ratios=ratios, params=params)

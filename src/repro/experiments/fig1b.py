@@ -1,0 +1,178 @@
+"""Figure 1(b): evolution timeline — model vs. simulation.
+
+For each peer-set size (paper: 5 and 50, with B = 200 and k = 7), plot
+the time (in piece-exchange rounds) at which a peer first holds ``b``
+pieces, both from the model chain and from instrumented peers in the
+discrete-event swarm.  Expected shape: a near-linear trading phase;
+PSS = 5 runs much longer, with a bootstrap plateau at the start and a
+last-phase tail; the model tracks the simulation tightly for PSS = 50
+and looser (but with the same phases) for PSS = 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.chain import DownloadChain
+from repro.core.parameters import ModelParameters, alpha_from_swarm
+from repro.core.timeline import mean_timeline
+from repro.errors import ParameterError
+from repro.sim.config import SimConfig
+from repro.sim.swarm import Swarm
+
+__all__ = ["Fig1bResult", "run_fig1b", "sim_timeline"]
+
+
+@dataclass
+class Fig1bResult:
+    """Series for Figure 1(b).
+
+    Attributes:
+        pieces: x-axis, ``0..B``.
+        model: per PSS, mean first-passage rounds from the model.
+        sim: per PSS, mean first-passage rounds from the simulator
+            (NaN where no instrumented peer reached that count).
+        sim_completed: per PSS, how many instrumented peers finished.
+    """
+
+    pieces: np.ndarray
+    model: Dict[int, np.ndarray]
+    sim: Dict[int, np.ndarray]
+    sim_completed: Dict[int, int]
+
+    def format(self, *, max_rows: int = 21) -> str:
+        pss_values = sorted(self.model)
+        idx = np.linspace(0, self.pieces.size - 1, max_rows).round().astype(int)
+        headers = ["pieces"]
+        for s in pss_values:
+            headers += [f"model PSS={s}", f"sim PSS={s}"]
+        rows = []
+        for i in idx:
+            row = [int(self.pieces[i])]
+            for s in pss_values:
+                row.append(float(self.model[s][i]))
+                row.append(float(self.sim[s][i]))
+            rows.append(row)
+        return "Figure 1(b): evolution timeline (rounds to b pieces)\n" + \
+            format_table(headers, rows)
+
+
+def sim_timeline(
+    config: SimConfig,
+    *,
+    instrument: int = 8,
+    avoid_seeds: bool = True,
+) -> tuple:
+    """Average first-passage rounds to each piece count from a swarm run.
+
+    Instrumented peers start empty; each completed one contributes its
+    per-piece acquisition times (relative to its join, in rounds).
+
+    Returns:
+        ``(mean_rounds, completed_count)`` where ``mean_rounds`` has
+        ``B + 1`` entries (entry 0 is 0; unreached counts are NaN).
+    """
+    swarm = Swarm(
+        config,
+        instrument_first=instrument,
+        instrumented_avoid_seeds=avoid_seeds,
+    )
+    result = swarm.run()
+    num_pieces = config.num_pieces
+    sums = np.zeros(num_pieces + 1)
+    counts = np.zeros(num_pieces + 1)
+    completed = 0
+    for peer in result.instrumented:
+        times = peer.stats.piece_times
+        if len(times) < num_pieces:
+            continue  # only completed downloads give a full timeline
+        completed += 1
+        joined = peer.stats.joined_at
+        for b, t in enumerate(times[:num_pieces], start=1):
+            rounds = (t - joined) / config.piece_time
+            sums[b] += rounds
+            counts[b] += 1
+    with np.errstate(invalid="ignore"):
+        mean = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+    mean[0] = 0.0
+    return mean, completed
+
+
+def run_fig1b(
+    pss_values: Sequence[int] = (5, 50),
+    *,
+    num_pieces: int = 200,
+    max_conns: int = 7,
+    model_runs: int = 48,
+    sim_instrument: int = 8,
+    seed: int = 0,
+    p_reenc: float = 0.7,
+    p_new: float = 0.7,
+    arrival_rate: float = 1.5,
+    max_time: float = 800.0,
+) -> Fig1bResult:
+    """Reproduce Figure 1(b): model and simulation timelines per PSS.
+
+    Model and simulator share their friction parameters: the sim's
+    exogenous churn is ``1 - p_reenc`` and its handshake success is
+    ``p_new``; the model's bootstrap/last-phase escape probabilities
+    ``alpha`` (and ``gamma``, same inflow process) are derived from the
+    swarm via the paper's formula ``alpha = lambda * w * s / N``.
+    """
+    if not pss_values:
+        raise ParameterError("pss_values must be non-empty")
+    pieces = np.arange(num_pieces + 1)
+    model: Dict[int, np.ndarray] = {}
+    sim: Dict[int, np.ndarray] = {}
+    sim_completed: Dict[int, int] = {}
+    for offset, pss in enumerate(pss_values):
+        initial_leechers = max(60, 4 * pss)
+        alpha = alpha_from_swarm(
+            arrival_rate,
+            0.5,  # w: an arriving peer is tradable once half-filled on average
+            pss,
+            initial_leechers,
+        )
+        model_params = ModelParameters(
+            num_pieces=num_pieces,
+            max_conns=max_conns,
+            ns_size=pss,
+            alpha=alpha,
+            gamma=alpha,
+            p_reenc=p_reenc,
+            p_new=p_new,
+        )
+        timeline = mean_timeline(
+            DownloadChain(model_params), runs=model_runs, seed=seed + offset
+        )
+        model[pss] = timeline.mean_steps
+
+        config = SimConfig(
+            num_pieces=num_pieces,
+            max_conns=max_conns,
+            ns_size=pss,
+            arrival_process="poisson",
+            arrival_rate=arrival_rate,
+            initial_leechers=initial_leechers,
+            initial_distribution="uniform",
+            initial_fill=0.5,
+            num_seeds=1,
+            seed_upload_slots=2,
+            optimistic_unchoke_prob=0.5,
+            connection_setup_prob=p_new,
+            connection_failure_prob=1.0 - p_reenc,
+            matching="blind",
+            piece_selection="rarest",
+            max_time=max_time,
+            seed=seed + 1000 + offset,
+        )
+        sim[pss], sim_completed[pss] = sim_timeline(
+            config, instrument=sim_instrument
+        )
+    return Fig1bResult(
+        pieces=pieces, model=model, sim=sim, sim_completed=sim_completed
+    )

@@ -1,0 +1,90 @@
+"""Figure 2: the three download-evolution archetypes.
+
+Regenerates, from simulated swarms, the three instances the paper
+selected from its real-world traces:
+
+* 2(a, b) — smooth download: potential set large throughout;
+* 2(c, d) — significant last phase: potential set collapses late;
+* 2(e, f) — significant bootstrap: potential set stuck at 0 early.
+
+Each archetype yields one :class:`~repro.traces.schema.ClientTrace`
+with exactly the two plotted series (cumulative bytes, potential-set
+size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.reporting import format_series
+from repro.sim.config import SimConfig
+from repro.traces.analysis import classify_trace, phase_segments
+from repro.traces.schema import ClientTrace
+from repro.traces.synthetic import ARCHETYPES, generate_archetype
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """The three archetype traces for Figure 2.
+
+    Attributes:
+        traces: per archetype name, the matching trace.
+        configs: per archetype name, the swarm config that produced it.
+        labels: per archetype name, the classifier's label (equals the
+            archetype name by construction).
+    """
+
+    traces: Dict[str, ClientTrace]
+    configs: Dict[str, SimConfig]
+    labels: Dict[str, str]
+
+    def format(self, *, max_rows: int = 16) -> str:
+        blocks = []
+        for kind in ("smooth", "last", "bootstrap"):
+            trace = self.traces[kind]
+            spec = ARCHETYPES[kind]
+            segments = phase_segments(trace)
+            blocks.append(
+                f"Figure {spec.figure_panels} [{kind}] - label={self.labels[kind]} "
+                f"(bootstrap {segments.bootstrap:.0f}, efficient "
+                f"{segments.efficient:.0f}, last {segments.last:.0f})"
+            )
+            blocks.append(
+                format_series(
+                    "  cumulative bytes",
+                    trace.times(),
+                    trace.bytes_series(),
+                    max_rows=max_rows,
+                    x_label="t",
+                    y_label="bytes",
+                )
+            )
+            blocks.append(
+                format_series(
+                    "  potential-set size",
+                    trace.times(),
+                    trace.potential_series(),
+                    max_rows=max_rows,
+                    x_label="t",
+                    y_label="pss",
+                )
+            )
+        return "\n".join(blocks)
+
+
+def run_fig2(*, seed: int = 0, max_attempts: int = 8) -> Fig2Result:
+    """Generate all three Figure-2 archetypes."""
+    traces: Dict[str, ClientTrace] = {}
+    configs: Dict[str, SimConfig] = {}
+    labels: Dict[str, str] = {}
+    for kind in ("smooth", "last", "bootstrap"):
+        trace, config = generate_archetype(
+            kind, seed=seed, max_attempts=max_attempts
+        )
+        traces[kind] = trace
+        configs[kind] = config
+        labels[kind] = classify_trace(trace)
+    return Fig2Result(traces=traces, configs=configs, labels=labels)

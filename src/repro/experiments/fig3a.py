@@ -1,0 +1,128 @@
+"""Figure 3/4(a): impact of the maximum connections ``k`` on efficiency.
+
+Model line: the balance-equation fixed point of Section 5, with the
+per-``k`` connection-survival probability from the lifetime model (the
+paper's own explanation of why durations — and hence ``p_r`` — change
+with ``k``).  Simulation line: the time-averaged connection occupancy
+of a dense steady swarm, per ``k``.
+
+Expected shape: a pronounced efficiency gain from ``k = 1`` to
+``k = 2`` and little beyond; the model upper-bounds the simulation,
+with the largest relative gap (paper: >8%) at ``k = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.efficiency.efficiency import efficiency_curve
+from repro.efficiency.lifetime import ConnectionLifetimeModel
+from repro.errors import ParameterError
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.sim.swarm import Swarm
+
+__all__ = ["Fig3aResult", "run_fig3a", "sim_efficiency"]
+
+
+@dataclass
+class Fig3aResult:
+    """Series for Figure 3/4(a).
+
+    Attributes:
+        k_values: the swept ``k``.
+        model_eta: balance-equation efficiencies.
+        sim_eta: simulated efficiencies.
+        p_reenc: per-``k`` survival probabilities the model line used.
+    """
+
+    k_values: np.ndarray
+    model_eta: np.ndarray
+    sim_eta: np.ndarray
+    p_reenc: np.ndarray
+
+    def format(self) -> str:
+        rows = [
+            [int(k), float(m), float(s), float(pr)]
+            for k, m, s, pr in zip(
+                self.k_values, self.model_eta, self.sim_eta, self.p_reenc
+            )
+        ]
+        return "Figure 3/4(a): efficiency vs number of connections\n" + format_table(
+            ["k", "model eta", "sim eta", "p_r(k)"], rows
+        )
+
+
+def sim_efficiency(
+    max_conns: int,
+    *,
+    num_pieces: int = 60,
+    ns_size: int = 30,
+    initial_leechers: int = 80,
+    arrival_rate: float = 4.0,
+    max_time: float = 150.0,
+    seed: int = 0,
+) -> float:
+    """Measure the simulated ``eta`` for one ``k``.
+
+    Uses a dense, continuously refreshed swarm so the occupancy
+    distribution reaches (quasi) steady state; the collector discards
+    the warmup quarter before averaging.
+    """
+    config = SimConfig(
+        num_pieces=num_pieces,
+        max_conns=max_conns,
+        ns_size=ns_size,
+        arrival_process="poisson",
+        arrival_rate=arrival_rate,
+        initial_leechers=initial_leechers,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        optimistic_unchoke_prob=0.5,
+        connection_setup_prob=0.8,
+        connection_failure_prob=0.1,
+        matching="blind",
+        piece_selection="rarest",
+        max_time=max_time,
+        seed=seed,
+    )
+    metrics = MetricsCollector(
+        max_conns, entropy_every=1_000_000, occupancy_warmup=0.25
+    )
+    swarm = Swarm(config, metrics=metrics)
+    swarm.run()
+    return metrics.efficiency()
+
+
+def run_fig3a(
+    k_values: Sequence[int] = tuple(range(1, 9)),
+    *,
+    lifetime: ConnectionLifetimeModel | None = None,
+    num_pieces: int = 60,
+    seed: int = 0,
+    sim_kwargs: dict | None = None,
+) -> Fig3aResult:
+    """Reproduce Figure 3/4(a): model and simulated efficiency per ``k``."""
+    if not k_values:
+        raise ParameterError("k_values must be non-empty")
+    if lifetime is None:
+        lifetime = ConnectionLifetimeModel.for_file(num_pieces)
+    model_points = efficiency_curve(list(k_values), lifetime=lifetime)
+    sim_kwargs = dict(sim_kwargs or {})
+    sim_kwargs.setdefault("num_pieces", num_pieces)
+    sim_etas = [
+        sim_efficiency(k, seed=seed + idx, **sim_kwargs)
+        for idx, k in enumerate(k_values)
+    ]
+    return Fig3aResult(
+        k_values=np.asarray(list(k_values)),
+        model_eta=np.asarray([p.eta for p in model_points]),
+        sim_eta=np.asarray(sim_etas),
+        p_reenc=np.asarray([p.p_reenc for p in model_points]),
+    )

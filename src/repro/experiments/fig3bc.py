@@ -1,0 +1,103 @@
+"""Figures 3/4(b) and 3/4(c): effect of ``B`` on stability.
+
+One runner produces both panels (they come from the same pair of runs):
+starting from a high-skew initial state under a sustained Poisson
+arrival stream,
+
+* panel (b): the number of peers in the system over time — grows
+  without bound for ``B = 3``, stabilises for ``B = 10``;
+* panel (c): the entropy ``E`` over time — collapses toward 0 for
+  ``B = 3``, recovers toward 1 for ``B = 10``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.errors import ParameterError
+from repro.stability.experiments import (
+    StabilityRun,
+    run_stability_experiment,
+    stability_config,
+)
+
+__all__ = ["Fig3bcResult", "run_fig3bc"]
+
+
+@dataclass
+class Fig3bcResult:
+    """Series for Figures 3/4(b) and (c).
+
+    Attributes:
+        runs: per ``B``, the full :class:`StabilityRun`.
+    """
+
+    runs: Dict[int, StabilityRun]
+
+    def population(self, num_pieces: int) -> np.ndarray:
+        return self.runs[num_pieces].population
+
+    def entropy(self, num_pieces: int) -> np.ndarray:
+        return self.runs[num_pieces].entropy
+
+    def format(self, *, max_rows: int = 16) -> str:
+        piece_counts = sorted(self.runs)
+        # All runs share the round cadence; align on the shortest.
+        min_len = min(self.runs[b].times.size for b in piece_counts)
+        idx = np.linspace(0, min_len - 1, min(max_rows, min_len)).round().astype(int)
+        headers = ["time"]
+        for b in piece_counts:
+            headers += [f"peers B={b}", f"entropy B={b}"]
+        rows = []
+        base_times = self.runs[piece_counts[0]].times
+        for i in idx:
+            row = [float(base_times[i])]
+            for b in piece_counts:
+                run = self.runs[b]
+                row.append(int(run.population[i]))
+                row.append(float(run.entropy[i]) if run.entropy.size else float("nan"))
+            rows.append(row)
+        verdicts = ", ".join(
+            f"B={b}: {'DIVERGED' if self.runs[b].diverged else 'stable'}/"
+            f"entropy {'recovered' if self.runs[b].entropy_recovered else 'collapsed'}"
+            for b in piece_counts
+        )
+        return (
+            "Figure 3/4(b,c): population and entropy under high initial skew\n"
+            + format_table(headers, rows)
+            + f"\nverdicts: {verdicts}"
+        )
+
+
+def run_fig3bc(
+    piece_counts: Sequence[int] = (3, 10),
+    *,
+    arrival_rate: float = 20.0,
+    initial_leechers: int = 400,
+    max_time: float = 150.0,
+    seed: int = 0,
+    entropy_every: int = 2,
+    config_overrides: dict | None = None,
+) -> Fig3bcResult:
+    """Reproduce Figures 3/4(b,c): one stability run per piece count."""
+    if not piece_counts:
+        raise ParameterError("piece_counts must be non-empty")
+    runs: Dict[int, StabilityRun] = {}
+    overrides = dict(config_overrides or {})
+    for offset, num_pieces in enumerate(piece_counts):
+        config = stability_config(
+            num_pieces,
+            arrival_rate=arrival_rate,
+            initial_leechers=initial_leechers,
+            max_time=max_time,
+            seed=seed + offset,
+            **overrides,
+        )
+        runs[num_pieces] = run_stability_experiment(
+            config, entropy_every=entropy_every
+        )
+    return Fig3bcResult(runs=runs)

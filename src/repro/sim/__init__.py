@@ -1,0 +1,48 @@
+"""Discrete-event BitTorrent swarm simulator (paper Section 4.1).
+
+A Python equivalent of the paper's C++ simulator: peers arrive in a
+Poisson stream (or flash crowd), maintain symmetric neighbor sets
+obtained from a tracker, trade pieces under strict tit-for-tat with up
+to ``k`` simultaneous connections, select pieces rarest-first (or
+randomly), and depart as soon as they hold all ``B`` pieces.  The
+number of pieces ``B``, the maximum connections ``k``, the peer-set
+size ``s`` and the time to download a piece are configurable — exactly
+the knobs the paper lists.
+
+Layering:
+
+* :mod:`repro.sim.engine` — generic event loop (heapq, deterministic
+  tie-breaking);
+* :mod:`repro.sim.bitfield`, :mod:`repro.sim.peer` — piece bookkeeping;
+* :mod:`repro.sim.tracker` — registry, neighbor handout, population log;
+* :mod:`repro.sim.peer_selection` / :mod:`repro.sim.piece_selection` /
+  :mod:`repro.sim.choking` — the protocol's two decision points;
+* :mod:`repro.sim.seeds` — seed upload behaviour, super-seeding;
+* :mod:`repro.sim.shake` — the Section-7.1 peer-set shaking mitigation;
+* :mod:`repro.sim.swarm` — the orchestrator tying them together;
+* :mod:`repro.sim.metrics` — observers producing every series the
+  paper's figures need.
+"""
+
+from repro.sim.bitfield import Bitfield
+from repro.sim.config import SimConfig
+from repro.sim.engine import DiscreteEventEngine, Event
+from repro.sim.metrics import MetricsCollector
+from repro.sim.peer import Peer
+from repro.sim.scenarios import SCENARIOS
+from repro.sim.swarm import Swarm, SwarmResult, run_swarm
+from repro.sim.tracker import Tracker
+
+__all__ = [
+    "Bitfield",
+    "SimConfig",
+    "DiscreteEventEngine",
+    "Event",
+    "MetricsCollector",
+    "Peer",
+    "SCENARIOS",
+    "Swarm",
+    "SwarmResult",
+    "run_swarm",
+    "Tracker",
+]

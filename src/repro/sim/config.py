@@ -1,0 +1,343 @@
+"""Simulation configuration.
+
+:class:`SimConfig` collects every configurable the paper names for its
+simulator — the number of pieces ``B``, the maximum connections ``k``,
+the peer-set size ``s``, the time to download a piece, and the arrival
+process — plus the extensions exercised in the evaluation: seeds,
+initial-population skew (stability study), peer-set shaking (last-piece
+mitigation) and tracker bias (bootstrap mitigation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ParameterError
+
+__all__ = ["SimConfig"]
+
+_ARRIVALS = ("poisson", "flash", "none")
+_PIECE_POLICIES = ("rarest", "strict-rarest", "random", "sequential", "windowed")
+_INITIAL_DISTRIBUTIONS = ("empty", "uniform", "skewed")
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Validated, immutable swarm-simulation configuration.
+
+    Attributes:
+        num_pieces: ``B`` — pieces the file is split into.
+        max_conns: ``k`` — maximum simultaneous active connections.
+        ns_size: ``s`` — target neighbor-set size requested from the
+            tracker (real clients: 40-70; the paper sweeps 5-50).
+        piece_time: duration of one piece exchange; one protocol round.
+        piece_size_bytes: bytes per piece (256 KiB default, the
+            BitTorrent convention) — used only to report cumulative
+            bytes in traces.
+        blocks_per_piece: sub-piece granularity (paper Section 2.1:
+            pieces "are further split into blocks of a default size of
+            16 KBs.  Therefore, a block is a basic transmission unit
+            ...  However, a peer can start serving a block only after
+            the entire piece is received and its correctness is
+            verified").  With the default 1, a transfer moves a whole
+            piece per round (the model's abstraction).  With more, each
+            transfer moves one block, a piece joins the bitfield — and
+            becomes tradable — only once all its blocks arrive, and the
+            bootstrap latency of the *first* piece grows accordingly.
+        arrival_process: ``"poisson"`` (rate ``arrival_rate``),
+            ``"flash"`` (``flash_size`` peers at t=0 on top of the
+            initial population), or ``"none"``.
+        arrival_rate: expected arrivals per time unit for Poisson.
+        flash_size: burst size for the flash-crowd process.
+        initial_leechers: leechers present at t=0.
+        initial_distribution: pieces held by the initial population —
+            ``"empty"`` (fresh peers), ``"uniform"`` (each piece held
+            i.i.d. with probability ``initial_fill``), or ``"skewed"``
+            (as uniform, except ``skewed_pieces`` pieces are held only
+            with probability ``initial_fill * skew_factor`` — the
+            high-skew starting state of the stability experiments).
+        initial_fill: per-piece hold probability for the seeded
+            population.
+        skewed_pieces: number of under-replicated pieces in the skewed
+            start.
+        skew_factor: replication multiplier (< 1) for skewed pieces.
+        num_seeds: seeds present throughout the run (the origin seed(s)).
+        seed_upload_slots: pieces each seed uploads per round — the
+            paper's "capacity of the source".
+        super_seeding: seeds offer each piece at most once until every
+            piece has been injected (Section 7.2's advanced technique).
+        completed_become_seeds: if > 0, a finishing leecher lingers as a
+            seed for this many time units instead of departing
+            immediately (the paper's model assumes immediate departure).
+        abort_rate: per-round probability that a leecher abandons its
+            download and leaves — the fluid model's ``theta``.  The
+            paper's model assumes no aborts; this knob connects the
+            simulator to the Qiu-Srikant baseline.
+        bandwidth_classes: optional heterogeneous-bandwidth extension
+            (the paper's assumption (ii) relaxed, cf. its Section 7):
+            a tuple of ``(fraction, upload_capacity)`` pairs; each
+            arriving leecher is assigned a class, and its *uploads* per
+            round are capped at ``upload_capacity`` pieces.  ``None``
+            (default) keeps the paper's homogeneous setting where every
+            connection moves one piece each way per round.
+        piece_selection: ``"rarest"`` (noisy-view rarest-first, the
+            realistic default), ``"strict-rarest"`` (idealised shared-
+            view argmin), ``"random"`` — the paper's two strategies plus
+            the idealised variant — ``"sequential"`` (strictly in-order;
+            starves strict-TFT swarms) or ``"windowed"`` (random within
+            a sliding in-order window: the streaming compromise of the
+            related work [1]).
+        strict_tft: enforce strict tit-for-tat (both sides must offer
+            something new); the paper's model assumption.
+        optimistic_unchoke_prob: per-round probability that a peer
+            donates one piece for free to a neighbor that cannot
+            reciprocate — the optimistic-unchoke channel ("through
+            optimistic unchoking from other downloaders").
+        optimistic_targets: who optimistic unchokes may serve —
+            ``"starved"`` (default, real BitTorrent: any interested
+            neighbor with nothing to offer the donor, which is also how
+            bootstrap- and last-phase-trapped peers escape) or
+            ``"empty"`` (only zero-piece neighbors: a strict-tit-for-tat
+            regime where trapped peers escape solely through
+            neighbor-set churn, the assumption behind the model's
+            ``alpha``/``gamma`` waits and the paper's shake experiment).
+        connection_failure_prob: exogenous per-round connection failure
+            (churn) on top of interest exhaustion — BitTorrent's
+            periodic rechoke rotates partners even while interest
+            remains; this is the sim-side source of the model's
+            ``1 - p_r``.
+        connection_setup_prob: probability that a slot-filling attempt
+            on a willing candidate actually completes this round — the
+            sim-side ``p_n`` (handshake/unchoke latency means a freshly
+            opened slot does not always fill within one round).
+        matching: connection-formation discipline — ``"blind"`` (one
+            uniformly drawn candidate per open slot per round; fails on
+            busy candidates, as decentralised peers cannot see slot
+            occupancy) or ``"greedy"`` (idealised matchmaker ablation).
+        random_first_cutoff: rarest-first peers holding fewer pieces
+            than this select randomly (the protocol's random-first-piece
+            rule).  Lower it for tiny ``B`` where 4 pieces is a large
+            fraction of the file.
+        announce_interval: rounds between tracker re-announces that
+            refill a depleted neighbor set.
+        ns_accept_factor: leechers accept inbound neighbor relations up
+            to ``ns_accept_factor * ns_size``.  The default 2.0 yields
+            well-mixed random graphs; 1.0 (a hard cap at the request
+            target) makes bursts of sequential announces partition into
+            clique-like clusters — the clustered regime where the
+            bootstrap/last-piece traps bite hardest.
+        tracker_bias_bootstrap: tracker steers newly arriving peers
+            toward bootstrap-trapped ones (Section 4.3 suggestion).
+        shake_threshold: completion fraction at which a peer "shakes"
+            its peer set (Section 7.1); ``None`` disables shaking.
+        max_time: simulation horizon.
+        seed: RNG seed; fixed seeds give bit-identical runs.
+    """
+
+    num_pieces: int
+    max_conns: int = 7
+    ns_size: int = 50
+    piece_time: float = 1.0
+    piece_size_bytes: int = 256 * 1024
+    blocks_per_piece: int = 1
+    arrival_process: str = "poisson"
+    arrival_rate: float = 1.0
+    flash_size: int = 0
+    initial_leechers: int = 20
+    initial_distribution: str = "empty"
+    initial_fill: float = 0.5
+    skewed_pieces: int = 1
+    skew_factor: float = 0.1
+    num_seeds: int = 1
+    seed_upload_slots: int = 2
+    super_seeding: bool = False
+    completed_become_seeds: float = 0.0
+    abort_rate: float = 0.0
+    bandwidth_classes: Optional[tuple] = None
+    piece_selection: str = "rarest"
+    strict_tft: bool = True
+    optimistic_unchoke_prob: float = 0.2
+    optimistic_targets: str = "starved"
+    connection_failure_prob: float = 0.0
+    connection_setup_prob: float = 1.0
+    matching: str = "blind"
+    random_first_cutoff: int = 4
+    announce_interval: float = 5.0
+    ns_accept_factor: float = 2.0
+    tracker_bias_bootstrap: bool = False
+    shake_threshold: Optional[float] = None
+    max_time: float = 500.0
+    seed: Optional[int] = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.num_pieces < 1:
+            raise ParameterError(f"num_pieces must be >= 1, got {self.num_pieces}")
+        if self.max_conns < 1:
+            raise ParameterError(f"max_conns must be >= 1, got {self.max_conns}")
+        if self.ns_size < 1:
+            raise ParameterError(f"ns_size must be >= 1, got {self.ns_size}")
+        if self.piece_time <= 0:
+            raise ParameterError(f"piece_time must be > 0, got {self.piece_time}")
+        if self.piece_size_bytes < 1:
+            raise ParameterError(
+                f"piece_size_bytes must be >= 1, got {self.piece_size_bytes}"
+            )
+        if self.blocks_per_piece < 1:
+            raise ParameterError(
+                f"blocks_per_piece must be >= 1, got {self.blocks_per_piece}"
+            )
+        if self.arrival_process not in _ARRIVALS:
+            raise ParameterError(
+                f"arrival_process must be one of {_ARRIVALS}, "
+                f"got {self.arrival_process!r}"
+            )
+        if self.arrival_rate < 0:
+            raise ParameterError(f"arrival_rate must be >= 0, got {self.arrival_rate}")
+        if self.flash_size < 0:
+            raise ParameterError(f"flash_size must be >= 0, got {self.flash_size}")
+        if self.initial_leechers < 0:
+            raise ParameterError(
+                f"initial_leechers must be >= 0, got {self.initial_leechers}"
+            )
+        if self.initial_distribution not in _INITIAL_DISTRIBUTIONS:
+            raise ParameterError(
+                f"initial_distribution must be one of {_INITIAL_DISTRIBUTIONS}, "
+                f"got {self.initial_distribution!r}"
+            )
+        for name in ("initial_fill", "skew_factor", "optimistic_unchoke_prob",
+                     "connection_failure_prob", "connection_setup_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ParameterError(f"{name} must be in [0, 1], got {value}")
+        if not 0 <= self.skewed_pieces <= self.num_pieces:
+            raise ParameterError(
+                f"skewed_pieces must be in 0..{self.num_pieces}, "
+                f"got {self.skewed_pieces}"
+            )
+        if self.num_seeds < 0:
+            raise ParameterError(f"num_seeds must be >= 0, got {self.num_seeds}")
+        if self.seed_upload_slots < 0:
+            raise ParameterError(
+                f"seed_upload_slots must be >= 0, got {self.seed_upload_slots}"
+            )
+        if self.completed_become_seeds < 0:
+            raise ParameterError(
+                f"completed_become_seeds must be >= 0, "
+                f"got {self.completed_become_seeds}"
+            )
+        if not 0.0 <= self.abort_rate <= 1.0:
+            raise ParameterError(
+                f"abort_rate must be in [0, 1], got {self.abort_rate}"
+            )
+        if self.bandwidth_classes is not None:
+            classes = tuple(self.bandwidth_classes)
+            if not classes:
+                raise ParameterError("bandwidth_classes must be non-empty")
+            total = 0.0
+            for entry in classes:
+                if len(entry) != 2:
+                    raise ParameterError(
+                        f"bandwidth class entries are (fraction, capacity) "
+                        f"pairs, got {entry!r}"
+                    )
+                fraction, capacity = entry
+                if fraction <= 0:
+                    raise ParameterError(
+                        f"bandwidth class fraction must be > 0, got {fraction}"
+                    )
+                if int(capacity) < 1:
+                    raise ParameterError(
+                        f"bandwidth class capacity must be >= 1, got {capacity}"
+                    )
+                total += fraction
+            if abs(total - 1.0) > 1e-6:
+                raise ParameterError(
+                    f"bandwidth class fractions must sum to 1, got {total}"
+                )
+            object.__setattr__(self, "bandwidth_classes", classes)
+        if self.piece_selection not in _PIECE_POLICIES:
+            raise ParameterError(
+                f"piece_selection must be one of {_PIECE_POLICIES}, "
+                f"got {self.piece_selection!r}"
+            )
+        if self.optimistic_targets not in ("starved", "empty"):
+            raise ParameterError(
+                f"optimistic_targets must be 'starved' or 'empty', "
+                f"got {self.optimistic_targets!r}"
+            )
+        if self.matching not in ("blind", "greedy"):
+            raise ParameterError(
+                f"matching must be 'blind' or 'greedy', got {self.matching!r}"
+            )
+        if self.random_first_cutoff < 0:
+            raise ParameterError(
+                f"random_first_cutoff must be >= 0, "
+                f"got {self.random_first_cutoff}"
+            )
+        if self.announce_interval <= 0:
+            raise ParameterError(
+                f"announce_interval must be > 0, got {self.announce_interval}"
+            )
+        if self.ns_accept_factor < 1.0:
+            raise ParameterError(
+                f"ns_accept_factor must be >= 1, got {self.ns_accept_factor}"
+            )
+        if self.shake_threshold is not None and not 0.0 < self.shake_threshold <= 1.0:
+            raise ParameterError(
+                f"shake_threshold must be in (0, 1], got {self.shake_threshold}"
+            )
+        if self.max_time <= 0:
+            raise ParameterError(f"max_time must be > 0, got {self.max_time}")
+
+    def with_changes(self, **changes: object) -> "SimConfig":
+        """Return a validated copy with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    @property
+    def file_size_bytes(self) -> int:
+        """Total file size implied by ``B`` pieces of ``piece_size_bytes``."""
+        return self.num_pieces * self.piece_size_bytes
+
+    # ------------------------------------------------------------------
+    # Serialisation (experiment reproducibility)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form, suitable for JSON (tuples become lists)."""
+        out = dataclasses.asdict(self)
+        if out.get("bandwidth_classes") is not None:
+            out["bandwidth_classes"] = [
+                list(entry) for entry in out["bandwidth_classes"]
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Rebuild (and re-validate) a config from :meth:`to_dict` output.
+
+        Raises:
+            ParameterError: on unknown keys or invalid values.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown SimConfig fields: {sorted(unknown)}"
+            )
+        payload = dict(data)
+        if payload.get("bandwidth_classes") is not None:
+            payload["bandwidth_classes"] = tuple(
+                tuple(entry) for entry in payload["bandwidth_classes"]
+            )
+        return cls(**payload)
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimConfig":
+        """Inverse of :meth:`to_json` (re-validates)."""
+        return cls.from_dict(json.loads(text))

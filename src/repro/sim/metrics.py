@@ -1,0 +1,232 @@
+"""Swarm observers: every series the paper's figures are drawn from.
+
+The :class:`MetricsCollector` is invoked once per protocol round by the
+swarm orchestrator and accumulates:
+
+* **population** — ``(time, leechers, seeds)``, Figure 3/4(b);
+* **entropy** — ``(time, E)``, Figure 3/4(c);
+* **connection occupancy** — time-averaged fractions ``x_0..x_k`` of
+  leechers by active-connection count, from which the simulated
+  efficiency ``eta`` of Figure 3/4(a) is computed;
+* **completed downloads** — per-peer durations and piece timelines
+  (instrumented peers keep their full per-round series, mirroring the
+  paper's modified BitTornado client).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.efficiency.balance import efficiency_from_occupancy
+from repro.errors import ParameterError
+from repro.sim.peer import Peer, PeerStats
+from repro.sim.tracker import Tracker
+from repro.stability.entropy import entropy, replication_degrees
+
+__all__ = ["CompletedDownload", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class CompletedDownload:
+    """Summary of one finished download.
+
+    Attributes:
+        peer_id: the downloader.
+        joined_at / completed_at: arrival and completion times.
+        stats: the peer's full :class:`PeerStats` (piece timeline,
+            potential-set series when instrumented).
+        shaken: whether the peer shook its peer set during the download.
+        upload_capacity: the peer's bandwidth-class capacity (None in
+            the homogeneous setting).
+    """
+
+    peer_id: int
+    joined_at: float
+    completed_at: float
+    stats: PeerStats
+    shaken: bool
+    upload_capacity: Optional[int] = None
+
+    @property
+    def duration(self) -> float:
+        return self.completed_at - self.joined_at
+
+
+class MetricsCollector:
+    """Accumulates swarm-level and per-peer series during a run.
+
+    Args:
+        max_conns: ``k`` (sizes the occupancy histogram).
+        entropy_every: sample entropy every this many rounds (entropy
+            costs O(N * B); 1 samples every round).
+        entropy_includes_seeds: count seeds in replication degrees.
+        occupancy_warmup: fraction of the run (by round count) discarded
+            before occupancy/efficiency accumulation starts, so the
+            cold-start transient does not bias the equilibrium estimate.
+        occupancy_scope: which leechers enter the occupancy histogram.
+            ``"trading"`` (default) counts peers in the efficient
+            download phase — holding at least one piece with a
+            non-empty potential set — which is exactly the population
+            the Section-5 connection chain models; ``"all"`` counts
+            every leecher (bootstrap and last-phase peers included).
+    """
+
+    def __init__(
+        self,
+        max_conns: int,
+        *,
+        entropy_every: int = 1,
+        entropy_includes_seeds: bool = True,
+        occupancy_warmup: float = 0.25,
+        occupancy_scope: str = "trading",
+    ):
+        if max_conns < 1:
+            raise ParameterError(f"max_conns must be >= 1, got {max_conns}")
+        if entropy_every < 1:
+            raise ParameterError(f"entropy_every must be >= 1, got {entropy_every}")
+        if not 0.0 <= occupancy_warmup < 1.0:
+            raise ParameterError(
+                f"occupancy_warmup must be in [0, 1), got {occupancy_warmup}"
+            )
+        if occupancy_scope not in ("trading", "all"):
+            raise ParameterError(
+                f"occupancy_scope must be 'trading' or 'all', "
+                f"got {occupancy_scope!r}"
+            )
+        self.occupancy_scope = occupancy_scope
+        self.max_conns = max_conns
+        self.entropy_every = entropy_every
+        self.entropy_includes_seeds = entropy_includes_seeds
+        self.occupancy_warmup = occupancy_warmup
+
+        self.population_series: List[Tuple[float, int, int]] = []
+        self.entropy_series: List[Tuple[float, float]] = []
+        self.completed: List[CompletedDownload] = []
+        #: ``(time, pieces_held_at_abort)`` for leechers that gave up.
+        self.aborted: List[Tuple[float, int]] = []
+        self.rounds_observed = 0
+        #: Raw occupancy counts indexed by connection count, one row per
+        #: round (ring-accumulated as sums to bound memory).
+        self._occupancy_sums = np.zeros(max_conns + 1, dtype=np.float64)
+        self._occupancy_rounds = 0
+        self._round_log: List[Tuple[float, np.ndarray]] = []
+        self._expected_total_rounds: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Configuration from the swarm
+    # ------------------------------------------------------------------
+    def set_expected_rounds(self, total_rounds: int) -> None:
+        """Tell the collector the planned run length (for warmup cutoff)."""
+        self._expected_total_rounds = total_rounds
+
+    @property
+    def _warmup_rounds(self) -> int:
+        if self._expected_total_rounds is None:
+            return 0
+        return int(self._expected_total_rounds * self.occupancy_warmup)
+
+    # ------------------------------------------------------------------
+    # Hooks called by the swarm
+    # ------------------------------------------------------------------
+    def on_round_end(
+        self,
+        time: float,
+        tracker: Tracker,
+        potential_sizes: Dict[int, int],
+    ) -> None:
+        """Record one round's swarm-level samples."""
+        self.rounds_observed += 1
+        leech, seeds = tracker.counts()
+        self.population_series.append((time, leech, seeds))
+
+        if self.rounds_observed % self.entropy_every == 0:
+            peers = (
+                tracker.peers()
+                if self.entropy_includes_seeds
+                else tracker.leechers()
+            )
+            bitfields = [p.bitfield for p in peers]
+            if bitfields:
+                degrees = replication_degrees(bitfields, bitfields[0].num_pieces)
+                self.entropy_series.append((time, entropy(degrees)))
+            else:
+                self.entropy_series.append((time, 1.0))
+
+        if self.rounds_observed > self._warmup_rounds:
+            histogram = np.zeros(self.max_conns + 1, dtype=np.float64)
+            total = 0
+            for peer in tracker.leechers():
+                if self.occupancy_scope == "trading":
+                    if peer.bitfield.count < 1:
+                        continue  # bootstrap: not yet in the connection chain
+                    if potential_sizes.get(peer.peer_id, 0) < 1:
+                        continue  # last phase: nobody to connect to
+                connections = min(len(peer.partners), self.max_conns)
+                histogram[connections] += 1
+                total += 1
+            if total > 0:
+                self._occupancy_sums += histogram / total
+                self._occupancy_rounds += 1
+
+    def on_peer_abort(self, peer: Peer, time: float) -> None:
+        """Record a leecher abandoning its download (the fluid theta)."""
+        self.aborted.append((time, peer.bitfield.count))
+
+    def on_peer_complete(self, peer: Peer, time: float) -> None:
+        """Record a finished download (called before the peer departs)."""
+        self.completed.append(
+            CompletedDownload(
+                peer_id=peer.peer_id,
+                joined_at=peer.stats.joined_at,
+                completed_at=time,
+                stats=peer.stats,
+                shaken=peer.shaken,
+                upload_capacity=peer.upload_capacity,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def occupancy(self) -> np.ndarray:
+        """Time-averaged occupancy fractions ``x_0..x_k``.
+
+        Raises:
+            ParameterError: if no post-warmup rounds were observed.
+        """
+        if self._occupancy_rounds == 0:
+            raise ParameterError(
+                "no occupancy samples recorded (run too short for the warmup?)"
+            )
+        return self._occupancy_sums / self._occupancy_rounds
+
+    def efficiency(self) -> float:
+        """Simulated efficiency ``eta = (1/k) * sum(i * x_i)``."""
+        return efficiency_from_occupancy(self.occupancy())
+
+    def abort_count(self) -> int:
+        """Number of abandoned downloads observed."""
+        return len(self.aborted)
+
+    def mean_download_duration(self) -> float:
+        """Average duration over completed downloads (NaN if none)."""
+        if not self.completed:
+            return float("nan")
+        return float(np.mean([c.duration for c in self.completed]))
+
+    def population_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(times, leechers, seeds)`` as arrays, for plotting/benches."""
+        if not self.population_series:
+            return np.array([]), np.array([]), np.array([])
+        times, leech, seeds = zip(*self.population_series)
+        return np.asarray(times), np.asarray(leech), np.asarray(seeds)
+
+    def entropy_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, entropy)`` arrays."""
+        if not self.entropy_series:
+            return np.array([]), np.array([])
+        times, values = zip(*self.entropy_series)
+        return np.asarray(times), np.asarray(values)

@@ -1,0 +1,159 @@
+"""Peer state for the swarm simulator.
+
+A :class:`Peer` carries the protocol-visible state (bitfield, neighbor
+set, active connections) plus the per-peer statistics that the paper's
+instrumented BitTornado client logged: arrival/completion times, the
+per-round potential-set size, the acquisition time of every piece, and
+cumulative bytes downloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.sim.bitfield import Bitfield
+
+__all__ = ["Peer", "PeerStats"]
+
+
+@dataclass
+class PeerStats:
+    """Per-peer download statistics (the trace payload of Section 4.2).
+
+    Attributes:
+        joined_at: simulation time of arrival.
+        completed_at: time the last piece arrived (None while leeching).
+        piece_times: acquisition time of each piece, in acquisition
+            order (``piece_times[j]`` = time the ``j+1``-th piece
+            arrived) — yields the cumulative-bytes timeline.
+        piece_log: ``(time, piece_index)`` per acquisition — the indexed
+            counterpart of ``piece_times``, needed by in-order analyses
+            such as streaming playback.
+        potential_series: ``(time, potential_set_size)`` samples, one
+            per round while the peer was present.
+        connection_series: ``(time, active_connections)`` samples.
+        shaken_at: time the peer shook its peer set, if it did.
+    """
+
+    joined_at: float = 0.0
+    completed_at: Optional[float] = None
+    piece_times: List[float] = field(default_factory=list)
+    piece_log: List[tuple] = field(default_factory=list)
+    potential_series: List[tuple] = field(default_factory=list)
+    connection_series: List[tuple] = field(default_factory=list)
+    shaken_at: Optional[float] = None
+
+    def download_duration(self) -> Optional[float]:
+        """Time from arrival to completion, or None if unfinished."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.joined_at
+
+
+class Peer:
+    """A participant in the swarm (leecher or seed)."""
+
+    __slots__ = (
+        "peer_id",
+        "bitfield",
+        "neighbors",
+        "partners",
+        "is_seed",
+        "instrumented",
+        "stats",
+        "seeded_pieces",
+        "shaken",
+        "seed_until",
+        "upload_capacity",
+        "block_progress",
+    )
+
+    def __init__(
+        self,
+        peer_id: int,
+        num_pieces: int,
+        *,
+        joined_at: float = 0.0,
+        is_seed: bool = False,
+        instrumented: bool = False,
+    ):
+        self.peer_id = peer_id
+        self.bitfield = (
+            Bitfield.full(num_pieces) if is_seed else Bitfield(num_pieces)
+        )
+        #: Symmetric neighbor relation, by peer id.
+        self.neighbors: Set[int] = set()
+        #: Currently active (unchoked, trading) connections, by peer id.
+        self.partners: Set[int] = set()
+        self.is_seed = is_seed
+        #: Instrumented peers record full per-round series (the modified
+        #: BitTornado client of Section 4.2); others keep only scalars.
+        self.instrumented = instrumented
+        self.stats = PeerStats(joined_at=joined_at)
+        #: Pieces this seed has already injected (super-seeding mode).
+        self.seeded_pieces: Set[int] = set()
+        self.shaken = False
+        #: For leechers that linger as seeds: departure deadline.
+        self.seed_until: Optional[float] = None
+        #: Uploads per round under heterogeneous bandwidth; None means
+        #: unconstrained (the paper's homogeneous setting).
+        self.upload_capacity: Optional[int] = None
+        #: Blocks received for in-progress pieces (piece -> count);
+        #: only populated when the swarm runs at sub-piece granularity.
+        self.block_progress: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
+    @property
+    def num_pieces_held(self) -> int:
+        return self.bitfield.count
+
+    @property
+    def is_complete(self) -> bool:
+        return self.bitfield.is_complete
+
+    def completion_ratio(self) -> float:
+        """Fraction of the file downloaded."""
+        return self.bitfield.count / self.bitfield.num_pieces
+
+    def open_slots(self, max_conns: int) -> int:
+        """Connection slots not currently in use."""
+        return max(max_conns - len(self.partners), 0)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_piece(self, time: float, piece: Optional[int] = None) -> None:
+        """Log a piece acquisition (call after ``bitfield.add``)."""
+        self.stats.piece_times.append(time)
+        if piece is not None:
+            self.stats.piece_log.append((time, piece))
+        if self.bitfield.is_complete and self.stats.completed_at is None:
+            self.stats.completed_at = time
+
+    def record_round(self, time: float, potential_size: int) -> None:
+        """Log per-round series for instrumented peers."""
+        if self.instrumented:
+            self.stats.potential_series.append((time, potential_size))
+            self.stats.connection_series.append((time, len(self.partners)))
+
+    def __repr__(self) -> str:
+        role = "seed" if self.is_seed else "leecher"
+        return (
+            f"Peer(id={self.peer_id}, {role}, "
+            f"pieces={self.bitfield.count}/{self.bitfield.num_pieces}, "
+            f"|NS|={len(self.neighbors)}, |conn|={len(self.partners)})"
+        )
+
+    # The simulator keys dict/sets by peer objects occasionally; identity
+    # semantics (default) are correct, but define explicit hash on id for
+    # determinism across runs.
+    def __hash__(self) -> int:
+        return hash(self.peer_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Peer):
+            return NotImplemented
+        return self.peer_id == other.peer_id

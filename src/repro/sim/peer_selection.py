@@ -1,0 +1,66 @@
+"""Peer-selection primitives: potential sets and encounter candidates.
+
+The paper's *potential set* of a peer is "the subset of peers in its NS
+that have at least one piece to trade with the peer at a given instance
+of time" — under strict tit-for-tat this requires **mutual** novelty
+(each side holds a piece the other lacks).  The potential-set size is
+the ``i`` coordinate of the download-evolution chain, and its per-round
+evolution is the quantity validated in Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.peer import Peer
+from repro.sim.tracker import Tracker
+
+__all__ = ["potential_set", "potential_set_sizes", "is_bootstrap_trapped"]
+
+
+def potential_set(peer: Peer, tracker: Tracker, *, strict_tft: bool = True) -> List[int]:
+    """Neighbor ids with which ``peer`` can trade right now.
+
+    Seeds never appear in a potential set: the potential set models
+    tit-for-tat *trading* partners, and seeds have nothing to receive.
+    (Seed uploads are handled separately, by :mod:`repro.sim.seeds`.)
+
+    Args:
+        strict_tft: when True (the paper's assumption), membership
+            requires mutual novelty; when False, one-directional
+            interest (the neighbor has something for ``peer``) suffices.
+    """
+    members: List[int] = []
+    mine = peer.bitfield
+    for neighbor_id in peer.neighbors:
+        neighbor = tracker.get(neighbor_id)
+        if neighbor is None or neighbor.is_seed:
+            continue
+        theirs = neighbor.bitfield
+        if strict_tft:
+            if mine.mutual_interest(theirs):
+                members.append(neighbor_id)
+        else:
+            if mine.interested_in(theirs):
+                members.append(neighbor_id)
+    return members
+
+
+def potential_set_sizes(
+    peers: List[Peer], tracker: Tracker, *, strict_tft: bool = True
+) -> Dict[int, List[int]]:
+    """Potential sets for many peers at once: ``{peer_id: member_ids}``."""
+    return {
+        peer.peer_id: potential_set(peer, tracker, strict_tft=strict_tft)
+        for peer in peers
+    }
+
+
+def is_bootstrap_trapped(peer: Peer, potential_size: int) -> bool:
+    """True when the peer is stuck in the paper's bootstrap phase.
+
+    The bootstrap trap is the state ``(0, 1, 0)`` of the model: the peer
+    holds its first piece (or none) but nobody in its neighborhood can
+    trade with it.
+    """
+    return (not peer.is_seed) and peer.bitfield.count <= 1 and potential_size == 0

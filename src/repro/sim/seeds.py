@@ -1,0 +1,114 @@
+"""Seed upload behaviour (paper Sections 2.1 and 7.2).
+
+Seeds hold the complete file and "do not enforce the tit-for-tat piece
+trading", so downloaders get pieces from them for free.  The paper's
+model treats seeds as the source of first pieces in the bootstrap phase
+and — following [12] and [9] — as "a central piece distribution source
+with the capacity of the source scaled by the number of seeds"; the
+``seed_upload_slots`` configurable is exactly that capacity, in pieces
+per round.
+
+Two policies are provided:
+
+* **plain seeding** — each round, each seed uploads to up to
+  ``slots`` randomly chosen interested neighbors, choosing pieces with
+  the configured piece-selection policy;
+* **super-seeding** (Section 7.2's "advanced seeding technique") — the
+  seed masquerades as a leecher and offers each piece at most once
+  until every piece has been injected into the swarm, maximising
+  initial piece diversity per uploaded byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.peer import Peer
+from repro.sim.piece_selection import select_piece
+from repro.sim.tracker import Tracker
+
+__all__ = ["plan_seed_uploads"]
+
+
+def plan_seed_uploads(
+    seed: Peer,
+    tracker: Tracker,
+    slots: int,
+    policy: str,
+    rng: np.random.Generator,
+    *,
+    super_seeding: bool = False,
+    rarity: Optional[Dict[int, int]] = None,
+    blocked_receivers: Optional[set] = None,
+    random_first_cutoff: int = 4,
+) -> List[Tuple[int, int]]:
+    """Plan this round's uploads for one seed.
+
+    Args:
+        seed: the uploading seed.
+        tracker: swarm registry (to resolve neighbor ids).
+        slots: upload capacity in pieces this round.
+        policy: piece-selection policy for the receivers.
+        rng: random source.
+        super_seeding: restrict offers to not-yet-injected pieces until
+            the whole file has been injected once.
+        rarity: optional neighborhood rarity map (receiver-side
+            rarest-first would need per-receiver maps; a shared swarm
+            view is an acceptable approximation for seeds).
+        blocked_receivers: peer ids this seed must not serve (used by
+            the trace collector, whose instrumented client "did not
+            allow ... interact[ion] with the seeds").
+
+    Returns:
+        ``(receiver_id, piece)`` grants, at most ``slots`` of them, at
+        most one per receiver per seed per round.
+    """
+    if slots <= 0:
+        return []
+    interested: List[Peer] = []
+    for neighbor_id in seed.neighbors:
+        if blocked_receivers and neighbor_id in blocked_receivers:
+            continue
+        neighbor = tracker.get(neighbor_id)
+        if neighbor is None or neighbor.is_seed:
+            continue
+        if not neighbor.bitfield.is_complete:
+            interested.append(neighbor)
+    if not interested:
+        return []
+
+    # Super-seeding: only offer pieces not yet injected; reset once the
+    # full file has been distributed at least once.
+    offer_restriction: Optional[set] = None
+    if super_seeding:
+        remaining = set(range(seed.bitfield.num_pieces)) - seed.seeded_pieces
+        if not remaining:
+            seed.seeded_pieces.clear()
+            remaining = set(range(seed.bitfield.num_pieces))
+        offer_restriction = remaining
+
+    grants: List[Tuple[int, int]] = []
+    order = [interested[j] for j in rng.permutation(len(interested))]
+    for receiver in order[:slots]:
+        exclude = None
+        if offer_restriction is not None:
+            # Exclude everything outside the restriction set.
+            exclude = set(range(seed.bitfield.num_pieces)) - offer_restriction
+        piece = select_piece(
+            receiver.bitfield,
+            seed.bitfield,
+            policy,
+            rng,
+            rarity=rarity,
+            exclude=exclude,
+            random_first_cutoff=random_first_cutoff,
+        )
+        if piece is None:
+            continue
+        grants.append((receiver.peer_id, piece))
+        if offer_restriction is not None:
+            seed.seeded_pieces.add(piece)
+            offer_restriction.discard(piece)
+    return grants

@@ -1,0 +1,49 @@
+"""Peer-set shaking — the Section 7.1 last-piece mitigation.
+
+The paper's experiment: "when a peer completes 90% of its pieces, it
+removes all its neighbors in its current peer set and gets a new
+(randomly chosen) set of peers from the tracker for populating its peer
+set.  We call this process shaking the peer set."  Shaking resamples
+the neighborhood and thereby the potential set, sharply reducing the
+time spent waiting for the last pieces (Figure 3/4(d)).
+"""
+
+from __future__ import annotations
+
+from repro.sim.peer import Peer
+from repro.sim.tracker import Tracker
+
+__all__ = ["maybe_shake"]
+
+
+def maybe_shake(
+    peer: Peer,
+    tracker: Tracker,
+    threshold: float,
+    time: float,
+) -> bool:
+    """Shake ``peer``'s peer set once it crosses the completion threshold.
+
+    Drops every neighbor (symmetrically) and every active connection,
+    then re-announces to the tracker for a fresh random peer set.  Each
+    peer shakes at most once per download.
+
+    Returns:
+        True if a shake was performed this call.
+    """
+    if peer.shaken or peer.is_seed:
+        return False
+    if peer.completion_ratio() < threshold or peer.bitfield.is_complete:
+        return False
+
+    for neighbor_id in list(peer.neighbors):
+        neighbor = tracker.get(neighbor_id)
+        if neighbor is not None:
+            neighbor.neighbors.discard(peer.peer_id)
+            neighbor.partners.discard(peer.peer_id)
+    peer.neighbors.clear()
+    peer.partners.clear()
+    peer.shaken = True
+    peer.stats.shaken_at = time
+    tracker.announce(peer)
+    return True

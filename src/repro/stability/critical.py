@@ -1,0 +1,149 @@
+"""Critical piece count: the stability phase boundary.
+
+The paper's headline stability finding is a *boundary*: "the stability
+of [the] BitTorrent protocol depends heavily on the number of pieces a
+file is divided into and the arrival rate of clients".  This module
+locates that boundary — the minimal ``B`` at which the high-skew swarm
+recovers instead of diverging — as a function of the arrival rate,
+both from short simulation runs (bisection over ``B``) and from the
+first-order drift model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.errors import ParameterError
+from repro.stability.drift import phase_drift_analysis
+from repro.stability.experiments import (
+    run_stability_experiment,
+    stability_config,
+)
+
+__all__ = ["BoundaryPoint", "PhaseBoundary", "critical_piece_count", "phase_boundary"]
+
+
+@dataclass(frozen=True)
+class BoundaryPoint:
+    """The critical ``B`` at one arrival rate.
+
+    Attributes:
+        arrival_rate: the offered load (peers per round).
+        critical_b_sim: minimal stable ``B`` found by simulation.
+        critical_b_drift: minimal ``B`` the drift model calls stable.
+    """
+
+    arrival_rate: float
+    critical_b_sim: int
+    critical_b_drift: int
+
+
+@dataclass
+class PhaseBoundary:
+    """The stability boundary over a sweep of arrival rates."""
+
+    points: List[BoundaryPoint]
+
+    def format(self) -> str:
+        return "Stability phase boundary: critical B vs arrival rate\n" + \
+            format_table(
+                ["arrival rate", "critical B (simulation)",
+                 "critical B (drift model)"],
+                [[p.arrival_rate, p.critical_b_sim, p.critical_b_drift]
+                 for p in self.points],
+            )
+
+
+def _is_stable(
+    num_pieces: int,
+    arrival_rate: float,
+    *,
+    initial_leechers: int,
+    max_time: float,
+    seed: int,
+) -> bool:
+    config = stability_config(
+        num_pieces,
+        arrival_rate=arrival_rate,
+        initial_leechers=initial_leechers,
+        max_time=max_time,
+        seed=seed,
+    )
+    run = run_stability_experiment(config, entropy_every=8)
+    return not run.diverged
+
+
+def critical_piece_count(
+    arrival_rate: float,
+    *,
+    b_range: tuple = (2, 32),
+    initial_leechers: int = 150,
+    max_time: float = 80.0,
+    seed: int = 0,
+) -> int:
+    """Minimal ``B`` in ``b_range`` at which the swarm does not diverge.
+
+    Bisection over ``B`` assuming monotonicity (more pieces -> more
+    trading-phase repair time, the paper's Section-6 argument).
+    Returns ``b_range[1] + 1`` if even the largest ``B`` diverges.
+
+    Raises:
+        ParameterError: for an invalid range or negative arrival rate.
+    """
+    low, high = b_range
+    if low < 2 or high <= low:
+        raise ParameterError(f"need 2 <= low < high, got {b_range}")
+    if arrival_rate < 0:
+        raise ParameterError(f"arrival_rate must be >= 0, got {arrival_rate}")
+
+    if _is_stable(low, arrival_rate, initial_leechers=initial_leechers,
+                  max_time=max_time, seed=seed):
+        return low
+    if not _is_stable(high, arrival_rate, initial_leechers=initial_leechers,
+                      max_time=max_time, seed=seed):
+        return high + 1
+    while high - low > 1:
+        mid = (low + high) // 2
+        if _is_stable(mid, arrival_rate, initial_leechers=initial_leechers,
+                      max_time=max_time, seed=seed):
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+def _critical_from_drift(arrival_rate: float, *, b_max: int = 64) -> int:
+    for num_pieces in range(2, b_max + 1):
+        analysis = phase_drift_analysis(num_pieces, 4, arrival_rate)
+        if analysis.predicted_stable:
+            return num_pieces
+    return b_max + 1
+
+
+def phase_boundary(
+    arrival_rates: Sequence[float],
+    *,
+    initial_leechers: int = 150,
+    max_time: float = 80.0,
+    seed: int = 0,
+) -> PhaseBoundary:
+    """The critical ``B`` per arrival rate, simulation next to drift model."""
+    if not arrival_rates:
+        raise ParameterError("arrival_rates must be non-empty")
+    points = []
+    for offset, rate in enumerate(arrival_rates):
+        points.append(
+            BoundaryPoint(
+                arrival_rate=rate,
+                critical_b_sim=critical_piece_count(
+                    rate,
+                    initial_leechers=initial_leechers,
+                    max_time=max_time,
+                    seed=seed + offset,
+                ),
+                critical_b_drift=_critical_from_drift(rate),
+            )
+        )
+    return PhaseBoundary(points=points)

@@ -1,0 +1,149 @@
+"""First-order entropy-drift analysis (paper Section 6).
+
+The paper derives the stability story qualitatively and defers exact
+analysis ("a nontrivial problem ... left for future work").  This
+module encodes that qualitative story as explicit first-order formulas
+so it can be computed, tested, and compared against simulation:
+
+* **Bootstrap phase**: expected sojourn ``1/alpha``; skew (low entropy
+  ``E``) lowers ``alpha`` because newly met peers are more likely to
+  hold only the over-replicated pieces — modelled as
+  ``alpha(E) = alpha * E``-to-first-order.
+* **Trading phase**: rarest-first makes holders of the rarest piece
+  upload it preferentially, so its replication grows roughly
+  geometrically with per-generation factor ``g ~ B / 2`` (a holder
+  keeps uploading for the ``~(B/2)/k`` rounds it has left, over ``k``
+  connections).  The repair succeeds only if each holder replicates the
+  piece more than once before departing, with headroom for the load the
+  arrival stream adds — the paper's "when B is too small, peers leave
+  the system too quickly".
+* **Last download phase**: expected sojourn ``1/gamma``; smaller
+  ``gamma`` keeps nearly-complete peers (which hold the rare pieces)
+  in the system longer, improving stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "PhaseDriftAnalysis",
+    "phase_drift_analysis",
+    "alpha_under_skew",
+    "entropy_drift_summary",
+]
+
+
+def alpha_under_skew(alpha: float, entropy_value: float) -> float:
+    """First-order skew correction to the bootstrap parameter.
+
+    "The smaller the entropy E, the smaller the probability alpha
+    becomes" — modelled as linear scaling, exact at the endpoints
+    (``E = 1``: no skew, nominal ``alpha``; ``E = 0``: the tradable
+    piece has effectively vanished from arriving peers).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ParameterError(f"alpha must be in [0, 1], got {alpha}")
+    if not 0.0 <= entropy_value <= 1.0:
+        raise ParameterError(f"entropy must be in [0, 1], got {entropy_value}")
+    return alpha * entropy_value
+
+
+@dataclass(frozen=True)
+class PhaseDriftAnalysis:
+    """Outcome of the first-order stability analysis.
+
+    Attributes:
+        bootstrap_sojourn: expected rounds stuck in bootstrap (``1/alpha``).
+        last_sojourn: expected rounds stuck in the last phase (``1/gamma``).
+        trading_rounds: expected rounds spent in the trading phase.
+        replication_factor: per-generation growth factor ``g`` of the
+            rarest piece's replication under rarest-first.
+        required_factor: growth the system must sustain given the
+            arrival load.
+        predicted_stable: ``replication_factor >= required_factor``.
+    """
+
+    bootstrap_sojourn: float
+    last_sojourn: float
+    trading_rounds: float
+    replication_factor: float
+    required_factor: float
+    predicted_stable: bool
+
+
+def phase_drift_analysis(
+    num_pieces: int,
+    max_conns: int,
+    arrival_rate: float,
+    *,
+    alpha: float = 0.1,
+    gamma: float = 0.1,
+    service_rate: float = 1.0,
+    base_required_factor: float = 2.5,
+) -> PhaseDriftAnalysis:
+    """First-order stability verdict for a parameter set.
+
+    The rarest piece's replication factor per holder generation is
+    ``g = k_eff * w(B)`` where ``w(B) ~ (B/2) / k_eff`` is the rounds a
+    holder keeps uploading after acquiring the piece — so ``g ~ B / 2``,
+    independent of ``k``: exactly the paper's "stability depends heavily
+    on the number of pieces".  The required factor grows with the
+    offered load ``arrival_rate / service_rate`` (new arrivals compete
+    for holders' upload slots with over-replicated pieces).  Being
+    first-order, the linear load term tracks the simulated phase
+    boundary well at low-to-moderate load and underestimates the
+    critical ``B`` at high load, where the origin seed's fixed capacity
+    saturates (see :mod:`repro.stability.critical` for the measured
+    boundary).
+
+    Args:
+        base_required_factor: growth needed at negligible load;
+            calibrated so the paper's Figure 3/4(b,c) endpoints (B=3
+            diverges, B=10 recovers) are classified correctly.
+    """
+    if num_pieces < 1:
+        raise ParameterError(f"num_pieces must be >= 1, got {num_pieces}")
+    if max_conns < 1:
+        raise ParameterError(f"max_conns must be >= 1, got {max_conns}")
+    if arrival_rate < 0:
+        raise ParameterError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ParameterError(f"service_rate must be > 0, got {service_rate}")
+    if not 0.0 < alpha <= 1.0 or not 0.0 < gamma <= 1.0:
+        raise ParameterError("alpha and gamma must be in (0, 1]")
+
+    k_eff = max(min(max_conns, num_pieces - 1), 1)
+    trading_rounds = max(num_pieces - 2, 0) / k_eff
+    replication_factor = num_pieces / 2.0
+    load = arrival_rate / service_rate
+    required = base_required_factor * (1.0 + 0.05 * load)
+    return PhaseDriftAnalysis(
+        bootstrap_sojourn=1.0 / alpha,
+        last_sojourn=1.0 / gamma,
+        trading_rounds=trading_rounds,
+        replication_factor=replication_factor,
+        required_factor=required,
+        predicted_stable=replication_factor >= required,
+    )
+
+
+def entropy_drift_summary(
+    num_pieces: int,
+    max_conns: int,
+    arrival_rate: float,
+    **kwargs,
+) -> str:
+    """Human-readable verdict used by the CLI and examples."""
+    analysis = phase_drift_analysis(num_pieces, max_conns, arrival_rate, **kwargs)
+    verdict = "STABLE" if analysis.predicted_stable else "UNSTABLE"
+    return (
+        f"B={num_pieces} k={max_conns} lambda={arrival_rate}: {verdict} "
+        f"(replication factor {analysis.replication_factor:.2f} vs required "
+        f"{analysis.required_factor:.2f}; trading rounds "
+        f"{analysis.trading_rounds:.2f}, bootstrap sojourn "
+        f"{analysis.bootstrap_sojourn:.1f}, last-phase sojourn "
+        f"{analysis.last_sojourn:.1f})"
+    )

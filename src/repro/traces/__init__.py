@@ -1,0 +1,46 @@
+"""Download traces: schema, collection, synthesis, and analysis.
+
+Stands in for the paper's Section 4.2 measurement apparatus — a
+modified BitTornado client injected into live swarms, logging the
+download progress and potential-set evolution.  Live 2007 swarms no
+longer exist, so:
+
+* :mod:`repro.traces.collector` attaches the same instrumentation to
+  simulated swarms (and, like the paper's client, can refuse all seed
+  interaction so strict tit-for-tat is isolated);
+* :mod:`repro.traces.synthetic` reconstructs the three download
+  archetypes of Figure 2 (smooth / significant-last-phase /
+  significant-bootstrap) from swarm conditions that provoke them;
+* :mod:`repro.traces.analysis` segments traces into the three phases
+  and implements the paper's swarm-selection filter (drop flash-crowd
+  and dying swarms using tracker population statistics);
+* :mod:`repro.traces.io` persists traces as JSON-lines / CSV.
+"""
+
+from repro.traces.analysis import (
+    PhaseSegments,
+    classify_swarm,
+    classify_trace,
+    phase_segments,
+    summarize_trace,
+)
+from repro.traces.collector import collect_traces
+from repro.traces.io import read_trace_jsonl, write_trace_jsonl
+from repro.traces.schema import ClientTrace, TraceSample
+from repro.traces.synthetic import ARCHETYPES, archetype_config, generate_archetype
+
+__all__ = [
+    "ClientTrace",
+    "TraceSample",
+    "collect_traces",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+    "PhaseSegments",
+    "phase_segments",
+    "classify_trace",
+    "classify_swarm",
+    "summarize_trace",
+    "ARCHETYPES",
+    "archetype_config",
+    "generate_archetype",
+]

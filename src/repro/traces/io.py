@@ -1,0 +1,131 @@
+"""Trace persistence: JSON-lines and CSV.
+
+Format (JSONL): the first line is a header object with the trace
+metadata; every subsequent line is one sample.  Multiple traces per
+file are supported by repeating the pattern; a header line is
+recognised by its ``"type": "header"`` field.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import TraceError
+from repro.traces.schema import ClientTrace, TraceSample
+
+__all__ = ["write_trace_jsonl", "read_trace_jsonl", "write_trace_csv"]
+
+PathLike = Union[str, Path]
+
+
+def write_trace_jsonl(traces: List[ClientTrace], path: PathLike) -> None:
+    """Write traces to a JSONL file (header line + sample lines each)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for trace in traces:
+            header = {
+                "type": "header",
+                "client_id": trace.client_id,
+                "swarm_id": trace.swarm_id,
+                "num_pieces": trace.num_pieces,
+                "piece_size_bytes": trace.piece_size_bytes,
+                "started_at": trace.started_at,
+                "completed_at": trace.completed_at,
+                "num_samples": len(trace.samples),
+            }
+            handle.write(json.dumps(header) + "\n")
+            for sample in trace.samples:
+                row = {
+                    "type": "sample",
+                    "t": sample.time,
+                    "bytes": sample.cumulative_bytes,
+                    "pss": sample.potential_set_size,
+                    "conns": sample.active_connections,
+                }
+                handle.write(json.dumps(row) + "\n")
+
+
+def read_trace_jsonl(path: PathLike) -> List[ClientTrace]:
+    """Read traces written by :func:`write_trace_jsonl`.
+
+    Raises:
+        TraceError: on malformed lines, samples before any header, or a
+            sample count that contradicts the header.
+    """
+    path = Path(path)
+    traces: List[ClientTrace] = []
+    current: ClientTrace | None = None
+    expected: int | None = None
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{line_number}: invalid JSON") from exc
+            kind = obj.get("type")
+            if kind == "header":
+                if current is not None and expected is not None:
+                    _check_count(current, expected, path)
+                current = ClientTrace(
+                    client_id=obj["client_id"],
+                    swarm_id=obj["swarm_id"],
+                    num_pieces=obj["num_pieces"],
+                    piece_size_bytes=obj["piece_size_bytes"],
+                    started_at=obj["started_at"],
+                    completed_at=obj.get("completed_at"),
+                )
+                expected = obj.get("num_samples")
+                traces.append(current)
+            elif kind == "sample":
+                if current is None:
+                    raise TraceError(
+                        f"{path}:{line_number}: sample before any header"
+                    )
+                current.append(
+                    TraceSample(
+                        time=obj["t"],
+                        cumulative_bytes=obj["bytes"],
+                        potential_set_size=obj["pss"],
+                        active_connections=obj["conns"],
+                    )
+                )
+            else:
+                raise TraceError(
+                    f"{path}:{line_number}: unknown record type {kind!r}"
+                )
+    if current is not None and expected is not None:
+        _check_count(current, expected, path)
+    return traces
+
+
+def _check_count(trace: ClientTrace, expected: int, path: Path) -> None:
+    if len(trace.samples) != expected:
+        raise TraceError(
+            f"{path}: trace {trace.client_id} has {len(trace.samples)} samples, "
+            f"header promised {expected}"
+        )
+
+
+def write_trace_csv(trace: ClientTrace, path: PathLike) -> None:
+    """Export a single trace as CSV (for spreadsheet/plotting tools)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["time", "cumulative_bytes", "potential_set_size", "active_connections"]
+        )
+        for sample in trace.samples:
+            writer.writerow(
+                [
+                    sample.time,
+                    sample.cumulative_bytes,
+                    sample.potential_set_size,
+                    sample.active_connections,
+                ]
+            )

@@ -1,0 +1,153 @@
+"""Trace schema: what the instrumented client logs.
+
+A :class:`ClientTrace` is the unit of measurement data — one client's
+download in one swarm, as a time-ordered list of :class:`TraceSample`
+rows carrying exactly the two series the paper plots in Figure 2:
+cumulative bytes downloaded and the potential-set size (plus the active
+connection count, which the model's ``n`` coordinate corresponds to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import TraceError
+
+__all__ = ["TraceSample", "ClientTrace"]
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One instrumentation sample.
+
+    Attributes:
+        time: sample timestamp (simulation time or seconds).
+        cumulative_bytes: bytes downloaded so far.
+        potential_set_size: members of the potential set at this time.
+        active_connections: currently trading connections.
+    """
+
+    time: float
+    cumulative_bytes: int
+    potential_set_size: int
+    active_connections: int
+
+    def __post_init__(self) -> None:
+        if self.cumulative_bytes < 0:
+            raise TraceError(f"negative cumulative_bytes {self.cumulative_bytes}")
+        if self.potential_set_size < 0:
+            raise TraceError(
+                f"negative potential_set_size {self.potential_set_size}"
+            )
+        if self.active_connections < 0:
+            raise TraceError(
+                f"negative active_connections {self.active_connections}"
+            )
+
+
+@dataclass
+class ClientTrace:
+    """A full instrumented download.
+
+    Attributes:
+        client_id: identifier of the measuring client.
+        swarm_id: identifier of the swarm the client participated in.
+        num_pieces: ``B`` for the torrent.
+        piece_size_bytes: piece size (cumulative bytes advance in piece
+            multiples).
+        started_at: the client's join time.
+        completed_at: completion time, or None if the download did not
+            finish within the measurement window.
+        samples: time-ordered samples.
+    """
+
+    client_id: str
+    swarm_id: str
+    num_pieces: int
+    piece_size_bytes: int
+    started_at: float
+    completed_at: Optional[float] = None
+    samples: List[TraceSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_pieces < 1:
+            raise TraceError(f"num_pieces must be >= 1, got {self.num_pieces}")
+        if self.piece_size_bytes < 1:
+            raise TraceError(
+                f"piece_size_bytes must be >= 1, got {self.piece_size_bytes}"
+            )
+        self.validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def file_size_bytes(self) -> int:
+        return self.num_pieces * self.piece_size_bytes
+
+    @property
+    def is_complete(self) -> bool:
+        return (
+            bool(self.samples)
+            and self.samples[-1].cumulative_bytes >= self.file_size_bytes
+        )
+
+    def pieces_downloaded(self) -> int:
+        if not self.samples:
+            return 0
+        return self.samples[-1].cumulative_bytes // self.piece_size_bytes
+
+    def duration(self) -> Optional[float]:
+        """Join-to-completion time, None if unfinished."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def validate(self) -> None:
+        """Schema invariants: monotone time and monotone bytes.
+
+        Raises:
+            TraceError: on violations.
+        """
+        previous_time = float("-inf")
+        previous_bytes = -1
+        for sample in self.samples:
+            if sample.time < previous_time:
+                raise TraceError(
+                    f"trace {self.client_id}: non-monotone time at {sample.time}"
+                )
+            if sample.cumulative_bytes < previous_bytes:
+                raise TraceError(
+                    f"trace {self.client_id}: cumulative bytes decreased at "
+                    f"t={sample.time}"
+                )
+            if sample.cumulative_bytes > self.file_size_bytes:
+                raise TraceError(
+                    f"trace {self.client_id}: cumulative bytes exceed file size"
+                )
+            previous_time = sample.time
+            previous_bytes = sample.cumulative_bytes
+
+    def append(self, sample: TraceSample) -> None:
+        """Append a sample, enforcing monotonicity incrementally."""
+        if self.samples:
+            last = self.samples[-1]
+            if sample.time < last.time:
+                raise TraceError("appended sample moves backwards in time")
+            if sample.cumulative_bytes < last.cumulative_bytes:
+                raise TraceError("appended sample decreases cumulative bytes")
+        if sample.cumulative_bytes > self.file_size_bytes:
+            raise TraceError("appended sample exceeds file size")
+        self.samples.append(sample)
+
+    # Convenience series accessors -------------------------------------
+    def times(self) -> List[float]:
+        return [s.time for s in self.samples]
+
+    def bytes_series(self) -> List[int]:
+        return [s.cumulative_bytes for s in self.samples]
+
+    def potential_series(self) -> List[int]:
+        return [s.potential_set_size for s in self.samples]
+
+    def connection_series(self) -> List[int]:
+        return [s.active_connections for s in self.samples]

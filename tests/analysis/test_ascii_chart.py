@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import ascii_chart
+from repro.errors import ParameterError
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        text = ascii_chart({"a": [0, 1, 2, 3]}, width=20, height=5,
+                           title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 5 + 2  # title + rows + axis + legend
+        assert "* a" in lines[-1]
+
+    def test_extremes_labeled(self):
+        text = ascii_chart({"a": [2.0, 10.0]}, width=10, height=4)
+        assert "10" in text
+        assert "2" in text
+
+    def test_two_series_distinct_glyphs(self):
+        text = ascii_chart({"up": [0, 1], "down": [1, 0]}, width=10, height=4)
+        assert "*" in text and "o" in text
+        assert "up" in text and "down" in text
+
+    def test_flat_series_renders(self):
+        text = ascii_chart({"flat": [5.0, 5.0, 5.0]}, width=10, height=4)
+        assert text.count("*") >= 1
+
+    def test_nan_values_skipped(self):
+        values = [0.0, np.nan, 2.0]
+        text = ascii_chart({"a": values}, width=9, height=4)
+        assert "*" in text
+
+    def test_monotone_series_slopes(self):
+        text = ascii_chart({"a": list(range(50))}, width=30, height=6)
+        rows = [line[12:] for line in text.splitlines()[:6]]
+        first_cols = [row.find("*") for row in rows if "*" in row]
+        # Higher values (earlier rows) appear further right.
+        assert first_cols == sorted(first_cols, reverse=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(series={}),
+            dict(series={"a": [1.0]}, width=4),
+            dict(series={"a": [1.0]}, height=2),
+            dict(series={"a": [np.nan]}),
+        ],
+    )
+    def test_validation(self, kwargs):
+        series = kwargs.pop("series")
+        with pytest.raises(ParameterError):
+            ascii_chart(series, **kwargs)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0, 1] for i in range(9)}
+        with pytest.raises(ParameterError):
+            ascii_chart(series)

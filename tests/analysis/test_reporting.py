@@ -1,0 +1,78 @@
+"""Tests for plain-text reporting."""
+
+import pytest
+
+from repro.analysis.reporting import format_checks, format_series, format_table
+from repro.errors import ParameterError
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [33, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ParameterError):
+            format_table([], [])
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_nan_rendered(self):
+        text = format_table(["x"], [[float("nan")]])
+        assert "nan" in text
+
+
+class TestFormatSeries:
+    def test_small_series_full(self):
+        text = format_series("name", [1, 2], [10, 20])
+        assert "name" in text
+        assert "10" in text and "20" in text
+
+    def test_downsampling(self):
+        xs = list(range(100))
+        text = format_series("s", xs, xs, max_rows=10)
+        data_lines = text.splitlines()[3:]
+        assert len(data_lines) == 10
+
+    def test_endpoints_kept(self):
+        xs = list(range(100))
+        text = format_series("s", xs, xs, max_rows=10)
+        assert " 0" in text
+        assert "99" in text
+
+    def test_empty(self):
+        assert "(empty)" in format_series("s", [], [])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ParameterError):
+            format_series("s", [1], [1, 2])
+
+    def test_max_rows_validation(self):
+        with pytest.raises(ParameterError):
+            format_series("s", [1], [1], max_rows=1)
+
+    def test_custom_labels(self):
+        text = format_series("s", [1], [2], x_label="time", y_label="peers")
+        assert "time" in text and "peers" in text
+
+
+class TestFormatChecks:
+    def test_pass_fail_rendering(self):
+        text = format_checks("shape", {"good": True, "bad": False, "value": 1.5})
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "value = 1.5" in text

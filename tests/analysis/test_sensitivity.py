@@ -1,0 +1,70 @@
+"""Tests for the parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import sensitivity_analysis
+from repro.core.parameters import ModelParameters
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return ModelParameters(
+        num_pieces=40, max_conns=4, ns_size=8, alpha=0.1, gamma=0.1
+    )
+
+
+@pytest.fixture(scope="module")
+def report(baseline):
+    return sensitivity_analysis(baseline, runs=12, seed=3)
+
+
+class TestSensitivityAnalysis:
+    def test_all_sweepable_covered(self, report):
+        names = {p.parameter for p in report.points}
+        assert "max_conns" in names
+        assert "alpha" in names
+        assert "p_reenc" in names
+
+    def test_max_conns_speeds_downloads(self, report):
+        point = next(p for p in report.points if p.parameter == "max_conns")
+        assert point.low_time > point.high_time
+        assert point.elasticity < 0
+
+    def test_connections_dominate_stall_escapes(self, report):
+        """The trading-phase knobs outrank alpha/gamma at a healthy
+        baseline (stalls are rare, so escape rates barely matter)."""
+        by_name = {p.parameter: abs(p.elasticity) for p in report.points}
+        assert by_name["max_conns"] > by_name["alpha"]
+        assert by_name["max_conns"] > by_name["gamma"]
+
+    def test_ranked_order(self, report):
+        magnitudes = [abs(p.elasticity) for p in report.ranked()]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_subset_of_parameters(self, baseline):
+        report = sensitivity_analysis(
+            baseline, parameters=("alpha",), runs=6, seed=1
+        )
+        assert [p.parameter for p in report.points] == ["alpha"]
+
+    def test_format(self, report):
+        text = report.format()
+        assert "elasticity" in text
+        assert "max_conns" in text
+
+    def test_unknown_parameter_rejected(self, baseline):
+        with pytest.raises(ParameterError):
+            sensitivity_analysis(baseline, parameters=("num_pieces",), runs=4)
+
+    def test_bad_factor_rejected(self, baseline):
+        with pytest.raises(ParameterError):
+            sensitivity_analysis(baseline, factor=1.0, runs=4)
+
+    def test_probabilities_stay_clamped(self, baseline):
+        # p_reenc * 1.5 exceeds 1 and must be clamped, not rejected.
+        report = sensitivity_analysis(
+            baseline, parameters=("p_reenc",), factor=2.0, runs=6
+        )
+        point = report.points[0]
+        assert point.high_value == 1.0

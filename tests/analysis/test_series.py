@@ -1,0 +1,96 @@
+"""Tests for series utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.series import bin_series, moving_average, step_interpolate
+from repro.errors import ParameterError
+
+
+class TestBinSeries:
+    def test_averages_within_bins(self):
+        times = np.array([0.1, 0.2, 1.1, 1.9])
+        values = np.array([1.0, 3.0, 10.0, 20.0])
+        centers, means = bin_series(times, values, 1.0)
+        assert means.tolist() == [2.0, 15.0]
+
+    def test_empty(self):
+        centers, means = bin_series(np.array([]), np.array([]), 1.0)
+        assert centers.size == 0
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ParameterError):
+            bin_series(np.array([1.0]), np.array([1.0, 2.0]), 1.0)
+
+    def test_bad_width(self):
+        with pytest.raises(ParameterError):
+            bin_series(np.array([1.0]), np.array([1.0]), 0.0)
+
+    def test_gap_bins_dropped(self):
+        times = np.array([0.0, 10.0])
+        values = np.array([1.0, 2.0])
+        centers, means = bin_series(times, values, 1.0)
+        assert centers.size == 2
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 5.0, 3.0])
+        np.testing.assert_array_equal(moving_average(values, 1), values)
+
+    def test_smooths(self):
+        values = np.array([0.0, 10.0, 0.0, 10.0, 0.0])
+        smoothed = moving_average(values, 3)
+        assert smoothed[2] == pytest.approx(20.0 / 3)
+
+    def test_edges_shrink(self):
+        values = np.array([0.0, 10.0, 0.0])
+        smoothed = moving_average(values, 3)
+        assert smoothed[0] == pytest.approx(5.0)
+
+    def test_bad_window(self):
+        with pytest.raises(ParameterError):
+            moving_average(np.array([1.0]), 0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=40
+        ),
+        window=st.integers(min_value=1, max_value=9),
+    )
+    @settings(max_examples=50)
+    def test_property_bounded_by_extremes(self, values, window):
+        arr = np.array(values)
+        smoothed = moving_average(arr, window)
+        assert smoothed.min() >= arr.min() - 1e-9
+        assert smoothed.max() <= arr.max() + 1e-9
+
+
+class TestStepInterpolate:
+    def test_locf(self):
+        times = np.array([0.0, 2.0, 4.0])
+        values = np.array([1.0, 2.0, 3.0])
+        out = step_interpolate(times, values, np.array([0.5, 2.0, 3.9, 10.0]))
+        assert out.tolist() == [1.0, 2.0, 2.0, 3.0]
+
+    def test_before_first_sample(self):
+        out = step_interpolate(
+            np.array([5.0]), np.array([7.0]), np.array([1.0])
+        )
+        assert out.tolist() == [7.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            step_interpolate(np.array([]), np.array([]), np.array([1.0]))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ParameterError):
+            step_interpolate(
+                np.array([2.0, 1.0]), np.array([1.0, 2.0]), np.array([1.5])
+            )
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ParameterError):
+            step_interpolate(np.array([1.0]), np.array([1.0, 2.0]), np.array([]))

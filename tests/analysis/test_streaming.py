@@ -1,0 +1,136 @@
+"""Tests for the streaming-playback analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.streaming import (
+    availability_times,
+    minimal_startup_delay,
+    playback_stalls,
+    swarm_streaming_summary,
+)
+from repro.errors import ParameterError
+
+
+class TestAvailabilityTimes:
+    def test_from_log(self):
+        log = [(2.0, 1), (1.0, 0), (5.0, 2)]
+        avail = availability_times(log, 3)
+        assert avail.tolist() == [1.0, 2.0, 5.0]
+
+    def test_prefilled_default_joined_at(self):
+        avail = availability_times([(3.0, 1)], 3, joined_at=1.0)
+        assert avail.tolist() == [1.0, 3.0, 1.0]
+
+    def test_prefilled_excluded_is_inf(self):
+        avail = availability_times(
+            [(3.0, 1)], 3, prefilled_available=False
+        )
+        assert np.isinf(avail[0]) and np.isinf(avail[2])
+        assert avail[1] == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            availability_times([(1.0, 5)], 3)
+
+
+class TestPlaybackStalls:
+    def test_in_order_arrival_no_stalls(self):
+        # Pieces arrive exactly one per round, in order.
+        avail = np.arange(10, dtype=float)
+        result = playback_stalls(avail, startup_delay=1.0)
+        assert result.stall_count == 0
+        assert result.stalled_time == 0.0
+
+    def test_late_piece_stalls(self):
+        avail = np.array([0.0, 10.0, 2.0])
+        result = playback_stalls(avail, startup_delay=0.0)
+        # Piece 1 wanted at t=1 but ready at t=10: one 9-unit stall;
+        # playback then resumes at t=11, piece 2 (ready t=2) is fine.
+        assert result.stall_count == 1
+        assert result.stalled_time == pytest.approx(9.0)
+
+    def test_sufficient_startup_absorbs_stalls(self):
+        avail = np.array([0.0, 10.0, 2.0])
+        result = playback_stalls(avail, startup_delay=9.0)
+        assert result.stall_count == 0
+
+    def test_incomplete_rejected(self):
+        with pytest.raises(ParameterError):
+            playback_stalls(np.array([0.0, np.inf]))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            playback_stalls(np.array([0.0]), playback_interval=0.0)
+        with pytest.raises(ParameterError):
+            playback_stalls(np.array([0.0]), startup_delay=-1.0)
+
+
+class TestMinimalStartupDelay:
+    def test_closed_form_matches_simulation(self):
+        rng = np.random.default_rng(4)
+        avail = rng.uniform(0, 30, size=12)
+        delay = minimal_startup_delay(avail)
+        assert playback_stalls(avail, startup_delay=delay).stall_count == 0
+        if delay > 0.01:
+            shaved = playback_stalls(avail, startup_delay=delay - 0.01)
+            assert shaved.stall_count > 0
+
+    def test_in_order_needs_no_delay(self):
+        avail = np.arange(8, dtype=float)
+        assert minimal_startup_delay(avail) == 0.0
+
+    def test_reverse_order_needs_full_delay(self):
+        # Last piece index arrives first: playback must wait for index 0,
+        # which arrives last.
+        avail = np.array([3.0, 2.0, 1.0, 0.0])
+        assert minimal_startup_delay(avail) == pytest.approx(3.0)
+
+
+class TestSwarmSummary:
+    BASE = dict(
+        num_pieces=30, max_conns=3, ns_size=20,
+        arrival_process="poisson", arrival_rate=1.5,
+        initial_leechers=30, initial_distribution="uniform",
+        initial_fill=0.5, num_seeds=1, seed_upload_slots=2,
+        max_time=80.0, seed=2,
+    )
+
+    def _summary(self, policy, **over):
+        from repro.sim.config import SimConfig
+        from repro.sim.swarm import run_swarm
+
+        config = SimConfig(**{**self.BASE, **over}, piece_selection=policy)
+        result = run_swarm(config)
+        summary = swarm_streaming_summary(
+            result.metrics.completed, self.BASE["num_pieces"],
+            playback_interval=0.5,
+        )
+        summary["completed"] = float(len(result.metrics.completed))
+        return summary
+
+    def test_sequential_starves_strict_tft_swarms(self):
+        """Strict in-order selection kills mutual novelty: no arriving
+        peer completes a full download under strict piece barter."""
+        summary = self._summary("sequential")
+        assert summary["downloads"] == 0.0
+
+    def test_rarest_streams_fine_under_strict_tft(self):
+        summary = self._summary("rarest")
+        assert summary["downloads"] > 10
+        assert np.isfinite(summary["mean_startup_delay"])
+
+    def test_windowed_wins_startup_delay_without_piece_barter(self):
+        """The [1] conclusion: in-order scheduling pays off once
+        reciprocity is not strict piece-for-piece."""
+        windowed = self._summary("windowed", strict_tft=False)
+        rarest = self._summary("rarest", strict_tft=False)
+        assert windowed["downloads"] > 10
+        assert (
+            windowed["mean_startup_delay"] < rarest["mean_startup_delay"]
+        )
+
+    def test_empty_gives_nan(self):
+        summary = swarm_streaming_summary([], 10)
+        assert summary["downloads"] == 0.0
+        assert np.isnan(summary["mean_startup_delay"])

@@ -1,0 +1,122 @@
+"""Tests for validation metrics and figure shape predicates."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import (
+    compare_series,
+    efficiency_shape,
+    potential_ratio_shape,
+    timeline_shape,
+)
+from repro.errors import ParameterError
+
+
+class TestCompareSeries:
+    def test_identical(self):
+        a = np.array([1.0, 2.0, 3.0])
+        comparison = compare_series(a, a)
+        assert comparison.rmse == 0.0
+        assert comparison.max_abs_error == 0.0
+        assert comparison.correlation == pytest.approx(1.0)
+
+    def test_known_offset(self):
+        a = np.array([1.0, 2.0, 3.0])
+        comparison = compare_series(a + 1.0, a)
+        assert comparison.rmse == pytest.approx(1.0)
+        assert comparison.max_abs_error == pytest.approx(1.0)
+
+    def test_nan_handling(self):
+        a = np.array([1.0, np.nan, 3.0])
+        b = np.array([1.0, 2.0, 3.5])
+        comparison = compare_series(a, b)
+        assert comparison.max_abs_error == pytest.approx(0.5)
+
+    def test_constant_series_nan_correlation(self):
+        comparison = compare_series(np.ones(4), np.ones(4))
+        assert np.isnan(comparison.correlation)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ParameterError):
+            compare_series(np.ones(3), np.ones(4))
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ParameterError):
+            compare_series(np.full(3, np.nan), np.ones(3))
+
+
+class TestPotentialRatioShape:
+    def _ideal(self, num_pieces=100):
+        pieces = np.arange(num_pieces + 1)
+        # 0.5 at the edges, ~0.95 mid (the paper's Figure 1(a) shape).
+        ratio = 0.5 + 0.45 * np.sin(np.pi * pieces / num_pieces)
+        ratio[0] = 0.0
+        return pieces, ratio
+
+    def test_ideal_passes(self):
+        pieces, ratio = self._ideal()
+        checks = potential_ratio_shape(pieces, ratio)
+        assert checks["mid_high"]
+        assert checks["rises_from_start"]
+        assert checks["falls_to_end"]
+
+    def test_flat_low_curve_fails(self):
+        pieces = np.arange(101)
+        checks = potential_ratio_shape(pieces, np.full(101, 0.3))
+        assert not checks["mid_high"]
+
+    def test_monotone_rising_fails_fall_check(self):
+        pieces = np.arange(101)
+        checks = potential_ratio_shape(pieces, np.linspace(0, 1, 101))
+        assert not checks["falls_to_end"]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ParameterError):
+            potential_ratio_shape(np.arange(4), np.ones(4))
+
+
+class TestTimelineShape:
+    def test_valid_timeline(self):
+        steps = np.linspace(0, 30, 11)
+        checks = timeline_shape(steps, num_pieces=10, max_conns=2)
+        assert checks["monotone"]
+        assert checks["respects_parallelism_bound"]
+        assert checks["finite"]
+
+    def test_non_monotone_detected(self):
+        steps = np.array([0.0, 2.0, 1.0, 3.0])
+        checks = timeline_shape(steps, num_pieces=3, max_conns=1)
+        assert not checks["monotone"]
+
+    def test_too_fast_detected(self):
+        steps = np.linspace(0, 2, 11)  # 10 pieces in 2 rounds at k=2
+        checks = timeline_shape(steps, num_pieces=10, max_conns=2)
+        assert not checks["respects_parallelism_bound"]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ParameterError):
+            timeline_shape(np.zeros(5), num_pieces=10, max_conns=2)
+
+
+class TestEfficiencyShape:
+    def test_paper_shape_passes(self):
+        k = np.arange(1, 9)
+        eta = np.array([0.65, 0.9, 0.92, 0.93, 0.94, 0.94, 0.95, 0.95])
+        checks = efficiency_shape(k, eta)
+        assert checks["first_gain_dominates"]
+        assert checks["first_gain_positive"]
+        assert checks["plateau_after_two"]
+
+    def test_monotone_linear_fails_dominance(self):
+        k = np.arange(1, 6)
+        eta = np.linspace(0.2, 1.0, 5)
+        checks = efficiency_shape(k, eta)
+        assert not checks["plateau_after_two"] or not checks["first_gain_dominates"]
+
+    def test_must_start_at_one(self):
+        with pytest.raises(ParameterError):
+            efficiency_shape(np.arange(2, 6), np.ones(4))
+
+    def test_too_short(self):
+        with pytest.raises(ParameterError):
+            efficiency_shape(np.array([1, 2]), np.array([0.5, 0.9]))

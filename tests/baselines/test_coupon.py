@@ -1,0 +1,76 @@
+"""Tests for the coupon replication baseline."""
+
+import pytest
+
+from repro.baselines.coupon import CouponSystem, run_coupon_system
+from repro.errors import ParameterError
+
+
+class TestConstruction:
+    def test_initial_population_has_one_coupon_each(self):
+        system = CouponSystem(5, initial_peers=20, seed=0)
+        assert len(system.peers) == 20
+        assert all(bf.count == 1 for bf, _ in system.peers.values())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_coupons=0),
+            dict(num_coupons=5, arrival_rate=-1.0),
+            dict(num_coupons=5, initial_peers=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            CouponSystem(**kwargs)
+
+
+class TestRun:
+    def test_peers_complete(self):
+        result = run_coupon_system(
+            4, 200, arrival_rate=2.0, initial_peers=50, seed=1
+        )
+        assert result.completed > 0
+        assert result.mean_sojourn > 0
+
+    def test_failed_encounters_occur(self):
+        """The paper's structural point: whole-swarm random encounters
+        fail with positive probability."""
+        result = run_coupon_system(
+            8, 100, arrival_rate=2.0, initial_peers=50, seed=2
+        )
+        assert result.failed_encounter_fraction > 0.0
+
+    def test_efficiency_bounds(self):
+        result = run_coupon_system(4, 100, seed=3)
+        assert 0.0 <= result.efficiency <= 1.0
+
+    def test_series_recorded(self):
+        result = run_coupon_system(4, 50, seed=4)
+        assert len(result.population_series) == 50
+        rounds, values = zip(*result.entropy_series)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_sampling_stride(self):
+        system = CouponSystem(4, seed=5)
+        result = system.run(50, sample_every=10)
+        assert len(result.population_series) == 5
+
+    def test_validation(self):
+        system = CouponSystem(4, seed=6)
+        with pytest.raises(ParameterError):
+            system.run(0)
+        with pytest.raises(ParameterError):
+            system.run(10, sample_every=0)
+
+    def test_deterministic(self):
+        a = run_coupon_system(4, 100, seed=7)
+        b = run_coupon_system(4, 100, seed=7)
+        assert a.completed == b.completed
+        assert a.failed_encounter_fraction == b.failed_encounter_fraction
+
+    def test_single_peer_cannot_trade(self):
+        result = run_coupon_system(
+            4, 20, arrival_rate=0.0, initial_peers=1, seed=8
+        )
+        assert result.completed == 0

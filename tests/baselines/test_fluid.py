@@ -1,0 +1,108 @@
+"""Tests for the Qiu-Srikant fluid baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fluid import FluidModel
+from repro.errors import ParameterError
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(arrival_rate=-1.0),
+            dict(arrival_rate=1.0, upload_rate=0.0),
+            dict(arrival_rate=1.0, download_rate=0.0),
+            dict(arrival_rate=1.0, efficiency=0.0),
+            dict(arrival_rate=1.0, efficiency=1.5),
+            dict(arrival_rate=1.0, abort_rate=-0.1),
+            dict(arrival_rate=1.0, seed_departure_rate=0.0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            FluidModel(**kwargs)
+
+
+class TestSteadyState:
+    def test_zero_arrivals(self):
+        state = FluidModel(arrival_rate=0.0).steady_state()
+        assert state.leechers == 0.0
+        assert state.seeds == 0.0
+
+    def test_closed_form_uplink_constrained(self):
+        # mu small, gamma_s large: seeds leave fast, uplink binds.
+        model = FluidModel(
+            arrival_rate=10.0, upload_rate=0.5, download_rate=100.0,
+            efficiency=1.0, seed_departure_rate=2.0,
+        )
+        state = model.steady_state()
+        assert not state.download_constrained
+        # y = lam/gamma = 5; x = (lam/mu - y)/eta = (20 - 5)/1 = 15.
+        assert state.seeds == pytest.approx(5.0)
+        assert state.leechers == pytest.approx(15.0)
+
+    def test_closed_form_downlink_constrained(self):
+        model = FluidModel(
+            arrival_rate=10.0, upload_rate=100.0, download_rate=2.0,
+            efficiency=1.0, seed_departure_rate=1.0,
+        )
+        state = model.steady_state()
+        assert state.download_constrained
+        assert state.leechers == pytest.approx(5.0)  # lam / c
+
+    def test_littles_law(self):
+        model = FluidModel(arrival_rate=4.0, upload_rate=1.0,
+                           download_rate=3.0, seed_departure_rate=2.0)
+        state = model.steady_state()
+        assert state.mean_download_time == pytest.approx(
+            state.leechers / model.arrival_rate
+        )
+
+    def test_abort_rate_numeric_branch(self):
+        model = FluidModel(
+            arrival_rate=10.0, upload_rate=1.0, download_rate=5.0,
+            abort_rate=0.1, seed_departure_rate=1.0,
+        )
+        state = model.steady_state()
+        assert state.leechers > 0
+        # Balance must hold: lam = theta*x + completed.
+        completed = model.service_rate(state.leechers, state.seeds)
+        assert model.arrival_rate == pytest.approx(
+            model.abort_rate * state.leechers + completed, rel=1e-6
+        )
+
+    def test_higher_efficiency_fewer_leechers(self):
+        slow = FluidModel(arrival_rate=10.0, upload_rate=0.5,
+                          efficiency=0.5, seed_departure_rate=2.0)
+        fast = slow.__class__(arrival_rate=10.0, upload_rate=0.5,
+                              efficiency=1.0, seed_departure_rate=2.0)
+        assert fast.steady_state().leechers < slow.steady_state().leechers
+
+
+class TestIntegration:
+    def test_trajectory_shape(self):
+        model = FluidModel(arrival_rate=5.0, seed_departure_rate=1.0)
+        traj = model.integrate(50.0, points=100)
+        assert traj.times.size == 100
+        assert traj.leechers.size == 100
+        assert (traj.leechers >= 0).all()
+        assert (traj.seeds >= 0).all()
+
+    def test_converges_to_steady_state(self):
+        model = FluidModel(
+            arrival_rate=5.0, upload_rate=1.0, download_rate=2.0,
+            seed_departure_rate=1.0,
+        )
+        steady = model.steady_state()
+        traj = model.integrate(200.0, points=400)
+        assert traj.leechers[-1] == pytest.approx(steady.leechers, rel=0.05)
+        assert traj.seeds[-1] == pytest.approx(steady.seeds, rel=0.05)
+
+    def test_validation(self):
+        model = FluidModel(arrival_rate=1.0)
+        with pytest.raises(ParameterError):
+            model.integrate(0.0)
+        with pytest.raises(ParameterError):
+            model.integrate(10.0, points=1)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_params() -> ModelParameters:
+    """A small model parameter set (fast exact analysis possible)."""
+    return ModelParameters(num_pieces=10, max_conns=3, ns_size=6)
+
+
+@pytest.fixture
+def small_config() -> SimConfig:
+    """A small, fast swarm configuration."""
+    return SimConfig(
+        num_pieces=20,
+        max_conns=3,
+        ns_size=10,
+        arrival_process="poisson",
+        arrival_rate=1.0,
+        initial_leechers=15,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        optimistic_unchoke_prob=0.5,
+        max_time=60.0,
+        seed=7,
+    )

@@ -1,0 +1,158 @@
+"""Tests for repro.core.binomial."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binomial import (
+    binomial_mean,
+    binomial_pmf,
+    convolve_pmf,
+    sample_pmf,
+    validate_pmf,
+)
+from repro.errors import ParameterError
+
+
+def exact_pmf(n: int, p: float) -> np.ndarray:
+    return np.array(
+        [math.comb(n, m) * p**m * (1 - p) ** (n - m) for m in range(n + 1)]
+    )
+
+
+class TestBinomialPmf:
+    def test_matches_exact_formula(self):
+        pmf = binomial_pmf(10, 0.3)
+        np.testing.assert_allclose(pmf, exact_pmf(10, 0.3), atol=1e-12)
+
+    def test_sums_to_one(self):
+        assert binomial_pmf(25, 0.42).sum() == pytest.approx(1.0)
+
+    def test_zero_trials(self):
+        pmf = binomial_pmf(0, 0.5)
+        assert pmf.tolist() == [1.0]
+
+    def test_p_zero_is_point_mass_at_zero(self):
+        pmf = binomial_pmf(7, 0.0)
+        assert pmf[0] == 1.0
+        assert pmf[1:].sum() == 0.0
+
+    def test_p_one_is_point_mass_at_n(self):
+        pmf = binomial_pmf(7, 1.0)
+        assert pmf[7] == 1.0
+        assert pmf[:7].sum() == 0.0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ParameterError):
+            binomial_pmf(-1, 0.5)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, 2.0])
+    def test_bad_probability_rejected(self, p):
+        with pytest.raises(ParameterError):
+            binomial_pmf(5, p)
+
+    @given(
+        n=st.integers(min_value=0, max_value=60),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_property_valid_pmf(self, n, p):
+        pmf = binomial_pmf(n, p)
+        assert pmf.size == n + 1
+        assert (pmf >= 0).all()
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        p=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40)
+    def test_property_mean(self, n, p):
+        pmf = binomial_pmf(n, p)
+        mean = float(np.arange(n + 1) @ pmf)
+        assert mean == pytest.approx(n * p, rel=1e-6)
+
+
+class TestConvolvePmf:
+    def test_sum_of_binomials(self):
+        # Bin(3, .5) + Bin(4, .5) = Bin(7, .5)
+        a = binomial_pmf(3, 0.5)
+        b = binomial_pmf(4, 0.5)
+        np.testing.assert_allclose(convolve_pmf(a, b), binomial_pmf(7, 0.5), atol=1e-12)
+
+    def test_point_masses(self):
+        a = np.array([0.0, 1.0])
+        b = np.array([0.0, 0.0, 1.0])
+        out = convolve_pmf(a, b)
+        assert out[3] == pytest.approx(1.0)
+
+    def test_length(self):
+        out = convolve_pmf(np.ones(3) / 3, np.ones(5) / 5)
+        assert out.size == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            convolve_pmf(np.array([]), np.array([1.0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ParameterError):
+            convolve_pmf(np.ones((2, 2)), np.array([1.0]))
+
+    @given(
+        n1=st.integers(min_value=0, max_value=20),
+        n2=st.integers(min_value=0, max_value=20),
+        p=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=40)
+    def test_property_convolution_is_binomial_sum(self, n1, n2, p):
+        out = convolve_pmf(binomial_pmf(n1, p), binomial_pmf(n2, p))
+        np.testing.assert_allclose(out, binomial_pmf(n1 + n2, p), atol=1e-9)
+
+
+class TestBinomialMean:
+    def test_value(self):
+        assert binomial_mean(10, 0.3) == pytest.approx(3.0)
+
+    def test_errors(self):
+        with pytest.raises(ParameterError):
+            binomial_mean(-2, 0.5)
+        with pytest.raises(ParameterError):
+            binomial_mean(2, 1.5)
+
+
+class TestValidatePmf:
+    def test_accepts_valid(self):
+        pmf = np.array([0.25, 0.25, 0.5])
+        out = validate_pmf(pmf)
+        assert out is not None
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            validate_pmf(np.array([0.5, -0.1, 0.6]))
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ParameterError):
+            validate_pmf(np.array([0.5, 0.2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            validate_pmf(np.ones((2, 2)) / 4)
+
+
+class TestSamplePmf:
+    def test_point_mass(self, rng):
+        pmf = np.array([0.0, 0.0, 1.0])
+        assert all(sample_pmf(pmf, rng) == 2 for _ in range(20))
+
+    def test_distribution_statistics(self, rng):
+        pmf = binomial_pmf(6, 0.5)
+        draws = [sample_pmf(pmf, rng) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(3.0, abs=0.15)
+
+    def test_all_draws_in_support(self, rng):
+        pmf = np.array([0.3, 0.0, 0.7])
+        draws = {sample_pmf(pmf, rng) for _ in range(200)}
+        assert draws <= {0, 2}

@@ -1,0 +1,112 @@
+"""Tests for repro.core.parameters."""
+
+import pytest
+
+from repro.core.parameters import (
+    DEFAULT_PARAMETERS,
+    ModelParameters,
+    alpha_from_swarm,
+)
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.errors import ParameterError
+
+
+class TestModelParameters:
+    def test_defaults_valid(self):
+        params = ModelParameters(num_pieces=10, max_conns=2, ns_size=5)
+        assert params.phi is not None
+        assert params.phi.num_pieces == 10
+
+    def test_default_phi_is_uniform(self):
+        params = ModelParameters(num_pieces=8, max_conns=2, ns_size=5)
+        assert params.phi == PieceCountDistribution.uniform(8)
+
+    def test_explicit_phi_kept(self):
+        phi = PieceCountDistribution.point_mass(8, 3)
+        params = ModelParameters(num_pieces=8, max_conns=2, ns_size=5, phi=phi)
+        assert params.phi is phi
+
+    def test_phi_b_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            ModelParameters(
+                num_pieces=8,
+                max_conns=2,
+                ns_size=5,
+                phi=PieceCountDistribution.uniform(9),
+            )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_pieces", 0),
+            ("max_conns", 0),
+            ("ns_size", 0),
+            ("p_init", -0.1),
+            ("p_init", 1.2),
+            ("alpha", 2.0),
+            ("gamma", -1.0),
+            ("p_reenc", 1.01),
+            ("p_new", -0.5),
+        ],
+    )
+    def test_field_validation(self, field, value):
+        kwargs = dict(num_pieces=10, max_conns=3, ns_size=5)
+        kwargs[field] = value
+        with pytest.raises(ParameterError):
+            ModelParameters(**kwargs)
+
+    def test_with_changes(self):
+        params = ModelParameters(num_pieces=10, max_conns=3, ns_size=5)
+        changed = params.with_changes(max_conns=4)
+        assert changed.max_conns == 4
+        assert changed.num_pieces == 10
+        assert params.max_conns == 3  # original untouched
+
+    def test_with_changes_revalidates(self):
+        params = ModelParameters(num_pieces=10, max_conns=3, ns_size=5)
+        with pytest.raises(ParameterError):
+            params.with_changes(alpha=7.0)
+
+    def test_state_count(self):
+        params = ModelParameters(num_pieces=10, max_conns=3, ns_size=5)
+        assert params.state_count == 4 * 11 * 6
+
+    def test_describe_mentions_all_symbols(self):
+        text = ModelParameters(num_pieces=10, max_conns=3, ns_size=5).describe()
+        for token in ("B=10", "k=3", "s=5", "alpha", "gamma"):
+            assert token in text
+
+    def test_frozen(self):
+        params = ModelParameters(num_pieces=10, max_conns=3, ns_size=5)
+        with pytest.raises(AttributeError):
+            params.num_pieces = 20
+
+    def test_default_parameters_constant(self):
+        assert DEFAULT_PARAMETERS.num_pieces == 200
+        assert DEFAULT_PARAMETERS.max_conns == 7
+        assert DEFAULT_PARAMETERS.ns_size == 50
+
+
+class TestAlphaFromSwarm:
+    def test_formula(self):
+        # alpha = lambda * w * s / N
+        assert alpha_from_swarm(2.0, 0.5, 10, 100) == pytest.approx(0.1)
+
+    def test_clamped_at_one(self):
+        assert alpha_from_swarm(100.0, 1.0, 50, 10) == 1.0
+
+    def test_zero_arrivals(self):
+        assert alpha_from_swarm(0.0, 0.5, 10, 100) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(arrival_rate=-1.0, tradeable_probability=0.5, ns_size=5, swarm_size=10),
+            dict(arrival_rate=1.0, tradeable_probability=1.5, ns_size=5, swarm_size=10),
+            dict(arrival_rate=1.0, tradeable_probability=0.5, ns_size=0, swarm_size=10),
+            dict(arrival_rate=1.0, tradeable_probability=0.5, ns_size=5, swarm_size=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            alpha_from_swarm(**kwargs)

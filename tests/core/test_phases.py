@@ -1,0 +1,90 @@
+"""Tests for phase classification (paper Section 3.2)."""
+
+import pytest
+
+from repro.core.chain import State
+from repro.core.phases import (
+    Phase,
+    classify_state,
+    phase_boundaries,
+    phase_durations,
+)
+
+B = 20
+
+
+class TestClassifyState:
+    def test_fresh_peer_bootstrap(self):
+        assert classify_state(State(0, 0, 0), B) is Phase.BOOTSTRAP
+
+    def test_first_piece_no_partners_bootstrap(self):
+        assert classify_state(State(0, 1, 0), B) is Phase.BOOTSTRAP
+
+    def test_first_piece_with_partners_still_bootstrap(self):
+        # b + n <= 1 is the bootstrap criterion.
+        assert classify_state(State(0, 1, 4), B) is Phase.BOOTSTRAP
+
+    def test_trading(self):
+        assert classify_state(State(2, 5, 3), B) is Phase.EFFICIENT
+
+    def test_last_phase(self):
+        assert classify_state(State(0, 15, 0), B) is Phase.LAST
+
+    def test_last_phase_requires_pieces(self):
+        # i == 0 with b + n <= 1 is bootstrap, not last.
+        assert classify_state(State(1, 0, 0), B) is Phase.BOOTSTRAP
+
+    def test_complete(self):
+        assert classify_state(State(0, B, 0), B) is Phase.COMPLETE
+
+    def test_str(self):
+        assert str(Phase.EFFICIENT) == "efficient"
+
+
+class TestPhaseDurations:
+    def test_counts_steps_per_phase(self):
+        traj = [
+            State(0, 0, 0),   # bootstrap
+            State(0, 1, 0),   # bootstrap
+            State(2, 1, 3),   # b+n=3 -> efficient
+            State(2, 3, 3),   # efficient
+            State(0, 5, 0),   # last
+            State(0, B, 0),   # complete (not counted)
+        ]
+        durations = phase_durations(traj, B)
+        assert durations[Phase.BOOTSTRAP] == 2
+        assert durations[Phase.EFFICIENT] == 2
+        assert durations[Phase.LAST] == 1
+
+    def test_stops_at_completion(self):
+        traj = [State(0, B, 0), State(0, 5, 0)]
+        durations = phase_durations(traj, B)
+        assert sum(durations.values()) == 0
+
+    def test_empty_trajectory(self):
+        durations = phase_durations([], B)
+        assert durations == {
+            Phase.BOOTSTRAP: 0,
+            Phase.EFFICIENT: 0,
+            Phase.LAST: 0,
+        }
+
+
+class TestPhaseBoundaries:
+    def test_first_and_last_steps(self):
+        traj = [
+            State(0, 0, 0),
+            State(0, 1, 0),
+            State(2, 1, 3),
+            State(0, 5, 0),
+            State(0, 6, 0),
+        ]
+        bounds = phase_boundaries(traj, B)
+        assert bounds[Phase.BOOTSTRAP] == (0, 1)
+        assert bounds[Phase.EFFICIENT] == (2, 2)
+        assert bounds[Phase.LAST] == (3, 4)
+
+    def test_missing_phase_absent(self):
+        traj = [State(0, 0, 0)]
+        bounds = phase_boundaries(traj, B)
+        assert Phase.LAST not in bounds

@@ -1,0 +1,151 @@
+"""Tests for repro.core.piece_distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.errors import DistributionError, ParameterError
+
+
+class TestUniform:
+    def test_pmf_values(self):
+        phi = PieceCountDistribution.uniform(4)
+        for j in range(1, 5):
+            assert phi.pmf(j) == pytest.approx(0.25)
+
+    def test_outside_support_is_zero(self):
+        phi = PieceCountDistribution.uniform(4)
+        assert phi.pmf(0) == 0.0
+        assert phi.pmf(5) == 0.0
+        assert phi.pmf(-3) == 0.0
+
+    def test_mean(self):
+        phi = PieceCountDistribution.uniform(5)
+        assert phi.mean() == pytest.approx(3.0)
+
+    def test_invalid_b(self):
+        with pytest.raises(ParameterError):
+            PieceCountDistribution.uniform(0)
+
+
+class TestPointMass:
+    def test_mass_location(self):
+        phi = PieceCountDistribution.point_mass(10, 7)
+        assert phi.pmf(7) == 1.0
+        assert phi.pmf(6) == 0.0
+
+    def test_location_validation(self):
+        with pytest.raises(ParameterError):
+            PieceCountDistribution.point_mass(10, 0)
+        with pytest.raises(ParameterError):
+            PieceCountDistribution.point_mass(10, 11)
+
+
+class TestLinearSkew:
+    def test_toward_full_weights_increase(self):
+        phi = PieceCountDistribution.linear_skew(6, toward_full=True)
+        values = [phi.pmf(j) for j in range(1, 7)]
+        assert values == sorted(values)
+
+    def test_toward_empty_weights_decrease(self):
+        phi = PieceCountDistribution.linear_skew(6, toward_full=False)
+        values = [phi.pmf(j) for j in range(1, 7)]
+        assert values == sorted(values, reverse=True)
+
+
+class TestTruncatedGeometric:
+    def test_ratio_one_is_uniform(self):
+        phi = PieceCountDistribution.truncated_geometric(5, 1.0)
+        assert phi == PieceCountDistribution.uniform(5)
+
+    def test_ratio_below_one_favors_low_counts(self):
+        phi = PieceCountDistribution.truncated_geometric(5, 0.5)
+        assert phi.pmf(1) > phi.pmf(5)
+
+    def test_ratio_above_one_favors_high_counts(self):
+        phi = PieceCountDistribution.truncated_geometric(5, 2.0)
+        assert phi.pmf(5) > phi.pmf(1)
+
+    def test_large_b_numerically_stable(self):
+        phi = PieceCountDistribution.truncated_geometric(500, 1.05)
+        assert np.isfinite(phi.as_array()).all()
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ParameterError):
+            PieceCountDistribution.truncated_geometric(5, 0.0)
+
+
+class TestEmpirical:
+    def test_from_mapping(self):
+        phi = PieceCountDistribution.empirical(4, {1: 3.0, 4: 1.0})
+        assert phi.pmf(1) == pytest.approx(0.75)
+        assert phi.pmf(4) == pytest.approx(0.25)
+
+    def test_from_iterable(self):
+        phi = PieceCountDistribution.empirical(4, [1, 1, 2, 2])
+        assert phi.pmf(1) == pytest.approx(0.5)
+        assert phi.pmf(2) == pytest.approx(0.5)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(DistributionError):
+            PieceCountDistribution.empirical(4, [0, 1])
+
+    def test_rejects_above_b(self):
+        with pytest.raises(DistributionError):
+            PieceCountDistribution.empirical(4, {5: 1.0})
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(DistributionError):
+            PieceCountDistribution.empirical(4, {2: -1.0})
+
+    def test_rejects_no_mass(self):
+        with pytest.raises(DistributionError):
+            PieceCountDistribution.empirical(4, [])
+
+
+class TestConstructionValidation:
+    def test_wrong_shape(self):
+        with pytest.raises(DistributionError):
+            PieceCountDistribution(4, np.ones(3) / 3)
+
+    def test_negative_entries(self):
+        with pytest.raises(DistributionError):
+            PieceCountDistribution(2, np.array([1.5, -0.5]))
+
+    def test_bad_sum(self):
+        with pytest.raises(DistributionError):
+            PieceCountDistribution(2, np.array([0.2, 0.2]))
+
+    def test_array_is_readonly(self):
+        phi = PieceCountDistribution.uniform(3)
+        with pytest.raises(ValueError):
+            phi.as_array()[0] = 1.0
+
+
+class TestValueSemantics:
+    def test_equality(self):
+        assert PieceCountDistribution.uniform(5) == PieceCountDistribution.uniform(5)
+
+    def test_inequality_different_b(self):
+        assert PieceCountDistribution.uniform(5) != PieceCountDistribution.uniform(6)
+
+    def test_hash_consistent(self):
+        a = PieceCountDistribution.uniform(5)
+        b = PieceCountDistribution.uniform(5)
+        assert hash(a) == hash(b)
+
+    def test_repr_mentions_b(self):
+        assert "B=5" in repr(PieceCountDistribution.uniform(5))
+
+    @given(b=st.integers(min_value=1, max_value=80),
+           ratio=st.floats(min_value=0.2, max_value=5.0))
+    @settings(max_examples=40)
+    def test_property_valid_distribution(self, b, ratio):
+        phi = PieceCountDistribution.truncated_geometric(b, ratio)
+        arr = phi.as_array()
+        assert arr.size == b
+        assert (arr >= 0).all()
+        assert arr.sum() == pytest.approx(1.0, abs=1e-9)
+        assert 1.0 <= phi.mean() <= b

@@ -1,0 +1,141 @@
+"""Tests for repro.core.trading_power (paper Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.core.trading_power import (
+    binomial_ratio,
+    exchange_probability,
+    exchange_probability_curve,
+)
+from repro.errors import ParameterError
+
+
+class TestBinomialRatio:
+    def test_matches_comb(self):
+        for top, bottom, choose in [(5, 10, 3), (7, 12, 7), (4, 9, 0)]:
+            expected = math.comb(top, choose) / math.comb(bottom, choose)
+            assert binomial_ratio(top, bottom, choose) == pytest.approx(expected)
+
+    def test_zero_when_choose_exceeds_top(self):
+        assert binomial_ratio(3, 10, 5) == 0.0
+
+    def test_one_when_choose_zero(self):
+        assert binomial_ratio(5, 9, 0) == 1.0
+
+    def test_equal_top_bottom(self):
+        assert binomial_ratio(6, 6, 3) == pytest.approx(1.0)
+
+    def test_large_values_no_overflow(self):
+        value = binomial_ratio(400, 500, 100)
+        assert 0.0 < value < 1.0
+
+    def test_top_above_bottom_rejected(self):
+        with pytest.raises(ParameterError):
+            binomial_ratio(10, 5, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            binomial_ratio(-1, 5, 2)
+
+    def test_choose_above_bottom_rejected(self):
+        with pytest.raises(ParameterError):
+            binomial_ratio(3, 5, 6)
+
+    @given(
+        bottom=st.integers(min_value=1, max_value=50),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_property_in_unit_interval(self, bottom, data):
+        top = data.draw(st.integers(min_value=0, max_value=bottom))
+        choose = data.draw(st.integers(min_value=0, max_value=bottom))
+        assert 0.0 <= binomial_ratio(top, bottom, choose) <= 1.0
+
+
+class TestExchangeProbability:
+    def test_zero_pieces_cannot_trade(self):
+        phi = PieceCountDistribution.uniform(10)
+        assert exchange_probability(0, 10, phi) == 0.0
+
+    def test_complete_peer_cannot_trade(self):
+        phi = PieceCountDistribution.uniform(10)
+        assert exchange_probability(10, 10, phi) == pytest.approx(0.0, abs=1e-12)
+
+    def test_paper_shape_rises_then_falls(self):
+        """p(c) rises from ~0.5, peaks near B/2, falls back (paper Sec 3.2)."""
+        num_pieces = 40
+        phi = PieceCountDistribution.uniform(num_pieces)
+        curve = exchange_probability_curve(num_pieces, phi)
+        mid = curve[num_pieces // 2]
+        assert mid > curve[1]
+        assert mid > curve[num_pieces - 1]
+        assert mid > 0.8
+
+    def test_edges_near_half_for_uniform(self):
+        num_pieces = 50
+        phi = PieceCountDistribution.uniform(num_pieces)
+        assert exchange_probability(1, num_pieces, phi) == pytest.approx(0.5, abs=0.05)
+        assert exchange_probability(num_pieces - 1, num_pieces, phi) == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_point_mass_exact(self):
+        """Against a swarm where everyone holds exactly j pieces."""
+        num_pieces = 6
+        phi = PieceCountDistribution.point_mass(num_pieces, 3)
+        # P holds 2 pieces; Q holds 3. Q useless iff P's 2 within Q's 3:
+        # C(3,2)/C(6,2) = 3/15 = 0.2 -> p = 0.8.
+        assert exchange_probability(2, num_pieces, phi) == pytest.approx(0.8)
+
+    def test_point_mass_equal_counts(self):
+        num_pieces = 6
+        phi = PieceCountDistribution.point_mass(num_pieces, 3)
+        # c = j = 3: Q useless iff Q's 3 pieces all within P's 3:
+        # C(3,3)/C(6,3) = 1/20 -> p = 0.95.
+        assert exchange_probability(3, num_pieces, phi) == pytest.approx(0.95)
+
+    def test_mismatched_phi_rejected(self):
+        with pytest.raises(ParameterError):
+            exchange_probability(2, 10, PieceCountDistribution.uniform(5))
+
+    def test_out_of_range_rejected(self):
+        phi = PieceCountDistribution.uniform(10)
+        with pytest.raises(ParameterError):
+            exchange_probability(11, 10, phi)
+        with pytest.raises(ParameterError):
+            exchange_probability(-1, 10, phi)
+
+    def test_invalid_b_rejected(self):
+        with pytest.raises(ParameterError):
+            exchange_probability(0, 0, PieceCountDistribution.uniform(1))
+
+    @given(
+        num_pieces=st.integers(min_value=2, max_value=40),
+        data=st.data(),
+    )
+    @settings(max_examples=40)
+    def test_property_probability_bounds(self, num_pieces, data):
+        c = data.draw(st.integers(min_value=0, max_value=num_pieces))
+        ratio = data.draw(st.floats(min_value=0.3, max_value=3.0))
+        phi = PieceCountDistribution.truncated_geometric(num_pieces, ratio)
+        p = exchange_probability(c, num_pieces, phi)
+        assert 0.0 <= p <= 1.0
+
+
+class TestCurve:
+    def test_length(self):
+        phi = PieceCountDistribution.uniform(12)
+        curve = exchange_probability_curve(12, phi)
+        assert curve.size == 13
+
+    def test_endpoint_values(self):
+        phi = PieceCountDistribution.uniform(12)
+        curve = exchange_probability_curve(12, phi)
+        assert curve[0] == 0.0
+        assert curve[12] == pytest.approx(0.0, abs=1e-12)

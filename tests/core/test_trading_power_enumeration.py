@@ -1,0 +1,75 @@
+"""Brute-force verification of Eq. (1) by exhaustive subset enumeration.
+
+The paper derives ``p(c)`` combinatorially; for small ``B`` the same
+quantity can be computed directly by enumerating every pair of piece
+subsets.  Any algebra or off-by-one error in the closed form would show
+up here.
+"""
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.core.trading_power import exchange_probability
+
+
+def enumerate_exchange_probability(c: int, num_pieces: int, phi) -> float:
+    """Directly average, over Q's size j ~ phi and all subset pairs,
+    the paper's exchangeability event:
+
+    * Q with j > c pieces is useful to P unless all of P's c pieces lie
+      inside Q's j;
+    * Q with j <= c pieces lets P trade unless all of Q's j pieces lie
+      inside P's c.
+
+    P's c-subset and Q's j-subset are uniform and independent.
+    """
+    pieces = range(num_pieces)
+    total = 0.0
+    for j in range(1, num_pieces + 1):
+        weight = phi.pmf(j)
+        if weight == 0.0:
+            continue
+        # By symmetry we may fix P's subset and average over Q's.
+        p_set = frozenset(range(c))
+        exchangeable = 0
+        count = 0
+        for q in itertools.combinations(pieces, j):
+            q_set = frozenset(q)
+            count += 1
+            if j > c:
+                if not p_set <= q_set:
+                    exchangeable += 1
+            else:
+                if not q_set <= p_set:
+                    exchangeable += 1
+        total += weight * exchangeable / count
+    return total
+
+
+class TestEquationOneByEnumeration:
+    @pytest.mark.parametrize("num_pieces", [4, 6])
+    def test_uniform_phi(self, num_pieces):
+        phi = PieceCountDistribution.uniform(num_pieces)
+        for c in range(1, num_pieces + 1):
+            closed_form = exchange_probability(c, num_pieces, phi)
+            brute = enumerate_exchange_probability(c, num_pieces, phi)
+            assert closed_form == pytest.approx(brute, abs=1e-12), f"c={c}"
+
+    def test_skewed_phi(self):
+        num_pieces = 6
+        phi = PieceCountDistribution.truncated_geometric(num_pieces, 0.5)
+        for c in range(1, num_pieces + 1):
+            closed_form = exchange_probability(c, num_pieces, phi)
+            brute = enumerate_exchange_probability(c, num_pieces, phi)
+            assert closed_form == pytest.approx(brute, abs=1e-12), f"c={c}"
+
+    def test_point_mass_phi(self):
+        num_pieces = 5
+        phi = PieceCountDistribution.point_mass(num_pieces, 3)
+        for c in range(1, num_pieces + 1):
+            closed_form = exchange_probability(c, num_pieces, phi)
+            brute = enumerate_exchange_probability(c, num_pieces, phi)
+            assert closed_form == pytest.approx(brute, abs=1e-12), f"c={c}"

@@ -1,0 +1,179 @@
+"""Tests for the transition kernels f, g, h (paper Eqs. 2-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import ModelParameters
+from repro.core.transitions import (
+    TransitionKernel,
+    connection_pmf,
+    piece_successor,
+    potential_set_pmf,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def params():
+    return ModelParameters(
+        num_pieces=10, max_conns=3, ns_size=6, p_init=0.5,
+        alpha=0.2, gamma=0.3, p_reenc=0.7, p_new=0.6,
+    )
+
+
+class TestPieceSuccessor:
+    def test_first_piece(self):
+        assert piece_successor(0, 0, 10) == 1
+        assert piece_successor(3, 0, 10) == 1  # b=0 dominates
+
+    def test_advance_by_connections(self):
+        assert piece_successor(3, 4, 10) == 7
+
+    def test_capped_at_b(self):
+        assert piece_successor(5, 8, 10) == 10
+
+    def test_no_connections_no_progress(self):
+        assert piece_successor(0, 4, 10) == 4
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            piece_successor(0, 11, 10)
+        with pytest.raises(ParameterError):
+            piece_successor(-1, 2, 10)
+
+
+class TestPotentialSetPmf:
+    def test_fresh_peer_binomial(self, params):
+        pmf = potential_set_pmf(0, 0, 0, params)
+        # Bin(s=6, p_init=0.5)
+        assert pmf.size == 7
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf[3] == pytest.approx(0.3125)
+
+    def test_bootstrap_stuck_alpha(self, params):
+        pmf = potential_set_pmf(0, 1, 0, params)
+        assert pmf[1] == pytest.approx(params.alpha)
+        assert pmf[0] == pytest.approx(1 - params.alpha)
+        assert pmf[2:].sum() == 0.0
+
+    def test_last_phase_gamma(self, params):
+        pmf = potential_set_pmf(0, 5, 0, params)
+        assert pmf[1] == pytest.approx(params.gamma)
+        assert pmf[0] == pytest.approx(1 - params.gamma)
+
+    def test_gamma_branch_uses_b_plus_n(self, params):
+        # b=1, n=2 -> c=3 > 1: the gamma branch, not alpha.
+        pmf = potential_set_pmf(2, 1, 0, params)
+        assert pmf[1] == pytest.approx(params.gamma)
+
+    def test_trading_phase_binomial(self, params):
+        pmf = potential_set_pmf(1, 4, 3, params)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert pmf.size == params.ns_size + 1
+
+    def test_complete_download_collapses(self, params):
+        pmf = potential_set_pmf(0, 10, 4, params)
+        assert pmf[0] == 1.0
+
+    def test_c_clamped_at_b(self, params):
+        # b + n may exceed B; p(B) = 0 so the potential set collapses.
+        pmf = potential_set_pmf(3, 9, 4, params)
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_invalid_i_rejected(self, params):
+        with pytest.raises(ParameterError):
+            potential_set_pmf(0, 0, 7, params)
+
+    @given(
+        n=st.integers(min_value=0, max_value=3),
+        b=st.integers(min_value=0, max_value=10),
+        i=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=80)
+    def test_property_valid_pmf(self, n, b, i):
+        params = ModelParameters(num_pieces=10, max_conns=3, ns_size=6)
+        pmf = potential_set_pmf(n, b, i, params)
+        assert (pmf >= 0).all()
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestConnectionPmf:
+    def test_fresh_peer_no_connections(self, params):
+        pmf = connection_pmf(0, 0, 5, params)
+        assert pmf[0] == 1.0
+
+    def test_complete_peer_no_connections(self, params):
+        pmf = connection_pmf(2, 10, 5, params)
+        assert pmf[0] == 1.0
+
+    def test_never_exceeds_k(self, params):
+        pmf = connection_pmf(3, 4, 6, params)
+        assert pmf.size == params.max_conns + 1
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_zero_potential_only_survivors(self, params):
+        # i' = 0: no new connections possible; Y1 ~ Bin(n, p_r) only.
+        pmf = connection_pmf(2, 4, 0, params)
+        expected_mean = 2 * params.p_reenc
+        mean = float(np.arange(pmf.size) @ pmf)
+        assert mean == pytest.approx(expected_mean)
+
+    def test_full_potential_mean(self, params):
+        # n=1, i'=6 >= k=3: Y1 ~ Bin(1, .7), Y2 ~ Bin(2, .6).
+        pmf = connection_pmf(1, 4, 6, params)
+        mean = float(np.arange(pmf.size) @ pmf)
+        assert mean == pytest.approx(1 * 0.7 + 2 * 0.6)
+
+    def test_invalid_n_rejected(self, params):
+        with pytest.raises(ParameterError):
+            connection_pmf(4, 4, 2, params)
+
+    def test_invalid_i_rejected(self, params):
+        with pytest.raises(ParameterError):
+            connection_pmf(1, 4, 99, params)
+
+    @given(
+        n=st.integers(min_value=0, max_value=3),
+        b=st.integers(min_value=0, max_value=10),
+        i_next=st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=80)
+    def test_property_valid_pmf(self, n, b, i_next):
+        params = ModelParameters(num_pieces=10, max_conns=3, ns_size=6)
+        pmf = connection_pmf(n, b, i_next, params)
+        assert (pmf >= 0).all()
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTransitionKernel:
+    def test_full_distribution_sums_to_one(self, params):
+        kernel = TransitionKernel(params)
+        for state in [(0, 0, 0), (1, 3, 2), (0, 1, 0), (3, 9, 6), (0, 5, 0)]:
+            dist = kernel.transition_distribution(*state)
+            assert sum(dist.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_successor_b_is_deterministic(self, params):
+        kernel = TransitionKernel(params)
+        dist = kernel.transition_distribution(2, 3, 4)
+        assert {b for (_n, b, _i) in dist} == {5}
+
+    def test_sampling_matches_pmf(self, params, rng):
+        kernel = TransitionKernel(params)
+        draws = [kernel.sample_i_next(1, 4, 3, rng) for _ in range(3000)]
+        pmf = kernel.g_pmf(1, 4, 3)
+        empirical_mean = np.mean(draws)
+        exact_mean = float(np.arange(pmf.size) @ pmf)
+        assert empirical_mean == pytest.approx(exact_mean, abs=0.15)
+
+    def test_caches_are_shared_across_equivalent_states(self, params):
+        kernel = TransitionKernel(params)
+        a = kernel.g_pmf(1, 3, 2)
+        b = kernel.g_pmf(2, 2, 5)  # same c = 4, same i>0 class
+        assert a is b
+
+    def test_p_curve_exposed(self, params):
+        kernel = TransitionKernel(params)
+        assert kernel.p_curve.size == params.num_pieces + 1
+        assert kernel.p_curve[0] == 0.0

@@ -1,0 +1,176 @@
+"""Tests for the Section-5 balance equations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binomial import binomial_pmf
+from repro.efficiency.balance import (
+    downward_sweep,
+    efficiency_from_occupancy,
+    failure_weights,
+    iterate_balance,
+    upward_sweep,
+)
+from repro.errors import ConvergenceError, ParameterError
+
+
+def random_occupancy(draw_floats, k):
+    raw = np.array(draw_floats) + 1e-6
+    return raw / raw.sum()
+
+
+class TestFailureWeights:
+    def test_is_binomial_in_failures(self):
+        weights = failure_weights(5, 0.7)
+        np.testing.assert_allclose(weights, binomial_pmf(5, 0.3), atol=1e-12)
+
+    def test_zero_connections(self):
+        assert failure_weights(0, 0.5).tolist() == [1.0]
+
+    def test_perfect_survival(self):
+        weights = failure_weights(4, 1.0)
+        assert weights[0] == 1.0
+
+
+class TestDownwardSweep:
+    def test_conserves_mass(self):
+        x = np.array([0.1, 0.2, 0.3, 0.4])
+        out = downward_sweep(x, 0.6)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_point_mass_thinning(self):
+        x = np.array([0.0, 0.0, 1.0])
+        out = downward_sweep(x, 0.7)
+        np.testing.assert_allclose(out, binomial_pmf(2, 0.7), atol=1e-12)
+
+    def test_all_fail(self):
+        x = np.array([0.2, 0.3, 0.5])
+        out = downward_sweep(x, 0.0)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_none_fail(self):
+        x = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(downward_sweep(x, 1.0), x)
+
+    def test_only_moves_mass_down(self):
+        x = np.array([0.0, 1.0, 0.0])
+        out = downward_sweep(x, 0.5)
+        assert out[2] == 0.0
+
+    @given(
+        raw=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=9),
+        pr=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60)
+    def test_property_mass_conserved(self, raw, pr):
+        x = random_occupancy(raw, len(raw) - 1)
+        out = downward_sweep(x, pr)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (out >= -1e-12).all()
+
+
+class TestUpwardSweep:
+    def test_conserves_mass(self):
+        x = np.array([0.5, 0.3, 0.2])
+        out = upward_sweep(x)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_moves_mass_up(self):
+        x = np.array([1.0, 0.0])
+        out = upward_sweep(x)
+        assert out[1] > 0.0
+
+    def test_saturated_fixed(self):
+        x = np.array([0.0, 0.0, 1.0])
+        out = upward_sweep(x)
+        np.testing.assert_allclose(out, x)
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            upward_sweep(np.array([1.0]))
+
+    @given(
+        raw=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=9),
+    )
+    @settings(max_examples=60)
+    def test_property_mass_conserved_no_negatives(self, raw):
+        x = random_occupancy(raw, len(raw) - 1)
+        out = upward_sweep(x)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (out >= -1e-12).all()
+
+    @given(
+        raw=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=9),
+    )
+    @settings(max_examples=60)
+    def test_property_never_decreases_mean_connections(self, raw):
+        x = random_occupancy(raw, len(raw) - 1)
+        out = upward_sweep(x)
+        mean_before = np.arange(x.size) @ x
+        mean_after = np.arange(out.size) @ out
+        assert mean_after >= mean_before - 1e-9
+
+
+class TestIterateBalance:
+    def test_converges(self):
+        result = iterate_balance(3, 0.7)
+        assert result.residual < 1e-9
+        assert result.x.sum() == pytest.approx(1.0)
+
+    def test_eta_in_unit_interval(self):
+        for k in (1, 2, 5):
+            result = iterate_balance(k, 0.6)
+            assert 0.0 <= result.eta <= 1.0
+
+    def test_eta_monotone_in_survival(self):
+        low = iterate_balance(2, 0.3).eta
+        high = iterate_balance(2, 0.9).eta
+        assert high > low
+
+    def test_perfect_survival_saturates(self):
+        result = iterate_balance(3, 1.0)
+        assert result.eta == pytest.approx(1.0, abs=1e-4)
+
+    def test_custom_start(self):
+        x0 = np.array([0.0, 0.0, 1.0])
+        result = iterate_balance(2, 0.7, x0=x0)
+        default = iterate_balance(2, 0.7)
+        np.testing.assert_allclose(result.x, default.x, atol=1e-6)
+
+    def test_bad_x0_shape(self):
+        with pytest.raises(ParameterError):
+            iterate_balance(2, 0.7, x0=np.array([1.0, 0.0]))
+
+    def test_bad_x0_mass(self):
+        with pytest.raises(ParameterError):
+            iterate_balance(2, 0.7, x0=np.array([0.5, 0.2, 0.1]))
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            iterate_balance(0, 0.5)
+
+    def test_invalid_pr(self):
+        with pytest.raises(ParameterError):
+            iterate_balance(2, 1.5)
+
+    def test_budget_exhaustion(self):
+        with pytest.raises(ConvergenceError):
+            iterate_balance(4, 0.5, max_iterations=1)
+
+
+class TestEfficiencyFromOccupancy:
+    def test_all_at_k(self):
+        assert efficiency_from_occupancy(np.array([0.0, 0.0, 1.0])) == 1.0
+
+    def test_all_idle(self):
+        assert efficiency_from_occupancy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_mixture(self):
+        x = np.array([0.5, 0.0, 0.5])
+        assert efficiency_from_occupancy(x) == pytest.approx(0.5)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ParameterError):
+            efficiency_from_occupancy(np.array([1.0]))

@@ -1,0 +1,58 @@
+"""Tests for the birth-death cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.efficiency.birth_death import birth_death_equilibrium
+from repro.errors import ParameterError
+
+
+class TestBirthDeathEquilibrium:
+    def test_distribution_sums_to_one(self):
+        result = birth_death_equilibrium(4, 0.7)
+        assert result.x.sum() == pytest.approx(1.0)
+
+    def test_self_consistency(self):
+        result = birth_death_equilibrium(3, 0.6)
+        assert result.success_probability == pytest.approx(
+            1.0 - result.x[-1], abs=1e-6
+        )
+
+    def test_eta_bounds(self):
+        for k in (1, 2, 6):
+            result = birth_death_equilibrium(k, 0.5)
+            assert 0.0 <= result.eta <= 1.0
+
+    def test_perfect_survival_all_at_k(self):
+        result = birth_death_equilibrium(3, 1.0)
+        assert result.x[-1] == pytest.approx(1.0)
+        assert result.eta == pytest.approx(1.0)
+
+    def test_eta_monotone_in_survival(self):
+        low = birth_death_equilibrium(2, 0.3).eta
+        high = birth_death_equilibrium(2, 0.9).eta
+        assert high > low
+
+    def test_k1_closed_form(self):
+        # k=1: eta solves eta = (1 - eta) / (1 - eta + (1 - pr)).
+        pr = 0.7
+        result = birth_death_equilibrium(1, pr)
+        eta = result.eta
+        fail = 1.0 - pr
+        assert eta == pytest.approx((1 - eta) / (1 - eta + fail), abs=1e-6)
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            birth_death_equilibrium(0, 0.5)
+
+    def test_invalid_pr(self):
+        with pytest.raises(ParameterError):
+            birth_death_equilibrium(2, -0.1)
+
+    def test_invalid_damping(self):
+        with pytest.raises(ParameterError):
+            birth_death_equilibrium(2, 0.5, damping=0.0)
+
+    def test_iterations_reported(self):
+        result = birth_death_equilibrium(2, 0.5)
+        assert result.iterations >= 1

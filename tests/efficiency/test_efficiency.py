@@ -1,0 +1,70 @@
+"""Tests for the efficiency metric and the k-sweep (Figure 3/4(a) model)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import efficiency_shape
+from repro.efficiency.efficiency import efficiency_curve, efficiency_eta
+from repro.efficiency.lifetime import ConnectionLifetimeModel
+from repro.errors import ParameterError
+
+
+class TestEfficiencyEta:
+    def test_formula(self):
+        # eta = (1/k) sum i x_i
+        assert efficiency_eta([0.2, 0.3, 0.5]) == pytest.approx(
+            (0.3 + 2 * 0.5) / 2
+        )
+
+    def test_list_input(self):
+        assert efficiency_eta([0.0, 1.0]) == 1.0
+
+
+class TestEfficiencyCurve:
+    def test_default_uses_lifetime_model(self):
+        points = efficiency_curve([1, 2, 3])
+        assert len(points) == 3
+        # p_r must differ across k under the lifetime model.
+        assert points[0].p_reenc < points[2].p_reenc
+
+    def test_fixed_pr(self):
+        points = efficiency_curve([1, 2], p_reenc=0.7)
+        assert all(p.p_reenc == 0.7 for p in points)
+
+    def test_paper_shape(self):
+        """The figure's shape: the k=1 -> 2 gain dominates, then plateau."""
+        points = efficiency_curve(list(range(1, 9)))
+        checks = efficiency_shape(
+            np.array([p.max_conns for p in points]),
+            np.array([p.eta for p in points]),
+        )
+        assert checks["first_gain_positive"], checks
+        assert checks["first_gain_dominates"], checks
+        assert checks["plateau_after_two"], checks
+
+    def test_eta_bounds(self):
+        for point in efficiency_curve(list(range(1, 6))):
+            assert 0.0 <= point.eta <= 1.0
+            assert 0.0 <= point.eta_birth_death <= 1.0
+
+    def test_occupancy_sums_to_one(self):
+        for point in efficiency_curve([1, 3]):
+            assert point.occupancy.sum() == pytest.approx(1.0)
+
+    def test_model_upper_bounds_birth_death(self):
+        # The sequential iteration order gives an upper bound (paper).
+        for point in efficiency_curve(list(range(1, 5))):
+            assert point.eta >= point.eta_birth_death - 1e-9
+
+    def test_custom_lifetime(self):
+        model = ConnectionLifetimeModel(initial_pool=2.0, residual_cap=10.0)
+        points = efficiency_curve([1, 4], lifetime=model)
+        assert points[0].p_reenc == pytest.approx(0.5)
+
+    def test_empty_k_rejected(self):
+        with pytest.raises(ParameterError):
+            efficiency_curve([])
+
+    def test_both_pr_and_lifetime_rejected(self):
+        with pytest.raises(ParameterError):
+            efficiency_curve([1], p_reenc=0.5, lifetime=ConnectionLifetimeModel())

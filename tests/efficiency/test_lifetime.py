@@ -1,0 +1,82 @@
+"""Tests for the connection-lifetime model."""
+
+import pytest
+
+from repro.efficiency.lifetime import ConnectionLifetimeModel
+from repro.errors import ParameterError
+
+
+class TestExpectedLifetime:
+    def test_k1_equals_initial_pool(self):
+        model = ConnectionLifetimeModel(initial_pool=3.0, usefulness=0.5)
+        assert model.expected_lifetime(1) == pytest.approx(3.0)
+
+    def test_monotone_in_k(self):
+        model = ConnectionLifetimeModel()
+        lifetimes = [model.expected_lifetime(k) for k in range(1, 7)]
+        assert lifetimes == sorted(lifetimes)
+
+    def test_capped_by_residual(self):
+        model = ConnectionLifetimeModel(initial_pool=3.0, usefulness=0.5,
+                                        residual_cap=20.0)
+        # k = 3: drain = 0 -> the cap binds.
+        assert model.expected_lifetime(3) == 20.0
+        assert model.expected_lifetime(8) == 20.0
+
+    def test_never_below_one(self):
+        model = ConnectionLifetimeModel(initial_pool=1.0, usefulness=0.0,
+                                        residual_cap=1.0)
+        assert model.expected_lifetime(1) >= 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            ConnectionLifetimeModel().expected_lifetime(0)
+
+
+class TestSurvivalProbability:
+    def test_in_unit_interval(self):
+        model = ConnectionLifetimeModel()
+        for k in range(1, 9):
+            assert 0.0 <= model.survival_probability(k) < 1.0
+
+    def test_k1_value(self):
+        model = ConnectionLifetimeModel(initial_pool=3.0)
+        assert model.survival_probability(1) == pytest.approx(2.0 / 3.0)
+
+    def test_monotone_in_k(self):
+        model = ConnectionLifetimeModel()
+        values = [model.survival_probability(k) for k in range(1, 7)]
+        assert values == sorted(values)
+
+
+class TestValidation:
+    def test_pool_below_one(self):
+        with pytest.raises(ParameterError):
+            ConnectionLifetimeModel(initial_pool=0.5)
+
+    def test_usefulness_out_of_range(self):
+        with pytest.raises(ParameterError):
+            ConnectionLifetimeModel(usefulness=1.5)
+
+    def test_cap_below_one(self):
+        with pytest.raises(ParameterError):
+            ConnectionLifetimeModel(residual_cap=0.0)
+
+
+class TestForFile:
+    def test_cap_scales_with_b(self):
+        small = ConnectionLifetimeModel.for_file(40)
+        large = ConnectionLifetimeModel.for_file(400)
+        assert large.residual_cap > small.residual_cap
+
+    def test_cap_formula(self):
+        model = ConnectionLifetimeModel.for_file(200)
+        assert model.residual_cap == pytest.approx(50.0)
+
+    def test_tiny_file_floor(self):
+        model = ConnectionLifetimeModel.for_file(2)
+        assert model.residual_cap == 1.0
+
+    def test_invalid_b(self):
+        with pytest.raises(ParameterError):
+            ConnectionLifetimeModel.for_file(0)

@@ -1,0 +1,86 @@
+"""Tests for measured connection rates and the calibrated model loop."""
+
+import pytest
+
+from repro.efficiency.measurement import (
+    calibrated_efficiency_curve,
+    measure_connection_rates,
+)
+from repro.errors import ParameterError
+from repro.sim.choking import ConnectionStats
+from repro.sim.config import SimConfig
+
+
+class TestConnectionStats:
+    def test_rates(self):
+        stats = ConnectionStats(survived=70, dropped=30, attempts=50, formed=20)
+        assert stats.p_reenc() == pytest.approx(0.7)
+        assert stats.p_new() == pytest.approx(0.4)
+
+    def test_unobserved_is_nan(self):
+        import math
+
+        stats = ConnectionStats()
+        assert math.isnan(stats.p_reenc())
+        assert math.isnan(stats.p_new())
+
+    def test_merge(self):
+        a = ConnectionStats(survived=1, dropped=2, attempts=3, formed=4)
+        b = ConnectionStats(survived=10, dropped=20, attempts=30, formed=40)
+        a.merge(b)
+        assert (a.survived, a.dropped, a.attempts, a.formed) == (11, 22, 33, 44)
+
+
+class TestMeasureConnectionRates:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        config = SimConfig(
+            num_pieces=30, max_conns=3, ns_size=15,
+            arrival_rate=2.0, initial_leechers=40,
+            initial_distribution="uniform", initial_fill=0.5,
+            connection_setup_prob=0.8, connection_failure_prob=0.1,
+            max_time=60.0, seed=1,
+        )
+        return measure_connection_rates(config)
+
+    def test_probabilities_in_range(self, measured):
+        p_reenc, p_new, sim_eta = measured
+        assert 0.0 <= p_reenc <= 1.0
+        assert 0.0 <= p_new <= 1.0
+        assert 0.0 <= sim_eta <= 1.0
+
+    def test_churn_bounds_survival(self, measured):
+        # With 10% exogenous churn, survival cannot exceed 0.9.
+        p_reenc, _p_new, _eta = measured
+        assert p_reenc <= 0.9 + 1e-9
+
+
+class TestCalibratedCurve:
+    @pytest.fixture(scope="class")
+    def points(self):
+        def factory(k, seed):
+            return SimConfig(
+                num_pieces=40, max_conns=k, ns_size=20,
+                arrival_rate=3.0, initial_leechers=50,
+                initial_distribution="uniform", initial_fill=0.5,
+                connection_setup_prob=0.8, connection_failure_prob=0.1,
+                matching="blind", max_time=80.0, seed=seed,
+            )
+
+        return calibrated_efficiency_curve([1, 2, 4], config_factory=factory)
+
+    def test_one_point_per_k(self, points):
+        assert [p.max_conns for p in points] == [1, 2, 4]
+
+    def test_measured_survival_rises_with_k(self, points):
+        """The paper's lifetime argument, observed empirically."""
+        survivals = [p.p_reenc for p in points]
+        assert survivals[-1] > survivals[0]
+
+    def test_calibrated_model_tracks_sim(self, points):
+        for point in points:
+            assert point.model_eta == pytest.approx(point.sim_eta, abs=0.15)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            calibrated_efficiency_curve([])

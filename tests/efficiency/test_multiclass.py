@@ -1,0 +1,99 @@
+"""Tests for the multiclass (heterogeneous) occupancy model."""
+
+import numpy as np
+import pytest
+
+from repro.efficiency.balance import iterate_balance
+from repro.efficiency.multiclass import (
+    MulticlassResult,
+    PeerClass,
+    multiclass_balance,
+)
+from repro.errors import ConvergenceError, ParameterError
+
+
+class TestPeerClass:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(fraction=0.0, p_reenc=0.5, max_conns=2),
+            dict(fraction=0.5, p_reenc=1.5, max_conns=2),
+            dict(fraction=0.5, p_reenc=0.5, max_conns=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            PeerClass(**kwargs)
+
+
+class TestMulticlassBalance:
+    def test_single_class_matches_homogeneous_model(self):
+        for pr in (0.4, 0.7, 0.9):
+            single = iterate_balance(3, pr)
+            multi = multiclass_balance([PeerClass(1.0, pr, 3)])
+            assert multi.aggregate_eta == pytest.approx(single.eta, abs=1e-3)
+
+    def test_identical_classes_equal_etas(self):
+        result = multiclass_balance([
+            PeerClass(0.5, 0.7, 3, "a"),
+            PeerClass(0.5, 0.7, 3, "b"),
+        ])
+        assert result.etas[0] == pytest.approx(result.etas[1], abs=1e-6)
+
+    def test_lower_survival_lower_eta(self):
+        result = multiclass_balance([
+            PeerClass(0.5, 0.5, 3, "slow"),
+            PeerClass(0.5, 0.9, 3, "fast"),
+        ])
+        assert result.etas[0] < result.etas[1]
+
+    def test_aggregate_is_weighted_mean(self):
+        result = multiclass_balance([
+            PeerClass(0.25, 0.5, 3),
+            PeerClass(0.75, 0.9, 3),
+        ])
+        expected = 0.25 * result.etas[0] + 0.75 * result.etas[1]
+        assert result.aggregate_eta == pytest.approx(expected)
+
+    def test_mass_conserved_per_class(self):
+        result = multiclass_balance([
+            PeerClass(0.3, 0.6, 2),
+            PeerClass(0.7, 0.8, 5),
+        ])
+        for occupancy in result.occupancies:
+            assert occupancy.sum() == pytest.approx(1.0)
+            assert (occupancy >= 0).all()
+
+    def test_mixed_slot_counts(self):
+        result = multiclass_balance([
+            PeerClass(0.5, 0.8, 1, "single-slot"),
+            PeerClass(0.5, 0.8, 6, "many-slot"),
+        ])
+        assert result.occupancies[0].size == 2
+        assert result.occupancies[1].size == 7
+        # Same survival: per-slot utilisation favors the single-slot
+        # class (its one slot refills from the same market).
+        assert 0.0 <= result.aggregate_eta <= 1.0
+
+    def test_busy_market_couples_classes(self):
+        """A saturated majority class throttles the minority's formation."""
+        lone = multiclass_balance([PeerClass(1.0, 0.6, 2)]).aggregate_eta
+        crowded = multiclass_balance([
+            PeerClass(0.1, 0.6, 2, "minority"),
+            PeerClass(0.9, 1.0, 2, "saturated"),  # p_r=1: drifts to busy
+        ])
+        minority_eta = crowded.etas[0]
+        # With 90% of the market busy, the minority fills slots slower.
+        assert minority_eta < lone
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            multiclass_balance([])
+        with pytest.raises(ParameterError):
+            multiclass_balance([PeerClass(0.5, 0.5, 2)])  # fractions != 1
+        with pytest.raises(ParameterError):
+            multiclass_balance([PeerClass(1.0, 0.5, 2)], step=0.0)
+
+    def test_budget_exhaustion(self):
+        with pytest.raises(ConvergenceError):
+            multiclass_balance([PeerClass(1.0, 0.5, 4)], max_iterations=2)

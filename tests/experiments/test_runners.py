@@ -1,0 +1,226 @@
+"""Smoke-to-shape tests for the per-figure experiment runners.
+
+Each runner is exercised at reduced scale; assertions target the shape
+properties the paper's figures report, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.validation import efficiency_shape
+from repro.experiments import (
+    run_fig1a,
+    run_fig1b,
+    run_fig2,
+    run_fig3a,
+    run_fig3bc,
+    run_fig3d,
+)
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.errors import ParameterError
+
+
+class TestFig1a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1a(pss_values=(5, 20), num_pieces=50, runs=16, seed=0)
+
+    def test_series_per_pss(self, result):
+        assert set(result.ratios) == {5, 20}
+        assert result.pieces.size == 51
+
+    def test_ratio_bounds(self, result):
+        for ratio in result.ratios.values():
+            finite = ratio[np.isfinite(ratio)]
+            assert (finite >= 0).all() and (finite <= 1).all()
+
+    def test_mid_download_plateau(self, result):
+        ratio = result.ratios[20]
+        mid = ratio[20:30]
+        assert np.nanmean(mid) > 0.7
+
+    def test_format_prints_rows(self, result):
+        text = result.format()
+        assert "PSS=5" in text and "PSS=20" in text
+
+    def test_empty_pss_rejected(self):
+        with pytest.raises(ParameterError):
+            run_fig1a(pss_values=())
+
+    def test_exact_mode_matches_monte_carlo(self):
+        mc = run_fig1a(
+            pss_values=(6,), num_pieces=20, max_conns=3, runs=400, seed=1
+        )
+        exact = run_fig1a(
+            pss_values=(6,), num_pieces=20, max_conns=3, method="exact"
+        )
+        a, b = mc.ratios[6], exact.ratios[6]
+        mask = np.isfinite(a) & np.isfinite(b)
+        assert np.abs(a[mask] - b[mask]).max() < 0.08
+
+    def test_exact_mode_scale_guard(self):
+        with pytest.raises(ParameterError):
+            run_fig1a(num_pieces=200, method="exact")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ParameterError):
+            run_fig1a(num_pieces=20, method="magic")
+
+
+class TestFig1b:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1b(
+            pss_values=(30,), num_pieces=40, model_runs=8,
+            sim_instrument=4, max_time=200.0, seed=0,
+        )
+
+    def test_model_and_sim_aligned(self, result):
+        assert result.model[30].size == 41
+        assert result.sim[30].size == 41
+
+    def test_model_monotone(self, result):
+        assert (np.diff(result.model[30]) >= -1e-9).all()
+
+    def test_sim_completed_someone(self, result):
+        assert result.sim_completed[30] > 0
+
+    def test_model_tracks_sim_at_large_pss(self, result):
+        # Healthy-swarm agreement: totals within a factor of two.
+        model_total = result.model[30][-1]
+        sim_total = result.sim[30][-1]
+        assert sim_total == pytest.approx(model_total, rel=1.0)
+
+    def test_format(self, result):
+        assert "timeline" in result.format()
+
+    def test_empty_pss_rejected(self):
+        with pytest.raises(ParameterError):
+            run_fig1b(pss_values=())
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(seed=0)
+
+    def test_all_archetypes_present(self, result):
+        assert set(result.traces) == {"smooth", "last", "bootstrap"}
+
+    def test_labels_match(self, result):
+        assert result.labels == {
+            "smooth": "smooth", "last": "last", "bootstrap": "bootstrap"
+        }
+
+    def test_traces_valid(self, result):
+        for trace in result.traces.values():
+            trace.validate()
+            assert len(trace.samples) > 0
+
+    def test_format(self, result):
+        text = result.format()
+        for panel in ("2(a,b)", "2(c,d)", "2(e,f)"):
+            assert panel in text
+
+
+class TestFig3a:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3a(
+            k_values=(1, 2, 3, 4),
+            num_pieces=50,
+            seed=0,
+            sim_kwargs={"initial_leechers": 60, "arrival_rate": 3.0,
+                        "max_time": 80.0, "ns_size": 25},
+        )
+
+    def test_model_upper_bounds_sim(self, result):
+        assert (result.model_eta >= result.sim_eta - 0.05).all()
+
+    def test_sim_jump_from_one_to_two(self, result):
+        assert result.sim_eta[1] > result.sim_eta[0]
+
+    def test_model_shape(self, result):
+        checks = efficiency_shape(result.k_values, result.model_eta)
+        assert checks["first_gain_positive"]
+        assert checks["first_gain_dominates"]
+
+    def test_format(self, result):
+        assert "efficiency" in result.format()
+
+
+class TestFig3bc:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3bc(
+            piece_counts=(3, 10), initial_leechers=150,
+            arrival_rate=10.0, max_time=80.0, seed=0, entropy_every=4,
+        )
+
+    def test_b3_diverges(self, result):
+        assert result.runs[3].diverged
+
+    def test_b10_bounded(self, result):
+        assert not result.runs[10].diverged
+
+    def test_entropy_contrast(self, result):
+        tail3 = result.entropy(3)[-10:].mean()
+        tail10 = result.entropy(10)[-10:].mean()
+        assert tail10 > tail3
+
+    def test_format(self, result):
+        text = result.format()
+        assert "B=3" in text and "B=10" in text
+        assert "DIVERGED" in text
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ParameterError):
+            run_fig3bc(piece_counts=())
+
+
+class TestFig3d:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3d(
+            num_pieces=80, window=8, initial_leechers=40,
+            max_time=350.0, seed=0,
+        )
+
+    def test_window_covered(self, result):
+        assert result.ordinals.tolist() == [73, 74, 75, 76, 77, 78, 79, 80]
+        assert result.ttd["normal"].size == 8
+
+    def test_shake_helps_on_last_block(self, result):
+        assert result.ttd["shake"][-1] < result.ttd["normal"][-1]
+
+    def test_normal_tail_grows(self, result):
+        normal = result.ttd["normal"]
+        assert normal[-1] > normal[0]
+
+    def test_completions_recorded(self, result):
+        assert result.completed["normal"] > 0
+        assert result.completed["shake"] > 0
+
+    def test_format(self, result):
+        assert "shake" in result.format()
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {"F1a", "F1b", "F2", "F3a", "F3bc", "F3d"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("f1a").exp_id == "F1a"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ParameterError):
+            get_experiment("F99")
+
+    def test_quick_kwargs_accepted_by_runners(self):
+        # Signatures must stay in sync with the registry entries.
+        import inspect
+
+        for spec in EXPERIMENTS.values():
+            signature = inspect.signature(spec.runner)
+            for key in spec.quick_kwargs:
+                assert key in signature.parameters, (spec.exp_id, key)

@@ -1,0 +1,58 @@
+"""Tests for the seeding-study runner."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.seeding import run_seeding_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_seeding_study(
+        num_pieces=40,
+        capacities=(2, 6),
+        arrival_rate=2.0,
+        initial_leechers=40,
+        max_time=80.0,
+        seed=1,
+    )
+
+
+class TestSeedingStudy:
+    def test_all_points_present(self, study):
+        labels = set(study.by_label())
+        assert "capacity=2" in labels
+        assert "capacity=6" in labels
+        assert any("super-seeding" in label for label in labels)
+        assert any("lingering" in label for label in labels)
+
+    def test_capacity_speeds_downloads(self, study):
+        points = study.by_label()
+        assert (
+            points["capacity=6"].mean_duration
+            <= points["capacity=2"].mean_duration
+        )
+
+    def test_seed_upload_accounting(self, study):
+        for point in study.points:
+            assert point.seed_uploads >= 0
+            if point.completed and point.seed_uploads:
+                assert point.completions_per_seed_upload == pytest.approx(
+                    point.completed / point.seed_uploads
+                )
+
+    def test_format(self, study):
+        text = study.format()
+        assert "Seeding study" in text
+        assert "done/upload" in text
+
+    def test_empty_capacities_rejected(self):
+        with pytest.raises(ParameterError):
+            run_seeding_study(capacities=())
+
+    def test_optional_points_can_be_disabled(self):
+        study = run_seeding_study(
+            num_pieces=30, capacities=(4,), max_time=40.0,
+            include_super_seeding=False, include_lingering=False,
+        )
+        assert len(study.points) == 1

@@ -1,0 +1,165 @@
+"""Tests for connection maintenance and formation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.bitfield import Bitfield
+from repro.sim.choking import drop_stale_connections, fill_open_slots
+from repro.sim.peer import Peer
+from repro.sim.peer_selection import potential_set_sizes
+from repro.sim.tracker import Tracker
+
+
+@pytest.fixture
+def swarm(rng):
+    tracker = Tracker(ns_size=20, rng=rng)
+
+    def spawn(pieces):
+        peer = Peer(tracker.new_peer_id(), 6)
+        peer.bitfield = Bitfield.from_pieces(6, pieces)
+        tracker.register(peer)
+        return peer
+
+    return tracker, spawn
+
+
+def connect(a, b):
+    a.partners.add(b.peer_id)
+    b.partners.add(a.peer_id)
+    a.neighbors.add(b.peer_id)
+    b.neighbors.add(a.peer_id)
+
+
+class TestDropStale:
+    def test_keeps_mutually_interested(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b = spawn([0]), spawn([1])
+        connect(a, b)
+        dropped = drop_stale_connections([a, b], tracker, rng)
+        assert dropped == 0
+        assert b.peer_id in a.partners
+
+    def test_drops_exhausted(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b = spawn([0, 1]), spawn([0, 1])
+        connect(a, b)
+        dropped = drop_stale_connections([a, b], tracker, rng)
+        assert dropped == 1
+        assert not a.partners and not b.partners
+
+    def test_exogenous_failure(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b = spawn([0]), spawn([1])
+        connect(a, b)
+        dropped = drop_stale_connections(
+            [a, b], tracker, rng, failure_prob=1.0
+        )
+        assert dropped == 1
+
+    def test_departed_partner_cleaned(self, swarm, rng):
+        tracker, spawn = swarm
+        a = spawn([0])
+        a.partners.add(777)  # partner no longer registered
+        dropped = drop_stale_connections([a], tracker, rng)
+        assert dropped == 1
+        assert not a.partners
+
+    def test_non_strict_keeps_one_directional(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b = spawn([0]), spawn([0, 1])
+        connect(a, b)
+        assert drop_stale_connections([a, b], tracker, rng, strict_tft=False) == 0
+        assert drop_stale_connections([a, b], tracker, rng, strict_tft=True) == 1
+
+    def test_each_pair_checked_once(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b = spawn([0, 1]), spawn([0, 1])
+        connect(a, b)
+        # With a 50% exogenous failure probability, double-checking the
+        # pair would bias the drop rate; the count is either 0 or 1.
+        dropped = drop_stale_connections([a, b], tracker, rng, failure_prob=0.5)
+        assert dropped == 1  # interest exhausted anyway
+
+
+class TestFillOpenSlots:
+    def _potential(self, peers, tracker):
+        return potential_set_sizes(peers, tracker)
+
+    def test_greedy_fills_up_to_k(self, swarm, rng):
+        tracker, spawn = swarm
+        center = spawn([0])
+        others = [spawn([1 + i]) for i in range(4)]
+        for other in others:
+            center.neighbors.add(other.peer_id)
+            other.neighbors.add(center.peer_id)
+        peers = [center] + others
+        formed = fill_open_slots(
+            peers, self._potential(peers, tracker), tracker, 2, rng,
+            matching="greedy",
+        )
+        assert len(center.partners) == 2
+        assert formed >= 2
+
+    def test_symmetry(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b = spawn([0]), spawn([1])
+        a.neighbors.add(b.peer_id)
+        b.neighbors.add(a.peer_id)
+        peers = [a, b]
+        fill_open_slots(peers, self._potential(peers, tracker), tracker, 2, rng)
+        assert (b.peer_id in a.partners) == (a.peer_id in b.partners)
+
+    def test_setup_prob_zero_forms_none(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b = spawn([0]), spawn([1])
+        a.neighbors.add(b.peer_id)
+        b.neighbors.add(a.peer_id)
+        peers = [a, b]
+        formed = fill_open_slots(
+            peers, self._potential(peers, tracker), tracker, 2, rng,
+            setup_prob=0.0,
+        )
+        assert formed == 0
+
+    def test_busy_candidates_blind_waste(self, swarm, rng):
+        tracker, spawn = swarm
+        a, b, c = spawn([0]), spawn([1]), spawn([2])
+        for x, y in [(a, b), (a, c), (b, c)]:
+            x.neighbors.add(y.peer_id)
+            y.neighbors.add(x.peer_id)
+        # b and c are saturated with each other at k=1.
+        b.partners.add(c.peer_id)
+        c.partners.add(b.peer_id)
+        peers = [a, b, c]
+        formed = fill_open_slots(
+            peers, self._potential(peers, tracker), tracker, 1, rng,
+            matching="blind",
+        )
+        assert formed == 0
+        assert not a.partners
+
+    def test_never_exceeds_k(self, swarm, rng):
+        tracker, spawn = swarm
+        center = spawn([0])
+        others = [spawn([1 + (i % 5)]) for i in range(10)]
+        for other in others:
+            center.neighbors.add(other.peer_id)
+            other.neighbors.add(center.peer_id)
+        peers = [center] + others
+        for _ in range(5):
+            fill_open_slots(
+                peers, self._potential(peers, tracker), tracker, 3, rng
+            )
+        assert len(center.partners) <= 3
+
+    def test_unknown_matching_rejected(self, swarm, rng):
+        tracker, spawn = swarm
+        a = spawn([0])
+        with pytest.raises(ParameterError):
+            fill_open_slots([a], {}, tracker, 2, rng, matching="magic")
+
+    def test_empty_potential_no_ops(self, swarm, rng):
+        tracker, spawn = swarm
+        a = spawn([0])
+        formed = fill_open_slots([a], {a.peer_id: []}, tracker, 2, rng)
+        assert formed == 0

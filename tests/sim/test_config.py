@@ -1,0 +1,90 @@
+"""Tests for SimConfig validation."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.config import SimConfig
+
+
+def make(**over):
+    base = dict(num_pieces=10)
+    base.update(over)
+    return SimConfig(**base)
+
+
+class TestDefaults:
+    def test_minimal_construction(self):
+        config = make()
+        assert config.max_conns == 7
+        assert config.ns_size == 50
+        assert config.piece_selection == "rarest"
+        assert config.strict_tft is True
+
+    def test_file_size(self):
+        config = make(piece_size_bytes=1024)
+        assert config.file_size_bytes == 10 * 1024
+
+    def test_with_changes(self):
+        config = make()
+        changed = config.with_changes(max_conns=3)
+        assert changed.max_conns == 3
+        assert config.max_conns == 7
+
+    def test_with_changes_revalidates(self):
+        with pytest.raises(ParameterError):
+            make().with_changes(arrival_rate=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make().num_pieces = 5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_pieces", 0),
+            ("max_conns", 0),
+            ("ns_size", 0),
+            ("piece_time", 0.0),
+            ("piece_size_bytes", 0),
+            ("arrival_process", "burst"),
+            ("arrival_rate", -1.0),
+            ("flash_size", -1),
+            ("initial_leechers", -1),
+            ("initial_distribution", "weird"),
+            ("initial_fill", 1.5),
+            ("skew_factor", -0.1),
+            ("skewed_pieces", 11),
+            ("num_seeds", -1),
+            ("seed_upload_slots", -1),
+            ("completed_become_seeds", -1.0),
+            ("piece_selection", "rarest-ish"),
+            ("optimistic_unchoke_prob", 2.0),
+            ("optimistic_targets", "anyone"),
+            ("connection_failure_prob", -0.5),
+            ("connection_setup_prob", 1.5),
+            ("matching", "perfect"),
+            ("random_first_cutoff", -1),
+            ("announce_interval", 0.0),
+            ("shake_threshold", 0.0),
+            ("shake_threshold", 1.5),
+            ("max_time", 0.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ParameterError):
+            make(**{field: value})
+
+    def test_shake_threshold_none_allowed(self):
+        assert make(shake_threshold=None).shake_threshold is None
+
+    def test_shake_threshold_one_allowed(self):
+        assert make(shake_threshold=1.0).shake_threshold == 1.0
+
+    def test_strict_rarest_allowed(self):
+        assert make(piece_selection="strict-rarest").piece_selection == "strict-rarest"
+
+    def test_flash_process_allowed(self):
+        config = make(arrival_process="flash", flash_size=10)
+        assert config.flash_size == 10

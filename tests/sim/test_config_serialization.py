@@ -1,0 +1,73 @@
+"""Tests for SimConfig serialization (experiment reproducibility)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.sim.config import SimConfig
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        config = SimConfig(num_pieces=20, max_conns=3, arrival_rate=2.5)
+        assert SimConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip(self):
+        config = SimConfig(
+            num_pieces=20,
+            bandwidth_classes=((0.25, 1), (0.75, 4)),
+            shake_threshold=0.9,
+        )
+        assert SimConfig.from_json(config.to_json()) == config
+
+    def test_bandwidth_classes_become_lists_in_dict(self):
+        config = SimConfig(num_pieces=5, bandwidth_classes=((1.0, 2),))
+        data = config.to_dict()
+        assert data["bandwidth_classes"] == [[1.0, 2]]
+
+    def test_none_bandwidth_preserved(self):
+        config = SimConfig(num_pieces=5)
+        assert SimConfig.from_dict(config.to_dict()).bandwidth_classes is None
+
+    def test_json_is_stable(self):
+        config = SimConfig(num_pieces=5)
+        assert config.to_json() == config.to_json()
+
+    @given(
+        num_pieces=st.integers(min_value=1, max_value=100),
+        max_conns=st.integers(min_value=1, max_value=10),
+        arrival_rate=st.floats(min_value=0.0, max_value=10.0),
+        piece_selection=st.sampled_from(["rarest", "strict-rarest", "random"]),
+        strict_tft=st.booleans(),
+    )
+    @settings(max_examples=30)
+    def test_property_round_trip(
+        self, num_pieces, max_conns, arrival_rate, piece_selection, strict_tft
+    ):
+        config = SimConfig(
+            num_pieces=num_pieces,
+            max_conns=max_conns,
+            arrival_rate=arrival_rate,
+            piece_selection=piece_selection,
+            strict_tft=strict_tft,
+        )
+        assert SimConfig.from_json(config.to_json()) == config
+
+
+class TestValidationOnLoad:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ParameterError):
+            SimConfig.from_dict({"num_pieces": 5, "warp_speed": True})
+
+    def test_invalid_values_rejected(self):
+        data = SimConfig(num_pieces=5).to_dict()
+        data["max_conns"] = 0
+        with pytest.raises(ParameterError):
+            SimConfig.from_dict(data)
+
+    def test_invalid_bandwidth_rejected(self):
+        data = SimConfig(num_pieces=5).to_dict()
+        data["bandwidth_classes"] = [[0.5, 1]]  # fractions must sum to 1
+        with pytest.raises(ParameterError):
+            SimConfig.from_dict(data)

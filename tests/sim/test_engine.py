@@ -1,0 +1,115 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.sim.engine import DiscreteEventEngine, Event
+
+
+@pytest.fixture
+def engine():
+    return DiscreteEventEngine()
+
+
+class TestScheduling:
+    def test_time_order(self, engine):
+        fired = []
+        engine.register("x", lambda t, e: fired.append(t))
+        engine.schedule_at(3.0, Event("x"))
+        engine.schedule_at(1.0, Event("x"))
+        engine.schedule_at(2.0, Event("x"))
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_fifo_tie_break(self, engine):
+        fired = []
+        engine.register("x", lambda t, e: fired.append(e.payload))
+        for tag in ("a", "b", "c"):
+            engine.schedule_at(1.0, Event("x", tag))
+        engine.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_in(self, engine):
+        engine.register("x", lambda t, e: None)
+        engine.schedule_in(5.0, Event("x"))
+        assert engine.peek_time() == 5.0
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.register("x", lambda t, e: None)
+        engine.schedule_at(5.0, Event("x"))
+        engine.run_until(5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, Event("x"))
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule_in(-1.0, Event("x"))
+
+
+class TestDispatch:
+    def test_unregistered_kind_raises(self, engine):
+        engine.schedule_at(1.0, Event("mystery"))
+        with pytest.raises(SimulationError):
+            engine.run_until(2.0)
+
+    def test_double_registration_rejected(self, engine):
+        engine.register("x", lambda t, e: None)
+        with pytest.raises(ParameterError):
+            engine.register("x", lambda t, e: None)
+
+    def test_step_returns_event(self, engine):
+        engine.register("x", lambda t, e: None)
+        engine.schedule_at(1.0, Event("x", "payload"))
+        event = engine.step()
+        assert event.payload == "payload"
+
+    def test_step_empty_returns_none(self, engine):
+        assert engine.step() is None
+
+    def test_handlers_can_reschedule(self, engine):
+        count = [0]
+
+        def handler(t, e):
+            count[0] += 1
+            if count[0] < 3:
+                engine.schedule_in(1.0, Event("x"))
+
+        engine.register("x", handler)
+        engine.schedule_at(1.0, Event("x"))
+        engine.run_until(100.0)
+        assert count[0] == 3
+
+
+class TestRunUntil:
+    def test_respects_horizon(self, engine):
+        fired = []
+        engine.register("x", lambda t, e: fired.append(t))
+        engine.schedule_at(1.0, Event("x"))
+        engine.schedule_at(5.0, Event("x"))
+        handled = engine.run_until(3.0)
+        assert handled == 1
+        assert fired == [1.0]
+        assert engine.pending_events == 1
+
+    def test_clock_advances_to_horizon(self, engine):
+        engine.run_until(7.0)
+        assert engine.now == 7.0
+
+    def test_max_events_guard(self, engine):
+        def handler(t, e):
+            engine.schedule_in(0.0, Event("x"))
+
+        engine.register("x", handler)
+        engine.schedule_at(0.0, Event("x"))
+        with pytest.raises(SimulationError):
+            engine.run_until(1.0, max_events=50)
+
+    def test_processed_counter(self, engine):
+        engine.register("x", lambda t, e: None)
+        for t in (1.0, 2.0):
+            engine.schedule_at(t, Event("x"))
+        engine.run_until(10.0)
+        assert engine.processed_events == 2
+
+    def test_peek_time_none_when_empty(self, engine):
+        assert engine.peek_time() is None

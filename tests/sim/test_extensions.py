@@ -1,0 +1,120 @@
+"""Tests for the simulator extensions: aborts and heterogeneous bandwidth."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.config import SimConfig
+from repro.sim.swarm import Swarm, run_swarm
+from repro.stability.entropy import replication_degrees
+
+
+def seeded_config(**over):
+    base = dict(
+        num_pieces=40, max_conns=4, ns_size=20,
+        initial_leechers=40, initial_distribution="uniform",
+        initial_fill=0.5, arrival_rate=2.0, num_seeds=1,
+        seed_upload_slots=2, max_time=80.0, seed=5,
+    )
+    base.update(over)
+    return SimConfig(**base)
+
+
+class TestAbortRate:
+    def test_aborts_recorded(self):
+        result = run_swarm(seeded_config(abort_rate=0.05))
+        assert result.metrics.abort_count() > 0
+
+    def test_no_aborts_by_default(self):
+        result = run_swarm(seeded_config())
+        assert result.metrics.abort_count() == 0
+
+    def test_aborts_reduce_completions(self):
+        calm = run_swarm(seeded_config())
+        churny = run_swarm(seeded_config(abort_rate=0.08))
+        assert len(churny.metrics.completed) < len(calm.metrics.completed)
+
+    def test_abort_records_progress(self):
+        result = run_swarm(seeded_config(abort_rate=0.05))
+        for _time, pieces in result.metrics.aborted:
+            assert 0 <= pieces <= 40
+
+    def test_piece_counts_stay_consistent(self):
+        swarm = Swarm(seeded_config(abort_rate=0.05))
+        swarm.setup()
+        swarm.engine.run_until(40.0)
+        bitfields = [p.bitfield for p in swarm.tracker.peers()]
+        expected = replication_degrees(bitfields, 40)
+        np.testing.assert_array_equal(swarm.piece_counts, expected)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            seeded_config(abort_rate=1.5)
+
+
+class TestBandwidthClasses:
+    def test_classes_assigned(self):
+        swarm = Swarm(seeded_config(bandwidth_classes=((0.5, 1), (0.5, 4))))
+        swarm.setup()
+        capacities = {p.upload_capacity for p in swarm.tracker.leechers()}
+        assert capacities <= {1, 4}
+        assert len(capacities) == 2  # both classes present in 40 peers
+
+    def test_seeds_unconstrained(self):
+        swarm = Swarm(seeded_config(bandwidth_classes=((1.0, 1),)))
+        swarm.setup()
+        for seed in swarm.tracker.seeds():
+            assert seed.upload_capacity is None
+
+    def test_homogeneous_default(self):
+        swarm = Swarm(seeded_config())
+        swarm.setup()
+        assert all(
+            p.upload_capacity is None for p in swarm.tracker.leechers()
+        )
+
+    def test_tft_couples_directions(self):
+        """Slow uploaders download slower under strict tit-for-tat."""
+        result = run_swarm(
+            seeded_config(
+                num_pieces=60, initial_leechers=60, max_time=120.0,
+                bandwidth_classes=((0.5, 1), (0.5, 4)),
+            )
+        )
+        slow = [c.duration for c in result.metrics.completed
+                if c.upload_capacity == 1]
+        fast = [c.duration for c in result.metrics.completed
+                if c.upload_capacity == 4]
+        assert slow and fast
+        assert np.mean(slow) > np.mean(fast)
+
+    def test_capacity_caps_throughput(self):
+        # With capacity 1 everywhere, nobody can receive more than ~1
+        # piece per round on average (swaps need both budgets).
+        result = run_swarm(
+            seeded_config(bandwidth_classes=((1.0, 1),), max_time=60.0)
+        )
+        for download in result.metrics.completed[:20]:
+            times = download.stats.piece_times
+            if len(times) < 10:
+                continue
+            span = times[-1] - times[0]
+            if span > 0:
+                rate = (len(times) - 1) / span
+                # Budget 1 upload/round allows at most ~1 swap + 1
+                # seed/donation grant per round.
+                assert rate <= 2.5
+
+    @pytest.mark.parametrize(
+        "classes",
+        [
+            (),
+            ((0.5, 1),),                 # fractions must sum to 1
+            ((1.0, 0),),                 # capacity must be >= 1
+            ((-0.5, 1), (1.5, 2)),       # fractions must be > 0
+            ((1.0, 1, 3),),              # entries are pairs
+        ],
+    )
+    def test_validation(self, classes):
+        with pytest.raises(ParameterError):
+            seeded_config(bandwidth_classes=classes)

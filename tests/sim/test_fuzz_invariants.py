@@ -1,0 +1,131 @@
+"""Property-based fuzzing of the swarm simulator.
+
+Hypothesis draws random (small) configurations and the suite checks the
+structural invariants that must hold under *any* configuration:
+
+* replication counts match the registry exactly;
+* neighbor and partner relations are symmetric;
+* partner counts never exceed ``k``; partners are never seeds under
+  strict tit-for-tat;
+* piece holdings never decrease; completed peers are never registered
+  leechers (with immediate departure);
+* metrics series stay within their domains.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import SimConfig
+from repro.sim.swarm import Swarm
+from repro.stability.entropy import replication_degrees
+
+
+@st.composite
+def swarm_configs(draw):
+    num_pieces = draw(st.integers(min_value=3, max_value=25))
+    max_conns = draw(st.integers(min_value=1, max_value=5))
+    ns_size = draw(st.integers(min_value=2, max_value=12))
+    return SimConfig(
+        num_pieces=num_pieces,
+        max_conns=max_conns,
+        ns_size=ns_size,
+        arrival_process=draw(st.sampled_from(["poisson", "flash", "none"])),
+        arrival_rate=draw(st.floats(min_value=0.0, max_value=2.0)),
+        flash_size=draw(st.integers(min_value=0, max_value=10)),
+        initial_leechers=draw(st.integers(min_value=0, max_value=20)),
+        initial_distribution=draw(
+            st.sampled_from(["empty", "uniform", "skewed"])
+        ),
+        initial_fill=draw(st.floats(min_value=0.0, max_value=1.0)),
+        skew_factor=draw(st.floats(min_value=0.0, max_value=1.0)),
+        blocks_per_piece=draw(st.integers(min_value=1, max_value=3)),
+        num_seeds=draw(st.integers(min_value=0, max_value=2)),
+        seed_upload_slots=draw(st.integers(min_value=0, max_value=3)),
+        super_seeding=draw(st.booleans()),
+        completed_become_seeds=draw(st.sampled_from([0.0, 5.0])),
+        abort_rate=draw(st.floats(min_value=0.0, max_value=0.1)),
+        piece_selection=draw(
+            st.sampled_from(["rarest", "strict-rarest", "random"])
+        ),
+        strict_tft=draw(st.booleans()),
+        optimistic_unchoke_prob=draw(st.floats(min_value=0.0, max_value=1.0)),
+        optimistic_targets=draw(st.sampled_from(["starved", "empty"])),
+        connection_failure_prob=draw(st.floats(min_value=0.0, max_value=0.5)),
+        connection_setup_prob=draw(st.floats(min_value=0.0, max_value=1.0)),
+        matching=draw(st.sampled_from(["blind", "greedy"])),
+        shake_threshold=draw(st.sampled_from([None, 0.8])),
+        max_time=15.0,
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+
+
+@given(config=swarm_configs())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_swarm_invariants_under_random_configs(config):
+    swarm = Swarm(config)
+    swarm.setup()
+    swarm.engine.run_until(config.max_time)
+    tracker = swarm.tracker
+
+    # Replication counts mirror the registry.
+    bitfields = [p.bitfield for p in tracker.peers()]
+    expected = replication_degrees(bitfields, config.num_pieces)
+    np.testing.assert_array_equal(swarm.piece_counts, expected)
+
+    registered_ids = {p.peer_id for p in tracker.peers()}
+    for peer in tracker.peers():
+        # Relations reference live peers and are symmetric.
+        assert peer.neighbors <= registered_ids
+        assert peer.partners <= registered_ids
+        for neighbor_id in peer.neighbors:
+            assert peer.peer_id in tracker.get(neighbor_id).neighbors
+        for partner_id in peer.partners:
+            assert peer.peer_id in tracker.get(partner_id).partners
+        # Capacity bounds.
+        if not peer.is_seed:
+            assert len(peer.partners) <= config.max_conns
+        # Immediate departure: registered leechers are incomplete.
+        if not peer.is_seed and config.completed_become_seeds == 0:
+            assert not peer.bitfield.is_complete
+        # Strict TFT: no leecher trades with a seed.
+        if config.strict_tft and not peer.is_seed:
+            for partner_id in peer.partners:
+                assert not tracker.get(partner_id).is_seed
+
+    # Monotone per-peer histories.  Initial-population peers may start
+    # pre-filled, so the acquisition log covers at most B pieces.
+    for download in swarm.metrics.completed:
+        times = download.stats.piece_times
+        assert times == sorted(times)
+        assert len(times) <= config.num_pieces
+
+    # Metric domains.
+    _times, entropies = swarm.metrics.entropy_arrays()
+    assert ((entropies >= 0) & (entropies <= 1)).all()
+    _pt, leech, seeds = swarm.metrics.population_arrays()
+    assert (leech >= 0).all() and (seeds >= 0).all()
+
+
+@given(config=swarm_configs())
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_runs_are_deterministic_per_seed(config):
+    def run():
+        swarm = Swarm(config)
+        swarm.setup()
+        swarm.engine.run_until(config.max_time)
+        return (
+            swarm.piece_counts.tolist(),
+            sorted(p.peer_id for p in swarm.tracker.peers()),
+            len(swarm.metrics.completed),
+        )
+
+    assert run() == run()

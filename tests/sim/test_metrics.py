@@ -1,0 +1,152 @@
+"""Tests for the metrics collector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.bitfield import Bitfield
+from repro.sim.metrics import MetricsCollector
+from repro.sim.peer import Peer
+from repro.sim.tracker import Tracker
+
+
+@pytest.fixture
+def tracker(rng):
+    return Tracker(ns_size=10, rng=rng)
+
+
+def spawn(tracker, pieces, *, partners=(), is_seed=False):
+    peer = Peer(tracker.new_peer_id(), 6, is_seed=is_seed)
+    if pieces and not is_seed:
+        peer.bitfield = Bitfield.from_pieces(6, pieces)
+    peer.partners = set(partners)
+    tracker.register(peer)
+    return peer
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            MetricsCollector(0)
+        with pytest.raises(ParameterError):
+            MetricsCollector(2, entropy_every=0)
+        with pytest.raises(ParameterError):
+            MetricsCollector(2, occupancy_warmup=1.0)
+        with pytest.raises(ParameterError):
+            MetricsCollector(2, occupancy_scope="some")
+
+
+class TestPopulationAndEntropy:
+    def test_population_series(self, tracker):
+        metrics = MetricsCollector(2)
+        spawn(tracker, [0])
+        spawn(tracker, [], is_seed=True)
+        metrics.on_round_end(1.0, tracker, {})
+        times, leech, seeds = metrics.population_arrays()
+        assert times.tolist() == [1.0]
+        assert leech.tolist() == [1]
+        assert seeds.tolist() == [1]
+
+    def test_entropy_sampling_stride(self, tracker):
+        metrics = MetricsCollector(2, entropy_every=2)
+        spawn(tracker, [0])
+        for t in (1.0, 2.0, 3.0, 4.0):
+            metrics.on_round_end(t, tracker, {})
+        times, values = metrics.entropy_arrays()
+        assert times.tolist() == [2.0, 4.0]
+
+    def test_entropy_of_empty_swarm_is_one(self, tracker):
+        metrics = MetricsCollector(2)
+        metrics.on_round_end(1.0, tracker, {})
+        _times, values = metrics.entropy_arrays()
+        assert values.tolist() == [1.0]
+
+    def test_entropy_excluding_seeds(self, tracker):
+        metrics = MetricsCollector(2, entropy_includes_seeds=False)
+        spawn(tracker, [0])  # piece 0 once, others zero
+        spawn(tracker, [], is_seed=True)
+        metrics.on_round_end(1.0, tracker, {})
+        _times, values = metrics.entropy_arrays()
+        assert values[0] == 0.0  # pieces 1..5 unreplicated among leechers
+
+    def test_empty_arrays_when_no_rounds(self):
+        metrics = MetricsCollector(2)
+        times, leech, seeds = metrics.population_arrays()
+        assert times.size == 0
+        e_times, e_values = metrics.entropy_arrays()
+        assert e_times.size == 0
+
+
+class TestOccupancy:
+    def test_all_scope_counts_everyone(self, tracker):
+        metrics = MetricsCollector(2, occupancy_scope="all")
+        spawn(tracker, [0], partners={99})
+        spawn(tracker, [])
+        metrics.on_round_end(1.0, tracker, {})
+        occupancy = metrics.occupancy()
+        assert occupancy.tolist() == [0.5, 0.5, 0.0]
+
+    def test_trading_scope_filters(self, tracker):
+        metrics = MetricsCollector(2, occupancy_scope="trading")
+        trading = spawn(tracker, [0], partners={99})
+        spawn(tracker, [])          # bootstrap: no pieces
+        starved = spawn(tracker, [1])  # last phase: empty potential set
+        metrics.on_round_end(
+            1.0, tracker,
+            {trading.peer_id: 3, starved.peer_id: 0},
+        )
+        occupancy = metrics.occupancy()
+        assert occupancy.tolist() == [0.0, 1.0, 0.0]
+
+    def test_warmup_discards_early_rounds(self, tracker):
+        metrics = MetricsCollector(2, occupancy_scope="all", occupancy_warmup=0.5)
+        metrics.set_expected_rounds(4)
+        peer = spawn(tracker, [0])
+        # Rounds 1-2 are warmup; connect the peer only afterwards.
+        metrics.on_round_end(1.0, tracker, {})
+        metrics.on_round_end(2.0, tracker, {})
+        peer.partners = {99, 98}
+        metrics.on_round_end(3.0, tracker, {})
+        metrics.on_round_end(4.0, tracker, {})
+        assert metrics.occupancy().tolist() == [0.0, 0.0, 1.0]
+
+    def test_occupancy_without_samples_raises(self):
+        metrics = MetricsCollector(2)
+        with pytest.raises(ParameterError):
+            metrics.occupancy()
+
+    def test_efficiency_value(self, tracker):
+        metrics = MetricsCollector(2, occupancy_scope="all")
+        spawn(tracker, [0], partners={7, 8})
+        metrics.on_round_end(1.0, tracker, {})
+        assert metrics.efficiency() == pytest.approx(1.0)
+
+    def test_partner_overflow_clamped(self, tracker):
+        metrics = MetricsCollector(2, occupancy_scope="all")
+        spawn(tracker, [0], partners={1, 2, 3, 4})
+        metrics.on_round_end(1.0, tracker, {})
+        assert metrics.occupancy()[2] == 1.0
+
+
+class TestCompletedDownloads:
+    def test_records_download(self, tracker):
+        metrics = MetricsCollector(2)
+        peer = spawn(tracker, [0])
+        peer.stats.joined_at = 1.0
+        metrics.on_peer_complete(peer, 9.0)
+        assert len(metrics.completed) == 1
+        record = metrics.completed[0]
+        assert record.duration == pytest.approx(8.0)
+        assert record.peer_id == peer.peer_id
+
+    def test_mean_duration(self, tracker):
+        metrics = MetricsCollector(2)
+        for finish in (5.0, 7.0):
+            peer = spawn(tracker, [0])
+            peer.stats.joined_at = 1.0
+            metrics.on_peer_complete(peer, finish)
+        assert metrics.mean_download_duration() == pytest.approx(5.0)
+
+    def test_mean_duration_nan_when_empty(self):
+        metrics = MetricsCollector(2)
+        assert np.isnan(metrics.mean_download_duration())

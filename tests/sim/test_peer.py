@@ -1,0 +1,76 @@
+"""Tests for peer state and statistics."""
+
+import pytest
+
+from repro.sim.peer import Peer
+
+
+class TestPeerBasics:
+    def test_leecher_starts_empty(self):
+        peer = Peer(1, 10)
+        assert peer.num_pieces_held == 0
+        assert not peer.is_seed
+        assert not peer.is_complete
+
+    def test_seed_starts_full(self):
+        seed = Peer(2, 10, is_seed=True)
+        assert seed.is_complete
+        assert seed.num_pieces_held == 10
+
+    def test_completion_ratio(self):
+        peer = Peer(1, 10)
+        peer.bitfield.add(0)
+        peer.bitfield.add(1)
+        assert peer.completion_ratio() == pytest.approx(0.2)
+
+    def test_open_slots(self):
+        peer = Peer(1, 10)
+        peer.partners = {5, 6}
+        assert peer.open_slots(4) == 2
+        assert peer.open_slots(2) == 0
+        assert peer.open_slots(1) == 0  # never negative
+
+    def test_repr(self):
+        peer = Peer(3, 10)
+        text = repr(peer)
+        assert "id=3" in text
+        assert "leecher" in text
+
+    def test_hash_and_eq_by_id(self):
+        a = Peer(1, 10)
+        b = Peer(1, 10)
+        c = Peer(2, 10)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+
+class TestRecording:
+    def test_record_piece_tracks_times(self):
+        peer = Peer(1, 3, joined_at=5.0)
+        for piece, t in [(0, 6.0), (1, 7.0), (2, 8.0)]:
+            peer.bitfield.add(piece)
+            peer.record_piece(t)
+        assert peer.stats.piece_times == [6.0, 7.0, 8.0]
+        assert peer.stats.completed_at == 8.0
+        assert peer.stats.download_duration() == pytest.approx(3.0)
+
+    def test_incomplete_has_no_duration(self):
+        peer = Peer(1, 3)
+        assert peer.stats.download_duration() is None
+
+    def test_round_recording_only_when_instrumented(self):
+        plain = Peer(1, 5)
+        plain.record_round(1.0, 3)
+        assert plain.stats.potential_series == []
+
+        instrumented = Peer(2, 5, instrumented=True)
+        instrumented.record_round(1.0, 3)
+        assert instrumented.stats.potential_series == [(1.0, 3)]
+        assert instrumented.stats.connection_series == [(1.0, 0)]
+
+    def test_connection_series_tracks_partners(self):
+        peer = Peer(1, 5, instrumented=True)
+        peer.partners = {9, 8}
+        peer.record_round(2.0, 1)
+        assert peer.stats.connection_series == [(2.0, 2)]

@@ -1,0 +1,99 @@
+"""Tests for potential sets and encounter candidates."""
+
+import pytest
+
+from repro.sim.bitfield import Bitfield
+from repro.sim.peer import Peer
+from repro.sim.peer_selection import (
+    is_bootstrap_trapped,
+    potential_set,
+    potential_set_sizes,
+)
+from repro.sim.tracker import Tracker
+
+
+@pytest.fixture
+def swarm(rng):
+    tracker = Tracker(ns_size=10, rng=rng)
+
+    def spawn(pieces, *, is_seed=False):
+        peer = Peer(tracker.new_peer_id(), 6, is_seed=is_seed)
+        if not is_seed:
+            peer.bitfield = Bitfield.from_pieces(6, pieces)
+        tracker.register(peer)
+        return peer
+
+    return tracker, spawn
+
+
+class TestPotentialSet:
+    def test_mutual_interest_required(self, swarm):
+        tracker, spawn = swarm
+        center = spawn([0])
+        tradable = spawn([1])
+        subset = spawn([0])      # identical: nothing to swap
+        superset = spawn([0, 1])  # center has nothing for it
+        for other in (tradable, subset, superset):
+            center.neighbors.add(other.peer_id)
+        assert potential_set(center, tracker) == [tradable.peer_id]
+
+    def test_seeds_excluded(self, swarm):
+        tracker, spawn = swarm
+        center = spawn([0])
+        seed = spawn([], is_seed=True)
+        center.neighbors.add(seed.peer_id)
+        assert potential_set(center, tracker) == []
+
+    def test_non_strict_one_directional(self, swarm):
+        tracker, spawn = swarm
+        center = spawn([0])
+        superset = spawn([0, 1])
+        center.neighbors.add(superset.peer_id)
+        assert potential_set(center, tracker, strict_tft=True) == []
+        assert potential_set(center, tracker, strict_tft=False) == [
+            superset.peer_id
+        ]
+
+    def test_departed_neighbors_skipped(self, swarm):
+        tracker, spawn = swarm
+        center = spawn([0])
+        center.neighbors.add(12345)
+        assert potential_set(center, tracker) == []
+
+    def test_empty_peer_has_no_potential(self, swarm):
+        tracker, spawn = swarm
+        center = spawn([])
+        rich = spawn([0, 1, 2])
+        center.neighbors.add(rich.peer_id)
+        assert potential_set(center, tracker) == []
+
+    def test_batch_sizes(self, swarm):
+        tracker, spawn = swarm
+        a = spawn([0])
+        b = spawn([1])
+        a.neighbors.add(b.peer_id)
+        b.neighbors.add(a.peer_id)
+        result = potential_set_sizes([a, b], tracker)
+        assert result == {a.peer_id: [b.peer_id], b.peer_id: [a.peer_id]}
+
+
+class TestBootstrapTrapped:
+    def test_trapped_with_one_piece_no_potential(self, swarm):
+        _tracker, spawn = swarm
+        peer = spawn([0])
+        assert is_bootstrap_trapped(peer, 0)
+
+    def test_not_trapped_with_potential(self, swarm):
+        _tracker, spawn = swarm
+        peer = spawn([0])
+        assert not is_bootstrap_trapped(peer, 2)
+
+    def test_not_trapped_with_many_pieces(self, swarm):
+        _tracker, spawn = swarm
+        peer = spawn([0, 1, 2])
+        assert not is_bootstrap_trapped(peer, 0)  # that's the last phase
+
+    def test_seed_never_trapped(self, swarm):
+        _tracker, spawn = swarm
+        seed = spawn([], is_seed=True)
+        assert not is_bootstrap_trapped(seed, 0)

@@ -1,0 +1,115 @@
+"""Tests for piece-selection strategies."""
+
+import collections
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.bitfield import Bitfield
+from repro.sim.peer import Peer
+from repro.sim.piece_selection import (
+    neighborhood_rarity,
+    select_piece,
+)
+from repro.sim.tracker import Tracker
+
+
+class TestSelectPiece:
+    def test_only_needed_pieces(self, rng):
+        receiver = Bitfield.from_pieces(8, [0, 1])
+        sender = Bitfield.from_pieces(8, [0, 1, 2, 3])
+        for _ in range(30):
+            piece = select_piece(receiver, sender, "random", rng)
+            assert piece in (2, 3)
+
+    def test_none_when_nothing_needed(self, rng):
+        receiver = Bitfield.from_pieces(8, [0, 1])
+        sender = Bitfield.from_pieces(8, [0])
+        assert select_piece(receiver, sender, "random", rng) is None
+
+    def test_exclude_respected(self, rng):
+        receiver = Bitfield(8)
+        sender = Bitfield.from_pieces(8, [0, 1])
+        piece = select_piece(receiver, sender, "random", rng, exclude={0})
+        assert piece == 1
+
+    def test_exclude_everything_gives_none(self, rng):
+        receiver = Bitfield(8)
+        sender = Bitfield.from_pieces(8, [0])
+        assert select_piece(receiver, sender, "random", rng, exclude={0}) is None
+
+    def test_unknown_policy(self, rng):
+        with pytest.raises(ParameterError):
+            select_piece(Bitfield(4), Bitfield.full(4), "best", rng)
+
+    def test_strict_rarest_picks_argmin(self, rng):
+        receiver = Bitfield.from_pieces(8, [0, 1, 2, 3])  # above cutoff
+        sender = Bitfield.full(8)
+        rarity = {4: 10, 5: 1, 6: 10, 7: 10}
+        for _ in range(20):
+            assert select_piece(
+                receiver, sender, "strict-rarest", rng, rarity=rarity
+            ) == 5
+
+    def test_noisy_rarest_prefers_rare(self, rng):
+        receiver = Bitfield.from_pieces(8, [0, 1, 2, 3])
+        sender = Bitfield.full(8)
+        rarity = {4: 1, 5: 20, 6: 20, 7: 20}
+        counts = collections.Counter(
+            select_piece(receiver, sender, "rarest", rng, rarity=rarity)
+            for _ in range(300)
+        )
+        assert counts[4] > 250  # (1+1)^-3 vs (20+1)^-3: ~1000x preference
+
+    def test_random_first_cutoff_overrides_rarest(self, rng):
+        receiver = Bitfield.from_pieces(8, [0])  # below default cutoff of 4
+        sender = Bitfield.full(8)
+        rarity = {p: (1 if p == 7 else 50) for p in range(8)}
+        counts = collections.Counter(
+            select_piece(receiver, sender, "strict-rarest", rng, rarity=rarity)
+            for _ in range(200)
+        )
+        # Random fallback: piece 7 must NOT dominate.
+        assert counts[7] < 100
+
+    def test_cutoff_configurable(self, rng):
+        receiver = Bitfield.from_pieces(8, [0])
+        sender = Bitfield.full(8)
+        rarity = {p: (1 if p == 7 else 50) for p in range(8)}
+        for _ in range(20):
+            piece = select_piece(
+                receiver, sender, "strict-rarest", rng,
+                rarity=rarity, random_first_cutoff=0,
+            )
+            assert piece == 7
+
+    def test_no_rarity_degrades_to_random(self, rng):
+        receiver = Bitfield.from_pieces(8, [0, 1, 2, 3])
+        sender = Bitfield.full(8)
+        pieces = {
+            select_piece(receiver, sender, "rarest", rng) for _ in range(100)
+        }
+        assert len(pieces) > 1
+
+
+class TestNeighborhoodRarity:
+    def test_counts_within_neighbor_set(self, rng):
+        tracker = Tracker(ns_size=10, rng=rng)
+        center = Peer(tracker.new_peer_id(), 6)
+        tracker.register(center)
+        holdings = [[0, 1], [1, 2], [1]]
+        for pieces in holdings:
+            other = Peer(tracker.new_peer_id(), 6)
+            other.bitfield = Bitfield.from_pieces(6, pieces)
+            tracker.register(other)
+            center.neighbors.add(other.peer_id)
+        rarity = neighborhood_rarity(center, tracker)
+        assert rarity == {0: 1, 1: 3, 2: 1}
+
+    def test_departed_neighbors_ignored(self, rng):
+        tracker = Tracker(ns_size=10, rng=rng)
+        center = Peer(tracker.new_peer_id(), 6)
+        tracker.register(center)
+        center.neighbors.add(999)  # never registered
+        assert neighborhood_rarity(center, tracker) == {}

@@ -1,0 +1,65 @@
+"""Tests for the curated scenario factories."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.scenarios import (
+    SCENARIOS,
+    cold_start,
+    flash_crowd,
+    heterogeneous_bandwidth,
+    starved_neighborhoods,
+    steady_state,
+    streaming,
+)
+from repro.sim.swarm import run_swarm
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name,factory", sorted(SCENARIOS.items()))
+    def test_all_scenarios_valid(self, name, factory):
+        config = factory()
+        assert config.num_pieces >= 1
+
+    def test_overrides_apply(self):
+        config = steady_state(max_conns=7, arrival_rate=9.0)
+        assert config.max_conns == 7
+        assert config.arrival_rate == 9.0
+
+    def test_overrides_revalidated(self):
+        with pytest.raises(ParameterError):
+            steady_state(max_conns=0)
+
+    def test_flash_crowd_size(self):
+        config = flash_crowd(crowd=77)
+        assert config.flash_size == 77
+        assert config.arrival_process == "flash"
+        with pytest.raises(ParameterError):
+            flash_crowd(crowd=0)
+
+    def test_cold_start_is_empty(self):
+        assert cold_start().initial_distribution == "empty"
+
+    def test_starved_is_clustered(self):
+        config = starved_neighborhoods()
+        assert config.ns_accept_factor == 1.0
+        assert config.announce_interval >= 100.0
+
+    def test_heterogeneous_classes(self):
+        config = heterogeneous_bandwidth()
+        assert config.bandwidth_classes is not None
+
+    def test_streaming_is_windowed_non_strict(self):
+        config = streaming()
+        assert config.piece_selection == "windowed"
+        assert config.strict_tft is False
+
+
+class TestScenariosRun:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenarios_produce_downloads(self, name):
+        factory = SCENARIOS[name]
+        config = factory(seed=3).with_changes(max_time=60.0)
+        result = run_swarm(config)
+        assert result.total_rounds == 60
+        assert len(result.metrics.completed) > 0, name

@@ -1,0 +1,98 @@
+"""Tests for seed upload planning."""
+
+import pytest
+
+from repro.sim.bitfield import Bitfield
+from repro.sim.peer import Peer
+from repro.sim.seeds import plan_seed_uploads
+from repro.sim.tracker import Tracker
+
+
+@pytest.fixture
+def setup(rng):
+    tracker = Tracker(ns_size=20, rng=rng)
+    seed = Peer(tracker.new_peer_id(), 6, is_seed=True)
+    tracker.register(seed)
+
+    def spawn_leecher(pieces):
+        peer = Peer(tracker.new_peer_id(), 6)
+        peer.bitfield = Bitfield.from_pieces(6, pieces)
+        tracker.register(peer)
+        seed.neighbors.add(peer.peer_id)
+        peer.neighbors.add(seed.peer_id)
+        return peer
+
+    return tracker, seed, spawn_leecher
+
+
+class TestPlanSeedUploads:
+    def test_grants_limited_by_slots(self, setup, rng):
+        tracker, seed, spawn = setup
+        for _ in range(5):
+            spawn([])
+        grants = plan_seed_uploads(seed, tracker, 2, "random", rng)
+        assert len(grants) == 2
+
+    def test_one_grant_per_receiver(self, setup, rng):
+        tracker, seed, spawn = setup
+        spawn([])
+        grants = plan_seed_uploads(seed, tracker, 5, "random", rng)
+        receivers = [r for r, _ in grants]
+        assert len(receivers) == len(set(receivers))
+
+    def test_zero_slots(self, setup, rng):
+        tracker, seed, spawn = setup
+        spawn([])
+        assert plan_seed_uploads(seed, tracker, 0, "random", rng) == []
+
+    def test_complete_neighbors_skipped(self, setup, rng):
+        tracker, seed, spawn = setup
+        done = spawn(list(range(6)))
+        grants = plan_seed_uploads(seed, tracker, 3, "random", rng)
+        assert all(receiver != done.peer_id for receiver, _ in grants)
+
+    def test_blocked_receivers_skipped(self, setup, rng):
+        tracker, seed, spawn = setup
+        blocked = spawn([])
+        grants = plan_seed_uploads(
+            seed, tracker, 3, "random", rng,
+            blocked_receivers={blocked.peer_id},
+        )
+        assert all(receiver != blocked.peer_id for receiver, _ in grants)
+
+    def test_grants_are_needed_pieces(self, setup, rng):
+        tracker, seed, spawn = setup
+        partial = spawn([0, 1, 2])
+        for _ in range(10):
+            grants = plan_seed_uploads(seed, tracker, 1, "random", rng)
+            for receiver, piece in grants:
+                assert piece in (3, 4, 5)
+
+    def test_no_interested_neighbors(self, setup, rng):
+        tracker, seed, spawn = setup
+        assert plan_seed_uploads(seed, tracker, 3, "random", rng) == []
+
+
+class TestSuperSeeding:
+    def test_offers_distinct_pieces_first(self, setup, rng):
+        tracker, seed, spawn = setup
+        for _ in range(6):
+            spawn([])
+        offered = set()
+        for _ in range(3):
+            grants = plan_seed_uploads(
+                seed, tracker, 2, "random", rng, super_seeding=True
+            )
+            for _receiver, piece in grants:
+                assert piece not in offered
+                offered.add(piece)
+        assert len(offered) == 6
+
+    def test_resets_after_full_injection(self, setup, rng):
+        tracker, seed, spawn = setup
+        spawn([])
+        seed.seeded_pieces = set(range(6))  # everything injected once
+        grants = plan_seed_uploads(
+            seed, tracker, 1, "random", rng, super_seeding=True
+        )
+        assert len(grants) == 1  # restriction reset, upload proceeds

@@ -1,0 +1,70 @@
+"""Tests for peer-set shaking (Section 7.1)."""
+
+import pytest
+
+from repro.sim.bitfield import Bitfield
+from repro.sim.peer import Peer
+from repro.sim.shake import maybe_shake
+from repro.sim.tracker import Tracker
+
+
+@pytest.fixture
+def setup(rng):
+    tracker = Tracker(ns_size=4, rng=rng)
+
+    def spawn(pieces, *, is_seed=False):
+        peer = Peer(tracker.new_peer_id(), 10, is_seed=is_seed)
+        if pieces and not is_seed:
+            peer.bitfield = Bitfield.from_pieces(10, pieces)
+        tracker.register(peer)
+        return peer
+
+    return tracker, spawn
+
+
+class TestMaybeShake:
+    def test_below_threshold_no_shake(self, setup):
+        tracker, spawn = setup
+        peer = spawn([0, 1])  # 20%
+        assert not maybe_shake(peer, tracker, 0.9, 5.0)
+        assert not peer.shaken
+
+    def test_shakes_at_threshold(self, setup):
+        tracker, spawn = setup
+        peer = spawn(list(range(9)))  # 90%
+        old_neighbor = spawn([0])
+        peer.neighbors.add(old_neighbor.peer_id)
+        old_neighbor.neighbors.add(peer.peer_id)
+        peer.partners.add(old_neighbor.peer_id)
+        old_neighbor.partners.add(peer.peer_id)
+        # Fresh peers for the re-announce to hand out.
+        for _ in range(5):
+            spawn([1])
+
+        assert maybe_shake(peer, tracker, 0.9, 7.0)
+        assert peer.shaken
+        assert peer.stats.shaken_at == 7.0
+        # Connections are severed symmetrically (the random re-announce
+        # may legitimately hand the old neighbor back, but never as an
+        # active connection).
+        assert peer.peer_id not in old_neighbor.partners
+        assert not peer.partners
+        # Fresh neighbor set obtained from the tracker.
+        assert len(peer.neighbors) > 0
+
+    def test_shakes_only_once(self, setup):
+        tracker, spawn = setup
+        peer = spawn(list(range(9)))
+        spawn([0])
+        assert maybe_shake(peer, tracker, 0.9, 1.0)
+        assert not maybe_shake(peer, tracker, 0.9, 2.0)
+
+    def test_complete_peer_not_shaken(self, setup):
+        tracker, spawn = setup
+        peer = spawn(list(range(10)))
+        assert not maybe_shake(peer, tracker, 0.9, 1.0)
+
+    def test_seed_not_shaken(self, setup):
+        tracker, spawn = setup
+        seed = spawn([], is_seed=True)
+        assert not maybe_shake(seed, tracker, 0.9, 1.0)

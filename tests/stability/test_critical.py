@@ -1,0 +1,52 @@
+"""Tests for the stability phase boundary."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.stability.critical import (
+    critical_piece_count,
+    phase_boundary,
+)
+
+
+class TestCriticalPieceCount:
+    def test_finds_boundary_between_3_and_10(self):
+        """The paper's endpoints bracket the boundary."""
+        critical = critical_piece_count(
+            12.0, b_range=(2, 16), initial_leechers=100, max_time=60.0,
+            seed=1,
+        )
+        assert 3 < critical <= 12
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            critical_piece_count(5.0, b_range=(1, 8))
+        with pytest.raises(ParameterError):
+            critical_piece_count(5.0, b_range=(8, 8))
+        with pytest.raises(ParameterError):
+            critical_piece_count(-1.0)
+
+
+class TestPhaseBoundary:
+    @pytest.fixture(scope="class")
+    def boundary(self):
+        return phase_boundary(
+            [5.0, 20.0], initial_leechers=100, max_time=60.0, seed=2
+        )
+
+    def test_boundary_rises_with_load(self, boundary):
+        """The paper: stability depends on B *and* the arrival rate."""
+        points = boundary.points
+        assert points[1].critical_b_sim >= points[0].critical_b_sim
+
+    def test_drift_model_agrees_at_low_load(self, boundary):
+        low = boundary.points[0]
+        assert abs(low.critical_b_drift - low.critical_b_sim) <= 3
+
+    def test_format(self, boundary):
+        text = boundary.format()
+        assert "critical B" in text
+
+    def test_empty_rates_rejected(self):
+        with pytest.raises(ParameterError):
+            phase_boundary([])

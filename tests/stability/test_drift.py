@@ -1,0 +1,91 @@
+"""Tests for the first-order entropy-drift analysis."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.stability.drift import (
+    alpha_under_skew,
+    entropy_drift_summary,
+    phase_drift_analysis,
+)
+
+
+class TestAlphaUnderSkew:
+    def test_no_skew_keeps_alpha(self):
+        assert alpha_under_skew(0.3, 1.0) == pytest.approx(0.3)
+
+    def test_full_skew_kills_alpha(self):
+        assert alpha_under_skew(0.3, 0.0) == 0.0
+
+    def test_linear(self):
+        assert alpha_under_skew(0.4, 0.5) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            alpha_under_skew(1.5, 0.5)
+        with pytest.raises(ParameterError):
+            alpha_under_skew(0.5, -0.1)
+
+
+class TestPhaseDriftAnalysis:
+    def test_paper_endpoints(self):
+        """B = 3 is classified unstable, B = 10 stable (Fig 3/4(b,c))."""
+        unstable = phase_drift_analysis(3, 4, arrival_rate=20.0)
+        stable = phase_drift_analysis(10, 4, arrival_rate=20.0)
+        assert not unstable.predicted_stable
+        assert stable.predicted_stable
+
+    def test_replication_factor_scales_with_b(self):
+        small = phase_drift_analysis(4, 4, arrival_rate=1.0)
+        large = phase_drift_analysis(40, 4, arrival_rate=1.0)
+        assert large.replication_factor > small.replication_factor
+
+    def test_replication_factor_independent_of_k(self):
+        a = phase_drift_analysis(10, 2, arrival_rate=1.0)
+        b = phase_drift_analysis(10, 7, arrival_rate=1.0)
+        assert a.replication_factor == b.replication_factor
+
+    def test_higher_load_raises_requirement(self):
+        calm = phase_drift_analysis(10, 4, arrival_rate=1.0)
+        busy = phase_drift_analysis(10, 4, arrival_rate=50.0)
+        assert busy.required_factor > calm.required_factor
+
+    def test_sojourns(self):
+        analysis = phase_drift_analysis(
+            10, 4, arrival_rate=1.0, alpha=0.2, gamma=0.1
+        )
+        assert analysis.bootstrap_sojourn == pytest.approx(5.0)
+        assert analysis.last_sojourn == pytest.approx(10.0)
+
+    def test_trading_rounds(self):
+        analysis = phase_drift_analysis(10, 4, arrival_rate=1.0)
+        assert analysis.trading_rounds == pytest.approx(2.0)
+
+    def test_k_clamped_for_tiny_files(self):
+        analysis = phase_drift_analysis(2, 7, arrival_rate=1.0)
+        assert analysis.trading_rounds == 0.0  # B - 2 = 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(num_pieces=0, max_conns=2, arrival_rate=1.0),
+            dict(num_pieces=5, max_conns=0, arrival_rate=1.0),
+            dict(num_pieces=5, max_conns=2, arrival_rate=-1.0),
+            dict(num_pieces=5, max_conns=2, arrival_rate=1.0, alpha=0.0),
+            dict(num_pieces=5, max_conns=2, arrival_rate=1.0, service_rate=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ParameterError):
+            phase_drift_analysis(**kwargs)
+
+
+class TestSummary:
+    def test_mentions_verdict(self):
+        assert "UNSTABLE" in entropy_drift_summary(3, 4, 20.0)
+        assert "STABLE" in entropy_drift_summary(50, 4, 1.0)
+
+    def test_mentions_parameters(self):
+        text = entropy_drift_summary(10, 4, 2.0)
+        assert "B=10" in text
+        assert "k=4" in text

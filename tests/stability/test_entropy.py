@@ -1,0 +1,112 @@
+"""Tests for the entropy metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.sim.bitfield import Bitfield
+from repro.sim.peer import Peer
+from repro.sim.tracker import Tracker
+from repro.stability.entropy import (
+    entropy,
+    entropy_of_swarm,
+    replication_degrees,
+)
+
+
+class TestReplicationDegrees:
+    def test_counts(self):
+        bitfields = [
+            Bitfield.from_pieces(4, [0, 1]),
+            Bitfield.from_pieces(4, [1, 2]),
+            Bitfield.from_pieces(4, [1]),
+        ]
+        degrees = replication_degrees(bitfields, 4)
+        assert degrees.tolist() == [1, 3, 1, 0]
+
+    def test_complete_bitfield_fast_path(self):
+        bitfields = [Bitfield.full(4), Bitfield.from_pieces(4, [0])]
+        degrees = replication_degrees(bitfields, 4)
+        assert degrees.tolist() == [2, 1, 1, 1]
+
+    def test_empty_input(self):
+        assert replication_degrees([], 4).tolist() == [0, 0, 0, 0]
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ParameterError):
+            replication_degrees([Bitfield(3)], 4)
+
+    def test_invalid_num_pieces(self):
+        with pytest.raises(ParameterError):
+            replication_degrees([], 0)
+
+
+class TestEntropy:
+    def test_balanced_is_one(self):
+        assert entropy(np.array([5, 5, 5])) == 1.0
+
+    def test_missing_piece_is_zero(self):
+        assert entropy(np.array([5, 0, 5])) == 0.0
+
+    def test_ratio(self):
+        assert entropy(np.array([2, 8])) == pytest.approx(0.25)
+
+    def test_empty_system_convention(self):
+        assert entropy(np.array([0, 0, 0])) == 1.0
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ParameterError):
+            entropy(np.array([]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            entropy(np.array([1, -1]))
+
+    @given(
+        degrees=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=60)
+    def test_property_bounds(self, degrees):
+        value = entropy(np.array(degrees))
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        degrees=st.lists(
+            st.integers(min_value=1, max_value=100), min_size=1, max_size=30
+        ),
+        scale=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=40)
+    def test_property_scale_invariant(self, degrees, scale):
+        base = entropy(np.array(degrees))
+        scaled = entropy(np.array(degrees) * scale)
+        assert scaled == pytest.approx(base)
+
+
+class TestEntropyOfSwarm:
+    def test_counts_all_peers(self, rng):
+        tracker = Tracker(ns_size=5, rng=rng)
+        seed = Peer(tracker.new_peer_id(), 3, is_seed=True)
+        tracker.register(seed)
+        leecher = Peer(tracker.new_peer_id(), 3)
+        leecher.bitfield = Bitfield.from_pieces(3, [0])
+        tracker.register(leecher)
+        # degrees: [2, 1, 1] -> E = 0.5
+        assert entropy_of_swarm(tracker) == pytest.approx(0.5)
+
+    def test_exclude_seeds(self, rng):
+        tracker = Tracker(ns_size=5, rng=rng)
+        seed = Peer(tracker.new_peer_id(), 3, is_seed=True)
+        tracker.register(seed)
+        leecher = Peer(tracker.new_peer_id(), 3)
+        leecher.bitfield = Bitfield.from_pieces(3, [0])
+        tracker.register(leecher)
+        assert entropy_of_swarm(tracker, include_seeds=False) == 0.0
+
+    def test_empty_swarm(self, rng):
+        tracker = Tracker(ns_size=5, rng=rng)
+        assert entropy_of_swarm(tracker) == 1.0

@@ -1,0 +1,87 @@
+"""Tests for the stability experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.stability.experiments import (
+    StabilityRun,
+    run_stability_experiment,
+    stability_config,
+)
+
+
+def quick_config(num_pieces, **over):
+    base = dict(
+        arrival_rate=6.0,
+        initial_leechers=80,
+        max_time=50.0,
+        seed=3,
+    )
+    base.update(over)
+    return stability_config(num_pieces, **base)
+
+
+class TestStabilityConfig:
+    def test_skewed_start(self):
+        config = stability_config(10)
+        assert config.initial_distribution == "skewed"
+        assert config.skewed_pieces == 1
+        assert config.piece_selection == "rarest"
+
+    def test_strict_optimistic_targets(self):
+        assert stability_config(10).optimistic_targets == "empty"
+
+    def test_cutoff_lowered_for_tiny_b(self):
+        assert stability_config(3).random_first_cutoff == 1
+
+
+class TestRunStabilityExperiment:
+    def test_result_structure(self):
+        run = run_stability_experiment(quick_config(5), entropy_every=4)
+        assert isinstance(run, StabilityRun)
+        assert run.times.size == run.population.size == run.entropy.size
+        assert run.times.size > 0
+
+    def test_entropy_within_bounds(self):
+        run = run_stability_experiment(quick_config(5), entropy_every=4)
+        assert (run.entropy >= 0).all()
+        assert (run.entropy <= 1).all()
+
+    def test_final_accessors(self):
+        run = run_stability_experiment(quick_config(5), entropy_every=4)
+        assert run.final_population() == run.population[-1]
+        assert run.final_entropy() == run.entropy[-1]
+
+    def test_divergence_classification(self):
+        # A run that ends above 2x the start is diverged by definition.
+        run = run_stability_experiment(
+            quick_config(3, arrival_rate=10.0), entropy_every=8
+        )
+        expected = run.final_population() > 2.0 * (80 + 1)
+        assert run.diverged == expected
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            run_stability_experiment(quick_config(5), divergence_factor=1.0)
+        with pytest.raises(ParameterError):
+            run_stability_experiment(quick_config(5), recovery_level=0.0)
+
+
+class TestPaperContrast:
+    def test_b3_worse_than_b10(self):
+        """The headline stability result at reduced scale.
+
+        B = 3 must end with a larger population and a lower entropy than
+        B = 10 from the same high-skew start.
+        """
+        run3 = run_stability_experiment(
+            quick_config(3, arrival_rate=10.0, max_time=70.0), entropy_every=4
+        )
+        run10 = run_stability_experiment(
+            quick_config(10, arrival_rate=10.0, max_time=70.0), entropy_every=4
+        )
+        assert run3.final_population() > run10.final_population()
+        tail3 = run3.entropy[-10:].mean()
+        tail10 = run10.entropy[-10:].mean()
+        assert tail10 > tail3

@@ -1,0 +1,37 @@
+"""Top-level API surface tests."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_entry_points(self):
+        params = repro.ModelParameters(num_pieces=10, max_conns=2, ns_size=4)
+        chain = repro.DownloadChain(params)
+        traj = chain.trajectory(seed=0)
+        assert traj[-1].b == 10
+
+    def test_sim_entry_points(self):
+        config = repro.SimConfig(num_pieces=10, max_conns=2, ns_size=5,
+                                 initial_leechers=8, max_time=20.0, seed=0)
+        result = repro.run_swarm(config)
+        assert result.total_rounds == 20
+
+    def test_lazy_stability_exports(self):
+        from repro.stability import run_stability_experiment, stability_config
+
+        assert callable(run_stability_experiment)
+        assert callable(stability_config)
+
+    def test_lazy_stability_unknown_attribute(self):
+        import pytest
+        import repro.stability
+
+        with pytest.raises(AttributeError):
+            repro.stability.does_not_exist

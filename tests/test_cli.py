@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "F1a", "--quick", "--seed", "3"])
+        assert args.experiment == "F1a"
+        assert args.quick is True
+        assert args.seed == 3
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_output(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "F1a" in out
+        assert "F3bc" in out
+        assert "Figure 1(a)" in out
+
+    def test_run_quick_f1a(self, capsys):
+        assert main(["run", "F1a", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out
+        assert "PSS=" in out
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["run", "F99"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro-bt" in capsys.readouterr().out
+
+
+class TestTraceAndCalibrate:
+    def test_trace_then_calibrate(self, tmp_path, capsys):
+        path = tmp_path / "traces.jsonl"
+        assert main(["trace", "last", str(path), "--seed", "0"]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main([
+            "calibrate", str(path), "--max-conns", "4", "--ns-size", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "gamma" in out and "p_r" in out
+
+    def test_trace_count(self, tmp_path, capsys):
+        from repro.traces.io import read_trace_jsonl
+
+        path = tmp_path / "many.jsonl"
+        assert main(["trace", "smooth", str(path), "--count", "2"]) == 0
+        assert len(read_trace_jsonl(path)) == 2
+
+    def test_trace_rejects_unknown_archetype(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "weird", "out.jsonl"])
+
+
+class TestStabilityCommand:
+    def test_sweep_output(self, capsys):
+        assert main([
+            "stability", "3", "10",
+            "--arrival-rate", "8", "--initial", "80", "--horizon", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "final peers" in out
+        assert "drift model" in out
+
+
+class TestScenarioCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "steady-state" in out
+        assert "flash-crowd" in out
+
+    def test_run_scenario(self, capsys):
+        assert main(["scenario", "steady-state", "--horizon", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "completed downloads" in out
+        assert "measured p_r" in out
+
+    def test_unknown_scenario(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["scenario", "warp-speed"])

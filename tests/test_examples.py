@@ -1,0 +1,45 @@
+"""Smoke tests: the example scripts run end-to-end.
+
+Each example is executed as a subprocess (its own interpreter, exactly
+as a user would run it) and must exit cleanly with the expected
+headline strings in its output.  Only the faster examples run here; the
+slower studies are covered through their underlying runners' tests.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": ["download-evolution Markov chain", "efficiency eta"],
+    "trace_pipeline.py": ["Swarm selection", "Per-trace phase summary"],
+    "baseline_comparison.py": ["Coupon system", "Fluid model"],
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(FAST_EXAMPLES.items()))
+def test_example_runs(script, expected):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for token in expected:
+        assert token in completed.stdout, (
+            f"{script} output missing {token!r}"
+        )
+
+
+def test_all_examples_have_docstrings_and_main():
+    for script in EXAMPLES_DIR.glob("*.py"):
+        source = script.read_text()
+        assert source.lstrip().startswith(('#!', '"""')), script.name
+        assert '__main__' in source, f"{script.name} is not runnable"

@@ -1,0 +1,159 @@
+"""Tests for trace analysis (segmentation, classification, swarm filter)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, TraceError
+from repro.traces.analysis import (
+    classify_swarm,
+    classify_trace,
+    download_rate_series,
+    phase_segments,
+    summarize_trace,
+)
+from repro.traces.schema import ClientTrace, TraceSample
+
+
+def build_trace(rows, *, num_pieces=10, piece_size=100):
+    """rows: list of (time, pieces_downloaded, potential_size)."""
+    trace = ClientTrace(
+        client_id="c",
+        swarm_id="s",
+        num_pieces=num_pieces,
+        piece_size_bytes=piece_size,
+        started_at=rows[0][0] if rows else 0.0,
+    )
+    for time, pieces, pss in rows:
+        trace.append(TraceSample(time, pieces * piece_size, pss, min(pss, 4)))
+    return trace
+
+
+def smooth_rows(num_pieces=10):
+    return [(float(t), min(t, num_pieces), 8) for t in range(num_pieces + 2)]
+
+
+def bootstrap_rows(stall=10, num_pieces=10):
+    rows = [(float(t), 1 if t > 0 else 0, 0) for t in range(stall)]
+    start = stall
+    for j in range(2, num_pieces + 1):
+        rows.append((float(start), j, 5))
+        start += 1
+    return rows
+
+
+def last_phase_rows(tail=10, num_pieces=10):
+    rows = [(float(t), min(t, num_pieces - 1), 6) for t in range(num_pieces)]
+    t0 = len(rows)
+    for t in range(tail):
+        rows.append((float(t0 + t), num_pieces - 1, 1))
+    rows.append((float(t0 + tail), num_pieces, 1))
+    return rows
+
+
+class TestPhaseSegments:
+    def test_smooth_trace(self):
+        segments = phase_segments(build_trace(smooth_rows()))
+        assert segments.bootstrap <= 1.0
+        assert segments.efficient > 0
+
+    def test_bootstrap_trace(self):
+        segments = phase_segments(build_trace(bootstrap_rows()))
+        assert segments.bootstrap >= 8.0
+
+    def test_last_phase_trace(self):
+        segments = phase_segments(build_trace(last_phase_rows()))
+        assert segments.last >= 5.0
+
+    def test_durations_sum_to_total(self):
+        segments = phase_segments(build_trace(last_phase_rows()))
+        assert segments.bootstrap + segments.efficient + segments.last == (
+            pytest.approx(segments.total)
+        )
+
+    def test_empty_trace_rejected(self):
+        trace = ClientTrace("c", "s", 10, 100, 0.0)
+        with pytest.raises(TraceError):
+            phase_segments(trace)
+
+
+class TestClassifyTrace:
+    def test_smooth(self):
+        assert classify_trace(build_trace(smooth_rows())) == "smooth"
+
+    def test_bootstrap(self):
+        assert classify_trace(build_trace(bootstrap_rows(stall=12))) == "bootstrap"
+
+    def test_last(self):
+        assert classify_trace(build_trace(last_phase_rows(tail=12))) == "last"
+
+    def test_short_stall_not_bootstrap(self):
+        assert classify_trace(build_trace(bootstrap_rows(stall=3))) == "smooth"
+
+    def test_threshold_configurable(self):
+        trace = build_trace(bootstrap_rows(stall=5))
+        assert classify_trace(trace, significant_samples=4) == "bootstrap"
+
+    def test_empty(self):
+        trace = ClientTrace("c", "s", 10, 100, 0.0)
+        assert classify_trace(trace) == "empty"
+
+    def test_completion_samples_not_counted_as_starved(self):
+        # A finished download sitting at 100% with pss 0 is not "last".
+        rows = [(float(t), min(t, 10), 8) for t in range(11)]
+        rows += [(float(11 + t), 10, 0) for t in range(20)]
+        assert classify_trace(build_trace(rows)) == "smooth"
+
+
+class TestDownloadRate:
+    def test_constant_rate(self):
+        trace = build_trace(smooth_rows())
+        times, rates = download_rate_series(trace, window=3.0)
+        # Mid-trace the rate is one piece (100 bytes) per unit time.
+        assert rates[5] == pytest.approx(100.0)
+
+    def test_zero_rate_during_stall(self):
+        trace = build_trace(bootstrap_rows())
+        _times, rates = download_rate_series(trace, window=3.0)
+        assert rates[6] == pytest.approx(0.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ParameterError):
+            download_rate_series(build_trace(smooth_rows()), window=0.0)
+
+    def test_short_trace(self):
+        trace = build_trace([(0.0, 0, 0)])
+        times, rates = download_rate_series(trace)
+        assert rates.tolist() == [0.0]
+
+
+class TestClassifySwarm:
+    def _log(self, totals, step=30.0):
+        return [(idx * step, total, 1) for idx, total in enumerate(totals)]
+
+    def test_stable(self):
+        log = self._log([100] * 12)
+        assert classify_swarm(log, resolution=60.0) == "stable"
+
+    def test_flash_crowd(self):
+        log = self._log([10, 10, 30, 60, 120, 240, 480, 900, 1600, 3000])
+        assert classify_swarm(log, resolution=60.0) == "flash_crowd"
+
+    def test_dying(self):
+        log = self._log([1000, 800, 500, 300, 150, 60, 20, 5, 2, 1])
+        assert classify_swarm(log, resolution=60.0) == "dying"
+
+    def test_unknown_short(self):
+        assert classify_swarm(self._log([10, 10]), resolution=60.0) == "unknown"
+
+    def test_unknown_empty(self):
+        assert classify_swarm([]) == "unknown"
+
+
+class TestSummarize:
+    def test_fields(self):
+        trace = build_trace(smooth_rows())
+        summary = summarize_trace(trace)
+        assert summary["client_id"] == "c"
+        assert summary["complete"] is True
+        assert summary["dominant_phase"] == "smooth"
+        assert summary["samples"] == len(trace.samples)

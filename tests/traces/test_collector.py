@@ -1,0 +1,50 @@
+"""Tests for trace collection from simulated swarms."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.peer import Peer
+from repro.traces.collector import collect_traces, trace_from_peer
+
+
+class TestTraceFromPeer:
+    def test_requires_instrumented(self):
+        peer = Peer(1, 10)
+        with pytest.raises(ParameterError):
+            trace_from_peer(peer, swarm_id="s", num_pieces=10, piece_size_bytes=100)
+
+    def test_reconstructs_cumulative_bytes(self):
+        peer = Peer(1, 4, joined_at=0.0, instrumented=True)
+        # Pieces at t = 1, 2, 2; rounds sampled at t = 1, 2, 3.
+        for piece, t in [(0, 1.0), (1, 2.0), (2, 2.0)]:
+            peer.bitfield.add(piece)
+            peer.record_piece(t)
+        peer.stats.potential_series = [(1.0, 2), (2.0, 3), (3.0, 1)]
+        peer.stats.connection_series = [(1.0, 1), (2.0, 2), (3.0, 1)]
+        trace = trace_from_peer(
+            peer, swarm_id="s", num_pieces=4, piece_size_bytes=100
+        )
+        assert trace.bytes_series() == [100, 300, 300]
+        assert trace.potential_series() == [2, 3, 1]
+        assert trace.connection_series() == [1, 2, 1]
+
+
+class TestCollectTraces:
+    def test_collects_requested_clients(self, small_config):
+        traces = collect_traces(small_config, 3, avoid_seeds=False)
+        assert len(traces) == 3
+        for trace in traces:
+            assert trace.num_pieces == small_config.num_pieces
+            trace.validate()
+
+    def test_swarm_id_recorded(self, small_config):
+        traces = collect_traces(small_config, 1, swarm_id="my-swarm")
+        assert traces[0].swarm_id == "my-swarm"
+
+    def test_invalid_count(self, small_config):
+        with pytest.raises(ParameterError):
+            collect_traces(small_config, 0)
+
+    def test_traces_have_samples(self, small_config):
+        traces = collect_traces(small_config, 2)
+        assert all(len(t.samples) > 0 for t in traces)

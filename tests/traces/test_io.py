@@ -1,0 +1,108 @@
+"""Tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import read_trace_jsonl, write_trace_csv, write_trace_jsonl
+from repro.traces.schema import ClientTrace, TraceSample
+
+
+def sample_trace(client="c1", n=5):
+    trace = ClientTrace(
+        client_id=client,
+        swarm_id="swarm-x",
+        num_pieces=10,
+        piece_size_bytes=100,
+        started_at=0.0,
+        completed_at=float(n) if n >= 10 else None,
+    )
+    for idx in range(n):
+        trace.append(TraceSample(float(idx), idx * 100, idx % 4, idx % 3))
+    return trace
+
+
+class TestJsonlRoundTrip:
+    def test_single_trace(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        original = sample_trace()
+        write_trace_jsonl([original], path)
+        loaded = read_trace_jsonl(path)
+        assert len(loaded) == 1
+        restored = loaded[0]
+        assert restored.client_id == original.client_id
+        assert restored.swarm_id == original.swarm_id
+        assert restored.num_pieces == original.num_pieces
+        assert restored.times() == original.times()
+        assert restored.bytes_series() == original.bytes_series()
+        assert restored.potential_series() == original.potential_series()
+
+    def test_multiple_traces(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        traces = [sample_trace("a", 3), sample_trace("b", 7)]
+        write_trace_jsonl(traces, path)
+        loaded = read_trace_jsonl(path)
+        assert [t.client_id for t in loaded] == ["a", "b"]
+        assert [len(t.samples) for t in loaded] == [3, 7]
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_trace_jsonl([], path)
+        assert read_trace_jsonl(path) == []
+
+    def test_completed_at_preserved(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        trace = sample_trace()
+        trace.completed_at = 42.0
+        write_trace_jsonl([trace], path)
+        assert read_trace_jsonl(path)[0].completed_at == 42.0
+
+
+class TestJsonlErrors:
+    def test_sample_before_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "sample", "t": 1, "bytes": 0,
+                                    "pss": 0, "conns": 0}) + "\n")
+        with pytest.raises(TraceError):
+            read_trace_jsonl(path)
+
+    def test_unknown_record_type(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"type": "mystery"}) + "\n")
+        with pytest.raises(TraceError):
+            read_trace_jsonl(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(TraceError):
+            read_trace_jsonl(path)
+
+    def test_sample_count_mismatch(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        header = {
+            "type": "header", "client_id": "c", "swarm_id": "s",
+            "num_pieces": 4, "piece_size_bytes": 10, "started_at": 0.0,
+            "completed_at": None, "num_samples": 2,
+        }
+        sample = {"type": "sample", "t": 1.0, "bytes": 0, "pss": 0, "conns": 0}
+        path.write_text(json.dumps(header) + "\n" + json.dumps(sample) + "\n")
+        with pytest.raises(TraceError):
+            read_trace_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace_jsonl([sample_trace(n=2)], path)
+        content = path.read_text()
+        path.write_text(content.replace("\n", "\n\n"))
+        assert len(read_trace_jsonl(path)[0].samples) == 2
+
+
+class TestCsv:
+    def test_export(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_trace_csv(sample_trace(n=3), path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("time,")
+        assert len(lines) == 4

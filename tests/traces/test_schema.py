@@ -1,0 +1,113 @@
+"""Tests for the trace schema."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.traces.schema import ClientTrace, TraceSample
+
+
+def make_trace(samples=(), **over):
+    kwargs = dict(
+        client_id="c1",
+        swarm_id="s1",
+        num_pieces=10,
+        piece_size_bytes=100,
+        started_at=0.0,
+    )
+    kwargs.update(over)
+    trace = ClientTrace(**kwargs)
+    for sample in samples:
+        trace.append(sample)
+    return trace
+
+
+class TestTraceSample:
+    def test_valid(self):
+        sample = TraceSample(1.0, 100, 3, 2)
+        assert sample.cumulative_bytes == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(time=1.0, cumulative_bytes=-1, potential_set_size=0, active_connections=0),
+            dict(time=1.0, cumulative_bytes=0, potential_set_size=-1, active_connections=0),
+            dict(time=1.0, cumulative_bytes=0, potential_set_size=0, active_connections=-1),
+        ],
+    )
+    def test_negative_rejected(self, kwargs):
+        with pytest.raises(TraceError):
+            TraceSample(**kwargs)
+
+
+class TestClientTrace:
+    def test_file_size(self):
+        assert make_trace().file_size_bytes == 1000
+
+    def test_append_and_series(self):
+        trace = make_trace([
+            TraceSample(1.0, 100, 2, 1),
+            TraceSample(2.0, 200, 3, 2),
+        ])
+        assert trace.times() == [1.0, 2.0]
+        assert trace.bytes_series() == [100, 200]
+        assert trace.potential_series() == [2, 3]
+        assert trace.connection_series() == [1, 2]
+
+    def test_append_time_regression_rejected(self):
+        trace = make_trace([TraceSample(2.0, 100, 0, 0)])
+        with pytest.raises(TraceError):
+            trace.append(TraceSample(1.0, 100, 0, 0))
+
+    def test_append_bytes_regression_rejected(self):
+        trace = make_trace([TraceSample(1.0, 200, 0, 0)])
+        with pytest.raises(TraceError):
+            trace.append(TraceSample(2.0, 100, 0, 0))
+
+    def test_append_beyond_file_size_rejected(self):
+        trace = make_trace()
+        with pytest.raises(TraceError):
+            trace.append(TraceSample(1.0, 1100, 0, 0))
+
+    def test_is_complete(self):
+        trace = make_trace([TraceSample(1.0, 1000, 0, 0)])
+        assert trace.is_complete
+        assert not make_trace().is_complete
+
+    def test_pieces_downloaded(self):
+        trace = make_trace([TraceSample(1.0, 350, 0, 0)])
+        assert trace.pieces_downloaded() == 3
+
+    def test_duration(self):
+        trace = make_trace(started_at=2.0, completed_at=12.0)
+        assert trace.duration() == 10.0
+        assert make_trace().duration() is None
+
+    def test_invalid_metadata(self):
+        with pytest.raises(TraceError):
+            make_trace(num_pieces=0)
+        with pytest.raises(TraceError):
+            make_trace(piece_size_bytes=0)
+
+    def test_validate_catches_constructed_violations(self):
+        trace = make_trace()
+        trace.samples.append(TraceSample(5.0, 100, 0, 0))
+        trace.samples.append(TraceSample(4.0, 200, 0, 0))  # time regression
+        with pytest.raises(TraceError):
+            trace.validate()
+
+    @given(
+        byte_steps=st.lists(
+            st.integers(min_value=0, max_value=100), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=40)
+    def test_property_monotone_appends_accepted(self, byte_steps):
+        trace = make_trace(num_pieces=100, piece_size_bytes=100)
+        total = 0
+        for idx, step in enumerate(byte_steps):
+            total = min(total + step, trace.file_size_bytes)
+            trace.append(TraceSample(float(idx), total, 0, 0))
+        trace.validate()
+        assert len(trace.samples) == len(byte_steps)

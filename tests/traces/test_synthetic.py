@@ -1,0 +1,56 @@
+"""Tests for the Figure-2 archetype generator."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.traces.analysis import classify_trace
+from repro.traces.synthetic import (
+    ARCHETYPES,
+    archetype_config,
+    generate_archetype,
+)
+
+
+class TestArchetypeConfigs:
+    @pytest.mark.parametrize("kind", sorted(ARCHETYPES))
+    def test_configs_valid(self, kind):
+        config = archetype_config(kind)
+        assert config.num_pieces > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            archetype_config("typo")
+
+    def test_smooth_has_large_ns(self):
+        smooth = archetype_config("smooth")
+        last = archetype_config("last")
+        assert smooth.ns_size > last.ns_size
+
+    def test_bootstrap_has_high_fill(self):
+        assert archetype_config("bootstrap").initial_fill > 0.8
+
+    def test_seed_varies_config(self):
+        assert archetype_config("smooth", seed=1).seed == 1
+
+
+class TestGenerateArchetype:
+    @pytest.mark.parametrize("kind", sorted(ARCHETYPES))
+    def test_generates_matching_trace(self, kind):
+        trace, config = generate_archetype(kind, seed=0)
+        assert classify_trace(trace) == ARCHETYPES[kind].expected_phase
+        assert trace.num_pieces == config.num_pieces
+        trace.validate()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            generate_archetype("typo")
+
+    def test_exhausted_attempts_reported(self, monkeypatch):
+        # Force the classifier to never match.
+        import repro.traces.synthetic as synthetic
+
+        monkeypatch.setattr(
+            synthetic, "classify_trace", lambda trace: "nothing"
+        )
+        with pytest.raises(RuntimeError):
+            generate_archetype("smooth", seed=0, max_attempts=2)
