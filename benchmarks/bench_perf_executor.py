@@ -1,0 +1,62 @@
+"""Performance: executor fan-out and kernel-cache effectiveness.
+
+Times a replication fan through :class:`ExperimentExecutor` and checks
+the two properties the runtime exists for: the kernel cache turns all
+but one chain construction per parameter set into hits, and the
+parallel path returns bit-identical results to the serial reference.
+Wall-clock speedup is *not* asserted — it depends on the host's core
+count — but the timing table makes regressions visible.
+"""
+
+import numpy as np
+
+from repro.core.parameters import ModelParameters
+from repro.runtime import (
+    ExperimentExecutor,
+    TaskSpec,
+    derive_seed,
+    reset_shared_cache,
+)
+from repro.runtime.tasks import potential_ratio_task
+
+RUNS = 24
+
+
+def _tasks():
+    params = ModelParameters(
+        num_pieces=60, max_conns=4, ns_size=15, alpha=0.2, gamma=0.2
+    )
+    return [
+        TaskSpec(potential_ratio_task, (params, derive_seed(11, 0, run)))
+        for run in range(RUNS)
+    ]
+
+
+def run_fan_once():
+    reset_shared_cache()
+    executor = ExperimentExecutor(workers=1)
+    results = executor.run(_tasks())
+    for _sums, _counts, steps in results:
+        executor.record_events(steps)
+    return results, executor.telemetry
+
+
+def test_perf_executor_fan(benchmark):
+    results, telemetry = benchmark.pedantic(
+        run_fan_once, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert len(results) == RUNS
+    # One parameter set: one miss, every other replication hits.
+    assert telemetry.cache_misses == 1
+    assert telemetry.cache_hits == RUNS - 1
+    assert telemetry.events > 0
+    print(f"\n{telemetry.format()}")
+
+    # The parallel path must reproduce the serial reference exactly.
+    parallel = ExperimentExecutor(workers=2).run(_tasks())
+    for (sums, counts, steps), (p_sums, p_counts, p_steps) in zip(
+        results, parallel
+    ):
+        assert np.array_equal(sums, p_sums)
+        assert np.array_equal(counts, p_counts)
+        assert steps == p_steps

@@ -37,8 +37,25 @@ The package is organised around the paper's artifacts:
     the paper positions itself against.
 
 ``repro.experiments``
-    One runner per figure panel of the paper's evaluation, each
-    returning structured series that the benchmark harness prints.
+    One runner per figure panel of the paper's evaluation.  Runners
+    self-register via ``@register_experiment`` and return structured
+    results implementing the ``ExperimentResult`` protocol —
+    ``format()`` for printable rows, ``to_dict()`` for a JSON view, and
+    a ``timing`` telemetry record.
+
+``repro.runtime``
+    The parallel experiment runtime: ``ExperimentExecutor`` fans
+    replications and sweep points over a process pool (bit-identical to
+    a serial run for any worker count, via splittable per-task seeds),
+    a shared ``KernelCache`` memoizes transition kernels and stationary
+    efficiency solutions, and ``Telemetry`` carries wall-time, event,
+    and cache-hit counters.  See ``docs/RUNTIME.md``.
+
+The one-call entry point is :func:`run_experiment`::
+
+    import repro
+    result = repro.run_experiment("F1a", quick=True, workers=4)
+    print(result.format())
 """
 
 from repro._version import __version__
@@ -51,6 +68,42 @@ from repro.efficiency.efficiency import efficiency_curve, efficiency_eta
 from repro.sim.config import SimConfig
 from repro.sim.swarm import Swarm, run_swarm
 from repro.stability.entropy import entropy, replication_degrees
+
+
+def run_experiment(exp_id, *, quick=False, workers=1, seed=None, **overrides):
+    """Run a registered experiment by id and return its result.
+
+    The library-level twin of ``repro-bt run``: looks up ``exp_id`` in
+    the experiment registry (case-insensitive), applies the spec's
+    reduced-scale ``quick_kwargs`` when ``quick`` is set, and fans the
+    runner's replications over ``workers`` processes.  Any extra
+    keyword argument is passed through to the runner and wins over the
+    quick presets.
+
+    Args:
+        exp_id: registry id, e.g. ``"F1a"`` (see
+            :func:`repro.experiments.list_experiments`).
+        quick: use the experiment's reduced-scale smoke parameters.
+        workers: worker processes for the fan-out; results are
+            bit-identical for any value (1 runs in-process).
+        seed: optional root-seed override.
+        **overrides: forwarded to the runner verbatim.
+
+    Returns:
+        The runner's result object (satisfies
+        :class:`repro.experiments.ExperimentResult`): ``format()``,
+        ``to_dict()``, and a ``timing`` telemetry record.
+    """
+    from repro.experiments.registry import get_experiment
+
+    spec = get_experiment(exp_id)
+    kwargs = dict(spec.quick_kwargs) if quick else {}
+    if seed is not None:
+        kwargs["seed"] = seed
+    kwargs.update(overrides)
+    kwargs["workers"] = workers
+    return spec.runner(**kwargs)
+
 
 __all__ = [
     "__version__",
@@ -70,4 +123,5 @@ __all__ = [
     "run_swarm",
     "entropy",
     "replication_degrees",
+    "run_experiment",
 ]

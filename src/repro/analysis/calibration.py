@@ -26,7 +26,7 @@ rather than hand-set:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.core.parameters import ModelParameters
 from repro.errors import ParameterError

@@ -17,9 +17,8 @@ and last phases appear (the paper's Figure 1 story).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.core.chain import DownloadChain

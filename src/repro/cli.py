@@ -4,6 +4,8 @@ Examples::
 
     repro-bt list                     # enumerate reproducible figures
     repro-bt run F1a                  # paper-scale Figure 1(a)
+    repro-bt run F1a --workers 4      # fan replications over 4 processes
+    repro-bt run F1b --timing         # print wall-time / cache telemetry
     repro-bt run F3bc --quick         # reduced-scale stability panels
     repro-bt trace smooth out.jsonl   # generate a Figure-2 archetype
     repro-bt calibrate out.jsonl --max-conns 4 --ns-size 20
@@ -21,7 +23,7 @@ from typing import List, Optional
 
 from repro._version import __version__
 from repro.analysis.reporting import format_table
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
 
@@ -50,6 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced-scale parameters (fast smoke run)",
     )
     run.add_argument("--seed", type=int, default=None, help="override the RNG seed")
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for replication/sweep fan-out "
+            "(0 = all cores; results are identical for any value)"
+        ),
+    )
+    run.add_argument(
+        "--timing",
+        action="store_true",
+        help="print wall-time and kernel-cache telemetry after the result",
+    )
 
     trace = subparsers.add_parser(
         "trace", help="generate a Figure-2 archetype trace to a JSONL file"
@@ -84,11 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
     stability.add_argument("--initial", type=int, default=400)
     stability.add_argument("--horizon", type=float, default=150.0)
     stability.add_argument("--seed", type=int, default=0)
+    stability.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (one stability run per B fans out)",
+    )
 
     seeding = subparsers.add_parser(
         "seeding", help="run the Section-7.2 seeding study"
     )
     seeding.add_argument("--seed", type=int, default=0)
+    seeding.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (one task per seeding configuration)",
+    )
 
     scenario = subparsers.add_parser(
         "scenario", help="run a curated swarm scenario and summarise it"
@@ -107,20 +131,26 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_list() -> int:
     rows = [
         [spec.exp_id, spec.figure, spec.description]
-        for spec in EXPERIMENTS.values()
+        for spec in list_experiments()
     ]
     print(format_table(["id", "figure", "description"], rows))
     return 0
 
 
-def _command_run(experiment: str, quick: bool, seed: Optional[int]) -> int:
+def _command_run(
+    experiment: str, quick: bool, seed: Optional[int],
+    workers: int = 1, timing: bool = False,
+) -> int:
     spec = get_experiment(experiment)
     kwargs = dict(spec.quick_kwargs) if quick else {}
     if seed is not None:
         kwargs["seed"] = seed
+    kwargs["workers"] = workers
     print(f"== {spec.figure}: {spec.description} ==")
     result = spec.runner(**kwargs)
     print(result.format())
+    if timing and result.timing is not None:
+        print(result.timing.format())
     return 0
 
 
@@ -170,25 +200,23 @@ def _command_calibrate(path: str, max_conns: int, ns_size: int) -> int:
 
 def _command_stability(
     pieces: List[int], arrival_rate: float, initial: int,
-    horizon: float, seed: int,
+    horizon: float, seed: int, workers: int = 1,
 ) -> int:
     from repro.stability.drift import phase_drift_analysis
-    from repro.stability.experiments import (
-        run_stability_experiment,
-        stability_config,
-    )
+    from repro.stability.experiments import run_stability_sweep
 
+    runs, _telemetry = run_stability_sweep(
+        pieces,
+        arrival_rate=arrival_rate,
+        initial_leechers=initial,
+        max_time=horizon,
+        seed=seed,
+        entropy_every=4,
+        workers=workers,
+    )
     rows = []
-    for offset, num_pieces in enumerate(pieces):
-        config = stability_config(
-            num_pieces,
-            arrival_rate=arrival_rate,
-            initial_leechers=initial,
-            max_time=horizon,
-            seed=seed + offset,
-        )
-        run = run_stability_experiment(config, entropy_every=4)
-        drift = phase_drift_analysis(num_pieces, config.max_conns, arrival_rate)
+    for num_pieces, run in runs.items():
+        drift = phase_drift_analysis(num_pieces, 4, arrival_rate)
         rows.append([
             num_pieces,
             run.final_population(),
@@ -203,10 +231,10 @@ def _command_stability(
     return 0
 
 
-def _command_seeding(seed: int) -> int:
+def _command_seeding(seed: int, workers: int = 1) -> int:
     from repro.experiments.seeding import run_seeding_study
 
-    print(run_seeding_study(seed=seed).format())
+    print(run_seeding_study(seed=seed, workers=workers).format())
     return 0
 
 
@@ -258,7 +286,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _command_list()
     if args.command == "run":
-        return _command_run(args.experiment, args.quick, args.seed)
+        return _command_run(
+            args.experiment, args.quick, args.seed, args.workers, args.timing
+        )
     if args.command == "trace":
         return _command_trace(args.archetype, args.output, args.seed, args.count)
     if args.command == "calibrate":
@@ -266,10 +296,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "stability":
         return _command_stability(
             args.pieces, args.arrival_rate, args.initial, args.horizon,
-            args.seed,
+            args.seed, args.workers,
         )
     if args.command == "seeding":
-        return _command_seeding(args.seed)
+        return _command_seeding(args.seed, args.workers)
     if args.command == "scenario":
         return _command_scenario(args.name, args.seed, args.horizon)
     parser.error(f"unknown command {args.command!r}")

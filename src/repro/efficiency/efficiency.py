@@ -19,11 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.efficiency.balance import (
-    efficiency_from_occupancy,
-    iterate_balance,
-)
-from repro.efficiency.birth_death import birth_death_equilibrium
+from repro.efficiency.balance import efficiency_from_occupancy
 from repro.efficiency.lifetime import ConnectionLifetimeModel
 from repro.errors import ParameterError
 
@@ -68,6 +64,10 @@ def efficiency_curve(
     This is the model series of Figure 3/4(a): a pronounced efficiency
     gain from ``k = 1`` to ``k = 2``, diminishing returns beyond.
 
+    Each ``(k, p_r)`` stationary solution is resolved through the
+    process-wide :class:`~repro.runtime.cache.KernelCache`, so repeated
+    sweeps (replications, benches) solve the fixed point once.
+
     Args:
         k_values: the ``k`` sweep (the paper uses 1..8).
         p_reenc: fixed ``p_r``; mutually exclusive with ``lifetime``.
@@ -76,6 +76,8 @@ def efficiency_curve(
             ``p_r`` differs across ``k``.  Used (with defaults) when
             neither argument is given.
     """
+    from repro.runtime.cache import shared_cache
+
     if not k_values:
         raise ParameterError("k_values must be non-empty")
     if p_reenc is not None and lifetime is not None:
@@ -83,18 +85,9 @@ def efficiency_curve(
     if p_reenc is None and lifetime is None:
         lifetime = ConnectionLifetimeModel()
 
+    cache = shared_cache()
     points = []
     for k in k_values:
         pr = p_reenc if p_reenc is not None else lifetime.survival_probability(k)
-        balance = iterate_balance(k, pr, tol=tol)
-        cross = birth_death_equilibrium(k, pr)
-        points.append(
-            EfficiencyPoint(
-                max_conns=k,
-                eta=balance.eta,
-                eta_birth_death=cross.eta,
-                p_reenc=pr,
-                occupancy=balance.x,
-            )
-        )
+        points.append(cache.efficiency_point(k, pr, tol=tol))
     return points

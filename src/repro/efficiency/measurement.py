@@ -19,7 +19,7 @@ predicts ``p_r(k)`` from first principles, the former measures it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.efficiency.balance import iterate_balance
 from repro.errors import ParameterError

@@ -1,9 +1,14 @@
 """Experiment runners: one per figure panel of the paper's evaluation.
 
-Every runner returns a structured result object with the exact series
-the corresponding figure plots, plus a ``format()`` method producing
-the printable rows the benchmark harness emits.  Paper-scale parameters
-are the defaults; benches call the same runners at reduced scale.
+Every runner is registered with :func:`register_experiment` and returns
+a structured result satisfying the
+:class:`~repro.experiments.result.ExperimentResult` protocol — the
+exact series the corresponding figure plots, a ``format()`` method
+producing printable rows, a ``to_dict()`` JSON view, and a ``timing``
+telemetry record from the executor that produced it.  Paper-scale
+parameters are the defaults; benches call the same runners at reduced
+scale, and every runner accepts ``workers=N`` to fan its replications
+and sweep points over a process pool with bit-identical results.
 
 ==========  =========================================================
 ``fig1a``   potential-set ratio vs. pieces downloaded (model), PSS sweep
@@ -21,7 +26,14 @@ from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig3a import Fig3aResult, run_fig3a
 from repro.experiments.fig3bc import Fig3bcResult, run_fig3bc
 from repro.experiments.fig3d import Fig3dResult, run_fig3d
-from repro.experiments.registry import EXPERIMENTS, ExperimentSpec, get_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    get_experiment,
+    list_experiments,
+    register_experiment,
+)
+from repro.experiments.result import ExperimentResult, to_jsonable
 from repro.experiments.seeding import SeedingResult, run_seeding_study
 
 __all__ = [
@@ -39,7 +51,11 @@ __all__ = [
     "run_fig3d",
     "EXPERIMENTS",
     "ExperimentSpec",
+    "ExperimentResult",
     "get_experiment",
+    "list_experiments",
+    "register_experiment",
+    "to_jsonable",
     "SeedingResult",
     "run_seeding_study",
 ]

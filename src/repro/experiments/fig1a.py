@@ -6,21 +6,31 @@ downloaded pieces ``b``.  Paper setting: B = 200 pieces, PSS in
 {5, 10, 25, 40}.  Expected shape: ~0.5 near the first piece, a plateau
 near 1 around mid-download, a decline toward ~0.5 at the end; small PSS
 curves run lower/noisier and visit 0 (bootstrap/last phases occur).
+
+Monte-Carlo replications are independent tasks fanned out through the
+:class:`~repro.runtime.executor.ExperimentExecutor`; every replication
+derives its own seed, so ``workers=4`` reproduces ``workers=1``
+bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.core.chain import DownloadChain
 from repro.core.exact import exact_potential_ratio
 from repro.core.parameters import ModelParameters
-from repro.core.timeline import potential_ratio_by_pieces
 from repro.errors import ParameterError
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import to_jsonable
+from repro.runtime.cache import shared_cache
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.seeding import derive_seed
+from repro.runtime.tasks import potential_ratio_task
+from repro.runtime.telemetry import Telemetry
 
 __all__ = ["Fig1aResult", "run_fig1a"]
 
@@ -34,11 +44,13 @@ class Fig1aResult:
         ratios: per PSS, the E[ i / s | b ] curve (NaN where ``b`` was
             skipped by parallel arrivals).
         params: per PSS, the model parameters used.
+        timing: execution telemetry of the producing run.
     """
 
     pieces: np.ndarray
     ratios: Dict[int, np.ndarray]
     params: Dict[int, ModelParameters]
+    timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def format(self, *, max_rows: int = 21) -> str:
         """Printable rows: one column per PSS curve."""
@@ -55,7 +67,24 @@ class Fig1aResult:
         return "Figure 1(a): potential-set size / neighbor-set size vs pieces\n" + \
             format_table(headers, rows)
 
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "F1a",
+            "pieces": to_jsonable(self.pieces),
+            "ratios": to_jsonable(self.ratios),
+            "params": {
+                str(s): params.describe() for s, params in self.params.items()
+            },
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
 
+
+@register_experiment(
+    "F1a",
+    figure="Figure 1(a)",
+    description="potential-set ratio vs pieces downloaded (model, PSS sweep)",
+    quick_kwargs={"num_pieces": 60, "runs": 12, "pss_values": (5, 10, 25)},
+)
 def run_fig1a(
     pss_values: Sequence[int] = (5, 10, 25, 40),
     *,
@@ -66,6 +95,7 @@ def run_fig1a(
     alpha: float = 0.2,
     gamma: float = 0.2,
     method: str = "monte-carlo",
+    workers: int = 1,
 ) -> Fig1aResult:
     """Reproduce the Figure 1(a) model curves.
 
@@ -79,6 +109,8 @@ def run_fig1a(
             (full distribution propagation — noise-free curves, small
             parameter sets only: the reachable state space grows with
             ``B * k * s``).
+        workers: executor process count; results are identical for any
+            value (replications are independently seeded).
     """
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
@@ -91,24 +123,48 @@ def run_fig1a(
             "exact propagation is intended for small B (<= 64); "
             "use method='monte-carlo' for paper-scale parameters"
         )
+    executor = ExperimentExecutor(workers=workers)
     ratios: Dict[int, np.ndarray] = {}
     params: Dict[int, ModelParameters] = {}
     pieces = np.arange(num_pieces + 1)
-    for offset, pss in enumerate(pss_values):
-        model = ModelParameters(
+    for pss in pss_values:
+        params[pss] = ModelParameters(
             num_pieces=num_pieces,
             max_conns=max_conns,
             ns_size=pss,
             alpha=alpha,
             gamma=gamma,
         )
-        chain = DownloadChain(model)
-        if method == "exact":
-            ratios[pss] = exact_potential_ratio(chain)
-        else:
-            result = potential_ratio_by_pieces(
-                chain, runs=runs, seed=seed + offset
+
+    if method == "exact":
+        with executor.tracked():
+            for pss in pss_values:
+                ratios[pss] = exact_potential_ratio(
+                    shared_cache().chain(params[pss])
+                )
+    else:
+        tasks = [
+            TaskSpec(
+                potential_ratio_task,
+                (params[pss], derive_seed(seed, offset, run)),
             )
-            ratios[pss] = result.ratio
-        params[pss] = model
-    return Fig1aResult(pieces=pieces, ratios=ratios, params=params)
+            for offset, pss in enumerate(pss_values)
+            for run in range(runs)
+        ]
+        outcomes = executor.run(tasks)
+        for offset, pss in enumerate(pss_values):
+            sums = np.zeros(num_pieces + 1)
+            counts = np.zeros(num_pieces + 1)
+            for run_sums, run_counts, steps in outcomes[
+                offset * runs : (offset + 1) * runs
+            ]:
+                sums += run_sums
+                counts += run_counts
+                executor.record_events(steps)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                ratios[pss] = np.where(
+                    counts > 0, sums / np.maximum(counts, 1), np.nan
+                )
+    return Fig1aResult(
+        pieces=pieces, ratios=ratios, params=params, timing=executor.telemetry
+    )

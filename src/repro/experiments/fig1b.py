@@ -7,20 +7,28 @@ discrete-event swarm.  Expected shape: a near-linear trading phase;
 PSS = 5 runs much longer, with a bootstrap plateau at the start and a
 last-phase tail; the model tracks the simulation tightly for PSS = 50
 and looser (but with the same phases) for PSS = 5.
+
+Model replications and simulator instruments are independent executor
+tasks: the model fan shares one cached transition kernel per PSS, and
+the per-PSS swarm runs execute concurrently under ``workers > 1``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.core.chain import DownloadChain
 from repro.core.parameters import ModelParameters, alpha_from_swarm
-from repro.core.timeline import mean_timeline
 from repro.errors import ParameterError
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import to_jsonable
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.seeding import derive_seed
+from repro.runtime.tasks import first_passage_task
+from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.swarm import Swarm
 
@@ -37,12 +45,14 @@ class Fig1bResult:
         sim: per PSS, mean first-passage rounds from the simulator
             (NaN where no instrumented peer reached that count).
         sim_completed: per PSS, how many instrumented peers finished.
+        timing: execution telemetry of the producing run.
     """
 
     pieces: np.ndarray
     model: Dict[int, np.ndarray]
     sim: Dict[int, np.ndarray]
     sim_completed: Dict[int, int]
+    timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def format(self, *, max_rows: int = 21) -> str:
         pss_values = sorted(self.model)
@@ -60,6 +70,16 @@ class Fig1bResult:
         return "Figure 1(b): evolution timeline (rounds to b pieces)\n" + \
             format_table(headers, rows)
 
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "F1b",
+            "pieces": to_jsonable(self.pieces),
+            "model": to_jsonable(self.model),
+            "sim": to_jsonable(self.sim),
+            "sim_completed": to_jsonable(self.sim_completed),
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
+
 
 def sim_timeline(
     config: SimConfig,
@@ -73,8 +93,9 @@ def sim_timeline(
     per-piece acquisition times (relative to its join, in rounds).
 
     Returns:
-        ``(mean_rounds, completed_count)`` where ``mean_rounds`` has
-        ``B + 1`` entries (entry 0 is 0; unreached counts are NaN).
+        ``(mean_rounds, completed_count, events)`` where ``mean_rounds``
+        has ``B + 1`` entries (entry 0 is 0; unreached counts are NaN)
+        and ``events`` is the simulator's processed-event count.
     """
     swarm = Swarm(
         config,
@@ -99,9 +120,21 @@ def sim_timeline(
     with np.errstate(invalid="ignore"):
         mean = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
     mean[0] = 0.0
-    return mean, completed
+    return mean, completed, result.events_processed
 
 
+@register_experiment(
+    "F1b",
+    figure="Figure 1(b)",
+    description="evolution timeline, model vs simulation (PSS 5 and 50)",
+    quick_kwargs={
+        "num_pieces": 60,
+        "model_runs": 12,
+        "sim_instrument": 4,
+        "max_time": 300.0,
+        "pss_values": (5, 30),
+    },
+)
 def run_fig1b(
     pss_values: Sequence[int] = (5, 50),
     *,
@@ -114,6 +147,7 @@ def run_fig1b(
     p_new: float = 0.7,
     arrival_rate: float = 1.5,
     max_time: float = 800.0,
+    workers: int = 1,
 ) -> Fig1bResult:
     """Reproduce Figure 1(b): model and simulation timelines per PSS.
 
@@ -126,9 +160,13 @@ def run_fig1b(
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
     pieces = np.arange(num_pieces + 1)
+    executor = ExperimentExecutor(workers=workers)
     model: Dict[int, np.ndarray] = {}
     sim: Dict[int, np.ndarray] = {}
     sim_completed: Dict[int, int] = {}
+
+    model_params: Dict[int, ModelParameters] = {}
+    sim_configs: Dict[int, SimConfig] = {}
     for offset, pss in enumerate(pss_values):
         initial_leechers = max(60, 4 * pss)
         alpha = alpha_from_swarm(
@@ -137,7 +175,7 @@ def run_fig1b(
             pss,
             initial_leechers,
         )
-        model_params = ModelParameters(
+        model_params[pss] = ModelParameters(
             num_pieces=num_pieces,
             max_conns=max_conns,
             ns_size=pss,
@@ -146,12 +184,7 @@ def run_fig1b(
             p_reenc=p_reenc,
             p_new=p_new,
         )
-        timeline = mean_timeline(
-            DownloadChain(model_params), runs=model_runs, seed=seed + offset
-        )
-        model[pss] = timeline.mean_steps
-
-        config = SimConfig(
+        sim_configs[pss] = SimConfig(
             num_pieces=num_pieces,
             max_conns=max_conns,
             ns_size=pss,
@@ -170,9 +203,43 @@ def run_fig1b(
             max_time=max_time,
             seed=seed + 1000 + offset,
         )
-        sim[pss], sim_completed[pss] = sim_timeline(
-            config, instrument=sim_instrument
+
+    # One fan for everything: model replications per PSS, then one
+    # simulator run per PSS; the executor interleaves them freely but
+    # returns results in task order.
+    tasks = [
+        TaskSpec(
+            first_passage_task,
+            (model_params[pss], derive_seed(seed, offset, run)),
         )
+        for offset, pss in enumerate(pss_values)
+        for run in range(model_runs)
+    ]
+    sim_task_base = len(tasks)
+    tasks += [
+        TaskSpec(
+            sim_timeline,
+            (sim_configs[pss],),
+            {"instrument": sim_instrument},
+        )
+        for pss in pss_values
+    ]
+    outcomes = executor.run(tasks)
+
+    for offset, pss in enumerate(pss_values):
+        runs = outcomes[offset * model_runs : (offset + 1) * model_runs]
+        hits = np.stack([first for first, _steps in runs])
+        for _first, steps in runs:
+            executor.record_events(steps)
+        model[pss] = hits.mean(axis=0)
+        mean, completed, events = outcomes[sim_task_base + offset]
+        sim[pss] = mean
+        sim_completed[pss] = completed
+        executor.record_events(events)
     return Fig1bResult(
-        pieces=pieces, model=model, sim=sim, sim_completed=sim_completed
+        pieces=pieces,
+        model=model,
+        sim=sim,
+        sim_completed=sim_completed,
+        timing=executor.telemetry,
     )

@@ -9,21 +9,27 @@ selected from its real-world traces:
 
 Each archetype yields one :class:`~repro.traces.schema.ClientTrace`
 with exactly the two plotted series (cumulative bytes, potential-set
-size).
+size).  The three archetype swarms are independent executor tasks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.analysis.reporting import format_series
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import to_jsonable
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.traces.analysis import classify_trace, phase_segments
 from repro.traces.schema import ClientTrace
 from repro.traces.synthetic import ARCHETYPES, generate_archetype
 
 __all__ = ["Fig2Result", "run_fig2"]
+
+_KINDS = ("smooth", "last", "bootstrap")
 
 
 @dataclass
@@ -35,15 +41,17 @@ class Fig2Result:
         configs: per archetype name, the swarm config that produced it.
         labels: per archetype name, the classifier's label (equals the
             archetype name by construction).
+        timing: execution telemetry of the producing run.
     """
 
     traces: Dict[str, ClientTrace]
     configs: Dict[str, SimConfig]
     labels: Dict[str, str]
+    timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def format(self, *, max_rows: int = 16) -> str:
         blocks = []
-        for kind in ("smooth", "last", "bootstrap"):
+        for kind in _KINDS:
             trace = self.traces[kind]
             spec = ARCHETYPES[kind]
             segments = phase_segments(trace)
@@ -74,17 +82,49 @@ class Fig2Result:
             )
         return "\n".join(blocks)
 
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "F2",
+            "labels": dict(self.labels),
+            "series": {
+                kind: {
+                    "times": to_jsonable(trace.times()),
+                    "bytes": to_jsonable(trace.bytes_series()),
+                    "potential": to_jsonable(trace.potential_series()),
+                }
+                for kind, trace in self.traces.items()
+            },
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
 
-def run_fig2(*, seed: int = 0, max_attempts: int = 8) -> Fig2Result:
+
+def _archetype_task(kind: str, seed: int, max_attempts: int) -> tuple:
+    """Generate and classify one archetype (executor work unit)."""
+    trace, config = generate_archetype(kind, seed=seed, max_attempts=max_attempts)
+    return trace, config, classify_trace(trace)
+
+
+@register_experiment(
+    "F2",
+    figure="Figure 2",
+    description="download archetypes: smooth / last phase / bootstrap",
+)
+def run_fig2(
+    *, seed: int = 0, max_attempts: int = 8, workers: int = 1
+) -> Fig2Result:
     """Generate all three Figure-2 archetypes."""
+    executor = ExperimentExecutor(workers=workers)
+    outcomes = executor.run(
+        [TaskSpec(_archetype_task, (kind, seed, max_attempts)) for kind in _KINDS]
+    )
     traces: Dict[str, ClientTrace] = {}
     configs: Dict[str, SimConfig] = {}
     labels: Dict[str, str] = {}
-    for kind in ("smooth", "last", "bootstrap"):
-        trace, config = generate_archetype(
-            kind, seed=seed, max_attempts=max_attempts
-        )
+    for kind, (trace, config, label) in zip(_KINDS, outcomes):
         traces[kind] = trace
         configs[kind] = config
-        labels[kind] = classify_trace(trace)
-    return Fig2Result(traces=traces, configs=configs, labels=labels)
+        labels[kind] = label
+        executor.record_events(len(trace.samples))
+    return Fig2Result(
+        traces=traces, configs=configs, labels=labels, timing=executor.telemetry
+    )

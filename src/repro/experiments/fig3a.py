@@ -9,12 +9,15 @@ of a dense steady swarm, per ``k``.
 Expected shape: a pronounced efficiency gain from ``k = 1`` to
 ``k = 2`` and little beyond; the model upper-bounds the simulation,
 with the largest relative gap (paper: >8%) at ``k = 1``.
+
+The per-``k`` swarm runs are independent executor tasks; the model's
+stationary solutions come from the shared kernel cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -22,6 +25,10 @@ from repro.analysis.reporting import format_table
 from repro.efficiency.efficiency import efficiency_curve
 from repro.efficiency.lifetime import ConnectionLifetimeModel
 from repro.errors import ParameterError
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import to_jsonable
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.metrics import MetricsCollector
 from repro.sim.swarm import Swarm
@@ -38,12 +45,14 @@ class Fig3aResult:
         model_eta: balance-equation efficiencies.
         sim_eta: simulated efficiencies.
         p_reenc: per-``k`` survival probabilities the model line used.
+        timing: execution telemetry of the producing run.
     """
 
     k_values: np.ndarray
     model_eta: np.ndarray
     sim_eta: np.ndarray
     p_reenc: np.ndarray
+    timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def format(self) -> str:
         rows = [
@@ -56,6 +65,16 @@ class Fig3aResult:
             ["k", "model eta", "sim eta", "p_r(k)"], rows
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "F3a",
+            "k_values": to_jsonable(self.k_values),
+            "model_eta": to_jsonable(self.model_eta),
+            "sim_eta": to_jsonable(self.sim_eta),
+            "p_reenc": to_jsonable(self.p_reenc),
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
+
 
 def sim_efficiency(
     max_conns: int,
@@ -66,12 +85,16 @@ def sim_efficiency(
     arrival_rate: float = 4.0,
     max_time: float = 150.0,
     seed: int = 0,
-) -> float:
+) -> tuple:
     """Measure the simulated ``eta`` for one ``k``.
 
     Uses a dense, continuously refreshed swarm so the occupancy
     distribution reaches (quasi) steady state; the collector discards
     the warmup quarter before averaging.
+
+    Returns:
+        ``(eta, events)`` — the efficiency plus the engine's
+        processed-event count for telemetry.
     """
     config = SimConfig(
         num_pieces=num_pieces,
@@ -96,10 +119,23 @@ def sim_efficiency(
         max_conns, entropy_every=1_000_000, occupancy_warmup=0.25
     )
     swarm = Swarm(config, metrics=metrics)
-    swarm.run()
-    return metrics.efficiency()
+    result = swarm.run()
+    return metrics.efficiency(), result.events_processed
 
 
+@register_experiment(
+    "F3a",
+    figure="Figure 3/4(a)",
+    description="efficiency vs max connections, model vs simulation",
+    quick_kwargs={
+        "k_values": (1, 2, 3, 4),
+        "sim_kwargs": {
+            "initial_leechers": 50,
+            "arrival_rate": 3.0,
+            "max_time": 80.0,
+        },
+    },
+)
 def run_fig3a(
     k_values: Sequence[int] = tuple(range(1, 9)),
     *,
@@ -107,22 +143,32 @@ def run_fig3a(
     num_pieces: int = 60,
     seed: int = 0,
     sim_kwargs: dict | None = None,
+    workers: int = 1,
 ) -> Fig3aResult:
     """Reproduce Figure 3/4(a): model and simulated efficiency per ``k``."""
     if not k_values:
         raise ParameterError("k_values must be non-empty")
     if lifetime is None:
         lifetime = ConnectionLifetimeModel.for_file(num_pieces)
-    model_points = efficiency_curve(list(k_values), lifetime=lifetime)
+    executor = ExperimentExecutor(workers=workers)
+    with executor.tracked():
+        model_points = efficiency_curve(list(k_values), lifetime=lifetime)
     sim_kwargs = dict(sim_kwargs or {})
     sim_kwargs.setdefault("num_pieces", num_pieces)
-    sim_etas = [
-        sim_efficiency(k, seed=seed + idx, **sim_kwargs)
-        for idx, k in enumerate(k_values)
-    ]
+    outcomes = executor.run(
+        [
+            TaskSpec(sim_efficiency, (k,), {"seed": seed + idx, **sim_kwargs})
+            for idx, k in enumerate(k_values)
+        ]
+    )
+    sim_etas = []
+    for eta, events in outcomes:
+        sim_etas.append(eta)
+        executor.record_events(events)
     return Fig3aResult(
         k_values=np.asarray(list(k_values)),
         model_eta=np.asarray([p.eta for p in model_points]),
         sim_eta=np.asarray(sim_etas),
         p_reenc=np.asarray([p.p_reenc for p in model_points]),
+        timing=executor.telemetry,
     )

@@ -8,17 +8,23 @@ arrival stream,
   without bound for ``B = 3``, stabilises for ``B = 10``;
 * panel (c): the entropy ``E`` over time — collapses toward 0 for
   ``B = 3``, recovers toward 1 for ``B = 10``.
+
+The per-``B`` stability runs are independent executor tasks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.errors import ParameterError
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import to_jsonable
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.telemetry import Telemetry
 from repro.stability.experiments import (
     StabilityRun,
     run_stability_experiment,
@@ -34,9 +40,11 @@ class Fig3bcResult:
 
     Attributes:
         runs: per ``B``, the full :class:`StabilityRun`.
+        timing: execution telemetry of the producing run.
     """
 
     runs: Dict[int, StabilityRun]
+    timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def population(self, num_pieces: int) -> np.ndarray:
         return self.runs[num_pieces].population
@@ -72,7 +80,34 @@ class Fig3bcResult:
             + f"\nverdicts: {verdicts}"
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "F3bc",
+            "runs": {
+                str(b): {
+                    "times": to_jsonable(run.times),
+                    "population": to_jsonable(run.population),
+                    "entropy": to_jsonable(run.entropy),
+                    "diverged": run.diverged,
+                    "entropy_recovered": run.entropy_recovered,
+                }
+                for b, run in self.runs.items()
+            },
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
 
+
+@register_experiment(
+    "F3bc",
+    figure="Figure 3/4(b,c)",
+    description="population and entropy vs time for B=3 vs B=10",
+    quick_kwargs={
+        "initial_leechers": 200,
+        "arrival_rate": 12.0,
+        "max_time": 100.0,
+        "entropy_every": 4,
+    },
+)
 def run_fig3bc(
     piece_counts: Sequence[int] = (3, 10),
     *,
@@ -82,14 +117,14 @@ def run_fig3bc(
     seed: int = 0,
     entropy_every: int = 2,
     config_overrides: dict | None = None,
+    workers: int = 1,
 ) -> Fig3bcResult:
     """Reproduce Figures 3/4(b,c): one stability run per piece count."""
     if not piece_counts:
         raise ParameterError("piece_counts must be non-empty")
-    runs: Dict[int, StabilityRun] = {}
     overrides = dict(config_overrides or {})
-    for offset, num_pieces in enumerate(piece_counts):
-        config = stability_config(
+    configs = [
+        stability_config(
             num_pieces,
             arrival_rate=arrival_rate,
             initial_leechers=initial_leechers,
@@ -97,7 +132,17 @@ def run_fig3bc(
             seed=seed + offset,
             **overrides,
         )
-        runs[num_pieces] = run_stability_experiment(
-            config, entropy_every=entropy_every
-        )
-    return Fig3bcResult(runs=runs)
+        for offset, num_pieces in enumerate(piece_counts)
+    ]
+    executor = ExperimentExecutor(workers=workers)
+    outcomes = executor.run(
+        [
+            TaskSpec(run_stability_experiment, (config,), {"entropy_every": entropy_every})
+            for config in configs
+        ]
+    )
+    runs: Dict[int, StabilityRun] = {}
+    for num_pieces, run in zip(piece_counts, outcomes):
+        runs[num_pieces] = run
+        executor.record_events(run.result.events_processed)
+    return Fig3bcResult(runs=runs, timing=executor.telemetry)

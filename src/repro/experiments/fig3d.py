@@ -8,17 +8,22 @@ variant; shaking flattens the tail.
 
 TTD of block ordinal ``j`` is the gap between the acquisition times of
 the ``j``-th and ``(j-1)``-th pieces, averaged over completed peers.
+The normal and shaken swarms run as independent executor tasks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.errors import ParameterError
+from repro.experiments.registry import register_experiment
+from repro.experiments.result import to_jsonable
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.swarm import run_swarm
 
@@ -34,11 +39,13 @@ class Fig3dResult:
         ttd: per variant name ("normal" / "shake"), mean TTD at each
             ordinal (rounds).
         completed: per variant, completed downloads contributing.
+        timing: execution telemetry of the producing run.
     """
 
     ordinals: np.ndarray
     ttd: Dict[str, np.ndarray]
     completed: Dict[str, int]
+    timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def format(self) -> str:
         rows = [
@@ -56,6 +63,15 @@ class Fig3dResult:
             + note
         )
 
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "F3d",
+            "ordinals": to_jsonable(self.ordinals),
+            "ttd": to_jsonable(self.ttd),
+            "completed": to_jsonable(self.completed),
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
+
 
 def mean_ttd_by_ordinal(
     config: SimConfig, *, window: int
@@ -63,8 +79,9 @@ def mean_ttd_by_ordinal(
     """Run one swarm and average per-ordinal TTD over completed peers.
 
     Returns:
-        ``(ordinals, mean_ttd, completed_count)`` — ordinals are
-        1-based piece counts covering the last ``window`` pieces.
+        ``(ordinals, mean_ttd, completed_count, events)`` — ordinals
+        are 1-based piece counts covering the last ``window`` pieces;
+        ``events`` is the engine's processed-event count.
     """
     if window < 1 or window >= config.num_pieces:
         raise ParameterError(
@@ -83,9 +100,20 @@ def mean_ttd_by_ordinal(
         sums += gaps[-window:] / config.piece_time
         count += 1
     mean = sums / count if count else np.full(window, np.nan)
-    return ordinals, mean, count
+    return ordinals, mean, count, result.events_processed
 
 
+@register_experiment(
+    "F3d",
+    figure="Figure 3/4(d)",
+    description="last-block TTD: normal vs shaken peer set",
+    quick_kwargs={
+        "num_pieces": 80,
+        "window": 8,
+        "initial_leechers": 40,
+        "max_time": 350.0,
+    },
+)
 def run_fig3d(
     *,
     num_pieces: int = 200,
@@ -97,6 +125,7 @@ def run_fig3d(
     initial_leechers: int = 60,
     max_time: float = 700.0,
     seed: int = 0,
+    workers: int = 1,
 ) -> Fig3dResult:
     """Reproduce Figure 3/4(d): TTD of the last ``window`` blocks.
 
@@ -127,11 +156,20 @@ def run_fig3d(
         "normal": base,
         "shake": base.with_changes(shake_threshold=shake_threshold),
     }
+    executor = ExperimentExecutor(workers=workers)
+    outcomes = executor.run(
+        [
+            TaskSpec(mean_ttd_by_ordinal, (config,), {"window": window})
+            for config in variants.values()
+        ]
+    )
     ttd: Dict[str, np.ndarray] = {}
     completed: Dict[str, int] = {}
     ordinals = None
-    for name, config in variants.items():
-        ordinals, mean, count = mean_ttd_by_ordinal(config, window=window)
+    for name, (ordinals, mean, count, events) in zip(variants, outcomes):
         ttd[name] = mean
         completed[name] = count
-    return Fig3dResult(ordinals=ordinals, ttd=ttd, completed=completed)
+        executor.record_events(events)
+    return Fig3dResult(
+        ordinals=ordinals, ttd=ttd, completed=completed, timing=executor.telemetry
+    )

@@ -1,19 +1,37 @@
-"""Experiment registry: id -> runner, for the CLI and the bench harness."""
+"""Experiment registry: decorator-based id -> runner mapping.
+
+Runners self-register at import time::
+
+    @register_experiment(
+        "F1a",
+        figure="Figure 1(a)",
+        description="potential-set ratio vs pieces downloaded",
+        quick_kwargs={"num_pieces": 60, "runs": 12},
+    )
+    def run_fig1a(...):
+        ...
+
+Lookups are case-insensitive dict hits: ids are normalized once at
+registration, not scanned per call.  Importing this module alone is
+enough — the built-in runner modules are imported lazily on the first
+lookup, so ``from repro.experiments.registry import get_experiment``
+works without importing the whole package up front.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ParameterError
-from repro.experiments.fig1a import run_fig1a
-from repro.experiments.fig1b import run_fig1b
-from repro.experiments.fig2 import run_fig2
-from repro.experiments.fig3a import run_fig3a
-from repro.experiments.fig3bc import run_fig3bc
-from repro.experiments.fig3d import run_fig3d
 
-__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment"]
+__all__ = [
+    "ExperimentSpec",
+    "EXPERIMENTS",
+    "register_experiment",
+    "get_experiment",
+    "list_experiments",
+]
 
 
 @dataclass(frozen=True)
@@ -24,8 +42,8 @@ class ExperimentSpec:
         exp_id: short id used on the CLI (e.g. ``"F1a"``).
         figure: the paper's figure label.
         description: what the figure shows.
-        runner: paper-scale callable returning a result with
-            ``format()``.
+        runner: paper-scale callable returning an
+            :class:`~repro.experiments.result.ExperimentResult`.
         quick_kwargs: reduced-scale keyword arguments for fast runs
             (benches, smoke tests).
     """
@@ -34,86 +52,75 @@ class ExperimentSpec:
     figure: str
     description: str
     runner: Callable
-    quick_kwargs: dict
+    quick_kwargs: dict = field(default_factory=dict)
 
 
-EXPERIMENTS: Dict[str, ExperimentSpec] = {
-    spec.exp_id: spec
-    for spec in [
-        ExperimentSpec(
-            exp_id="F1a",
-            figure="Figure 1(a)",
-            description="potential-set ratio vs pieces downloaded (model, PSS sweep)",
-            runner=run_fig1a,
-            quick_kwargs={"num_pieces": 60, "runs": 12, "pss_values": (5, 10, 25)},
-        ),
-        ExperimentSpec(
-            exp_id="F1b",
-            figure="Figure 1(b)",
-            description="evolution timeline, model vs simulation (PSS 5 and 50)",
-            runner=run_fig1b,
-            quick_kwargs={
-                "num_pieces": 60,
-                "model_runs": 12,
-                "sim_instrument": 4,
-                "max_time": 300.0,
-                "pss_values": (5, 30),
-            },
-        ),
-        ExperimentSpec(
-            exp_id="F2",
-            figure="Figure 2",
-            description="download archetypes: smooth / last phase / bootstrap",
-            runner=run_fig2,
-            quick_kwargs={},
-        ),
-        ExperimentSpec(
-            exp_id="F3a",
-            figure="Figure 3/4(a)",
-            description="efficiency vs max connections, model vs simulation",
-            runner=run_fig3a,
-            quick_kwargs={
-                "k_values": (1, 2, 3, 4),
-                "sim_kwargs": {
-                    "initial_leechers": 50,
-                    "arrival_rate": 3.0,
-                    "max_time": 80.0,
-                },
-            },
-        ),
-        ExperimentSpec(
-            exp_id="F3bc",
-            figure="Figure 3/4(b,c)",
-            description="population and entropy vs time for B=3 vs B=10",
-            runner=run_fig3bc,
-            quick_kwargs={
-                "initial_leechers": 200,
-                "arrival_rate": 12.0,
-                "max_time": 100.0,
-                "entropy_every": 4,
-            },
-        ),
-        ExperimentSpec(
-            exp_id="F3d",
-            figure="Figure 3/4(d)",
-            description="last-block TTD: normal vs shaken peer set",
-            runner=run_fig3d,
-            quick_kwargs={
-                "num_pieces": 80,
-                "window": 8,
-                "initial_leechers": 40,
-                "max_time": 350.0,
-            },
-        ),
-    ]
-}
+#: Display id -> spec, in registration order (public, for listings).
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+#: Normalized (lowercase) id -> spec, for O(1) case-insensitive lookup.
+_NORMALIZED: Dict[str, ExperimentSpec] = {}
+
+#: Runner modules whose import populates the registry.
+_BUILTIN_MODULES = ("fig1a", "fig1b", "fig2", "fig3a", "fig3bc", "fig3d")
+
+
+def register_experiment(
+    exp_id: str,
+    *,
+    figure: str,
+    description: str,
+    quick_kwargs: Optional[dict] = None,
+) -> Callable:
+    """Class/function decorator registering a runner under ``exp_id``.
+
+    Raises:
+        ParameterError: on a duplicate id (case-insensitively).
+    """
+    if not exp_id:
+        raise ParameterError("exp_id must be non-empty")
+    normalized = exp_id.lower()
+
+    def decorator(runner: Callable) -> Callable:
+        if normalized in _NORMALIZED:
+            raise ParameterError(
+                f"experiment id {exp_id!r} is already registered "
+                f"(as {_NORMALIZED[normalized].exp_id!r})"
+            )
+        spec = ExperimentSpec(
+            exp_id=exp_id,
+            figure=figure,
+            description=description,
+            runner=runner,
+            quick_kwargs=dict(quick_kwargs or {}),
+        )
+        _NORMALIZED[normalized] = spec
+        EXPERIMENTS[exp_id] = spec
+        return runner
+
+    return decorator
+
+
+def _ensure_builtin_runners() -> None:
+    """Import the built-in runner modules (idempotent, lazy)."""
+    import importlib
+
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(f"repro.experiments.{module}")
 
 
 def get_experiment(exp_id: str) -> ExperimentSpec:
-    """Look up an experiment by id (case-insensitive)."""
-    for key, spec in EXPERIMENTS.items():
-        if key.lower() == exp_id.lower():
-            return spec
-    raise ParameterError(
-        f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
-    )
+    """Look up an experiment by id (case-insensitive dict lookup)."""
+    _ensure_builtin_runners()
+    spec = _NORMALIZED.get(exp_id.lower())
+    if spec is None:
+        raise ParameterError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    return spec
+
+
+def list_experiments() -> List[ExperimentSpec]:
+    """All registered experiments, in registration order."""
+    _ensure_builtin_runners()
+    return list(EXPERIMENTS.values())

@@ -1,0 +1,63 @@
+"""The common result shape every experiment runner returns.
+
+The CLI, the benchmark harness, and the executor all consume one
+protocol instead of per-figure duck typing:
+
+* ``format()`` — the printable block the figure benches emit;
+* ``to_dict()`` — a JSON-ready dict of the plotted series;
+* ``timing`` — the :class:`~repro.runtime.telemetry.Telemetry` record
+  of the execution that produced the result (``None`` only for results
+  constructed by hand).
+
+Runner result dataclasses implement the protocol structurally; no
+inheritance is required.  :func:`to_jsonable` is the shared series
+serializer (numpy arrays to lists, dict keys to strings, NaN-safe).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["ExperimentResult", "to_jsonable"]
+
+
+@runtime_checkable
+class ExperimentResult(Protocol):
+    """Structural protocol for runner results (see module docstring)."""
+
+    timing: Optional[Telemetry]
+
+    def format(self) -> str:
+        """Printable rows/series for terminals and benches."""
+        ...
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of the result's series."""
+        ...
+
+
+def to_jsonable(value):
+    """Recursively convert a result payload into JSON-ready builtins.
+
+    Handles numpy scalars and arrays (NaN becomes ``None``), mappings
+    (keys stringified), sequences, and objects exposing ``to_dict``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else None
+    if isinstance(value, np.generic):
+        return to_jsonable(value.item())
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    return repr(value)

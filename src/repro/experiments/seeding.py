@@ -17,13 +17,16 @@ work in future."  This runner performs that study on the simulator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.reporting import format_table
 from repro.errors import ParameterError
+from repro.experiments.result import to_jsonable
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.swarm import run_swarm
 
@@ -61,6 +64,14 @@ class SeedingResult:
     """All points of the seeding study."""
 
     points: List[SeedingPoint]
+    timing: Optional[Telemetry] = field(default=None, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "seeding",
+            "points": [to_jsonable(vars(p)) for p in self.points],
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
 
     def format(self) -> str:
         return "Seeding study (Section 7.2)\n" + format_table(
@@ -78,7 +89,12 @@ class SeedingResult:
         return {p.label: p for p in self.points}
 
 
-def _measure(label: str, config: SimConfig) -> SeedingPoint:
+def _measure(label: str, config: SimConfig) -> tuple:
+    """One seeding configuration (executor work unit).
+
+    Returns ``(point, events)`` — the measured point plus the engine's
+    processed-event count for telemetry.
+    """
     result = run_swarm(config)
     completed = result.metrics.completed
     durations = [c.duration for c in completed]
@@ -98,7 +114,7 @@ def _measure(label: str, config: SimConfig) -> SeedingPoint:
         if result.seed_upload_count
         else float("nan")
     )
-    return SeedingPoint(
+    point = SeedingPoint(
         label=label,
         completed=len(durations),
         mean_duration=mean_duration,
@@ -107,6 +123,7 @@ def _measure(label: str, config: SimConfig) -> SeedingPoint:
         seed_uploads=result.seed_upload_count,
         completions_per_seed_upload=per_upload,
     )
+    return point, result.events_processed
 
 
 def run_seeding_study(
@@ -119,6 +136,7 @@ def run_seeding_study(
     initial_leechers: int = 50,
     max_time: float = 150.0,
     seed: int = 0,
+    workers: int = 1,
 ) -> SeedingResult:
     """Run the seeding study and return all measured points.
 
@@ -149,33 +167,47 @@ def run_seeding_study(
         max_time=max_time,
         seed=seed,
     )
-    points: List[SeedingPoint] = []
+    tasks: List[TaskSpec] = []
     for capacity in capacities:
-        points.append(
-            _measure(
-                f"capacity={capacity}",
-                base.with_changes(seed_upload_slots=capacity),
+        tasks.append(
+            TaskSpec(
+                _measure,
+                (
+                    f"capacity={capacity}",
+                    base.with_changes(seed_upload_slots=capacity),
+                ),
             )
         )
     viable = max(capacities)
     policy_capacity = min(4, viable)
     if include_super_seeding:
-        points.append(
-            _measure(
-                f"super-seeding (capacity={policy_capacity})",
-                base.with_changes(
-                    seed_upload_slots=policy_capacity, super_seeding=True
+        tasks.append(
+            TaskSpec(
+                _measure,
+                (
+                    f"super-seeding (capacity={policy_capacity})",
+                    base.with_changes(
+                        seed_upload_slots=policy_capacity, super_seeding=True
+                    ),
                 ),
             )
         )
     if include_lingering:
-        points.append(
-            _measure(
-                f"lingering seeds (capacity={policy_capacity}, 10 rounds)",
-                base.with_changes(
-                    seed_upload_slots=policy_capacity,
-                    completed_become_seeds=10.0,
+        tasks.append(
+            TaskSpec(
+                _measure,
+                (
+                    f"lingering seeds (capacity={policy_capacity}, 10 rounds)",
+                    base.with_changes(
+                        seed_upload_slots=policy_capacity,
+                        completed_become_seeds=10.0,
+                    ),
                 ),
             )
         )
-    return SeedingResult(points=points)
+    executor = ExperimentExecutor(workers=workers)
+    points: List[SeedingPoint] = []
+    for point, events in executor.run(tasks):
+        points.append(point)
+        executor.record_events(events)
+    return SeedingResult(points=points, timing=executor.telemetry)

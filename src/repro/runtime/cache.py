@@ -1,0 +1,185 @@
+"""Process-wide memoization of transition kernels and efficiency solutions.
+
+Building a :class:`~repro.core.transitions.TransitionKernel` recomputes
+the trading-power curve ``p(c)`` (Eq. 1) and re-derives every binomial
+table on demand; the balance-equation fixed point of Section 5 is an
+iterative solve.  Both depend *only* on their (frozen, hashable)
+parameter values, yet the figure runners historically rebuilt them for
+every replication and sweep point.  :class:`KernelCache` shares one
+instance per parameter set across all replications executed in a
+process; each worker of a process pool holds its own cache, and the
+executor aggregates their hit/miss counters into the run telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.chain import DownloadChain
+    from repro.core.parameters import ModelParameters
+    from repro.core.transitions import TransitionKernel
+    from repro.efficiency.efficiency import EfficiencyPoint
+
+__all__ = ["CacheStats", "KernelCache", "shared_cache", "reset_shared_cache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of a cache's counters.
+
+    Attributes:
+        hits: lookups served from the cache.
+        misses: lookups that had to build the value.
+        size: entries currently held.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    def delta(self, since: "CacheStats") -> "CacheStats":
+        """Counters accumulated since an earlier snapshot."""
+        return CacheStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            size=self.size,
+        )
+
+
+class KernelCache:
+    """LRU-bounded memoizer for chains, kernels, and efficiency points.
+
+    Keys are the frozen parameter values themselves —
+    :class:`~repro.core.parameters.ModelParameters` is hashable
+    (including its ``phi`` distribution), so two parameter sets that
+    compare equal share one kernel.  Changing *any* field produces a
+    different key and therefore a rebuild: invalidation is structural,
+    not manual.
+
+    Thread-safe; within a worker process one instance is shared by all
+    tasks (see :func:`shared_cache`).
+    """
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._chains: "OrderedDict" = OrderedDict()
+        self._efficiency: "OrderedDict" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def chain(self, params: "ModelParameters") -> "DownloadChain":
+        """The (shared) :class:`DownloadChain` for ``params``.
+
+        Chains are safe to share across replications: sampling state
+        lives entirely in the caller-supplied RNG.
+        """
+        from repro.core.chain import DownloadChain
+
+        with self._lock:
+            chain = self._chains.get(params)
+            if chain is not None:
+                self._hits += 1
+                self._chains.move_to_end(params)
+                return chain
+            self._misses += 1
+        # Build outside the lock: kernel construction is the slow part.
+        chain = DownloadChain(params)
+        with self._lock:
+            self._chains[params] = chain
+            self._evict(self._chains)
+        return chain
+
+    def kernel(self, params: "ModelParameters") -> "TransitionKernel":
+        """The memoized :class:`TransitionKernel` for ``params``."""
+        return self.chain(params).kernel
+
+    def efficiency_point(
+        self, max_conns: int, p_reenc: float, *, tol: float = 1e-10
+    ) -> "EfficiencyPoint":
+        """Memoized stationary efficiency solution for ``(k, p_r)``.
+
+        Solves (once) the Section-5 balance equations plus the
+        birth-death cross-check for the given connection cap and
+        survival probability.
+        """
+        key = (max_conns, p_reenc, tol)
+        with self._lock:
+            point = self._efficiency.get(key)
+            if point is not None:
+                self._hits += 1
+                self._efficiency.move_to_end(key)
+                return point
+            self._misses += 1
+        from repro.efficiency.balance import iterate_balance
+        from repro.efficiency.birth_death import birth_death_equilibrium
+        from repro.efficiency.efficiency import EfficiencyPoint
+
+        balance = iterate_balance(max_conns, p_reenc, tol=tol)
+        cross = birth_death_equilibrium(max_conns, p_reenc)
+        point = EfficiencyPoint(
+            max_conns=max_conns,
+            eta=balance.eta,
+            eta_birth_death=cross.eta,
+            p_reenc=p_reenc,
+            occupancy=balance.x,
+        )
+        with self._lock:
+            self._efficiency[key] = point
+            self._evict(self._efficiency)
+        return point
+
+    def _evict(self, store: "OrderedDict") -> None:
+        while len(store) > self.max_entries:
+            store.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss counters and current size."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._chains) + len(self._efficiency),
+            )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._chains.clear()
+            self._efficiency.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._chains) + len(self._efficiency)
+
+
+_SHARED = KernelCache()
+
+
+def shared_cache() -> KernelCache:
+    """The process-global cache every runtime task consults.
+
+    Worker processes forked by the executor each see their own copy;
+    the executor reports per-task counter *deltas* back to the parent,
+    so aggregated telemetry is exact regardless of the pool layout.
+    """
+    return _SHARED
+
+
+def reset_shared_cache() -> None:
+    """Clear the process-global cache (tests and benchmarks)."""
+    _SHARED.clear()

@@ -1,0 +1,66 @@
+"""Module-level task functions the figure runners fan out.
+
+These are the per-replication work units of the Figure-1 estimators,
+reshaped so each replication is an independent, seedable, picklable
+task (the loop bodies previously hidden inside
+:func:`repro.core.timeline.mean_timeline` and
+:func:`repro.core.timeline.potential_ratio_by_pieces`, which drew all
+replications from one shared stream and therefore could not be
+parallelised deterministically).  Every task resolves its chain through
+the process-wide :func:`~repro.runtime.cache.shared_cache`, so all
+replications of one parameter set share a single transition kernel.
+
+Each task returns ``(payload..., steps)`` where ``steps`` is the
+trajectory length — the executor credits it to the telemetry's event
+counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parameters import ModelParameters
+from repro.runtime.cache import shared_cache
+
+__all__ = ["potential_ratio_task", "first_passage_task"]
+
+
+def potential_ratio_task(params: ModelParameters, seed: int) -> tuple:
+    """One Figure-1(a) replication: pooled ``i / s`` samples per ``b``.
+
+    Returns:
+        ``(sums, counts, steps)`` — per-piece-count accumulators over
+        one trajectory, merged across replications by the runner.
+    """
+    chain = shared_cache().chain(params)
+    rng = np.random.default_rng(seed)
+    sums = np.zeros(params.num_pieces + 1)
+    counts = np.zeros(params.num_pieces + 1)
+    trajectory = chain.trajectory(rng=rng)
+    s = params.ns_size
+    for state in trajectory:
+        sums[state.b] += state.i / s
+        counts[state.b] += 1
+    return sums, counts, len(trajectory) - 1
+
+
+def first_passage_task(params: ModelParameters, seed: int) -> tuple:
+    """One Figure-1(b) replication: first-passage round per piece count.
+
+    Piece counts can advance by more than one per round, so "first
+    passage to ``b``" is the first round holding *at least* ``b``
+    pieces (matching :func:`repro.core.timeline.mean_timeline`).
+
+    Returns:
+        ``(first, steps)`` — ``first[b]`` is the first-passage round.
+    """
+    chain = shared_cache().chain(params)
+    rng = np.random.default_rng(seed)
+    trajectory = chain.trajectory(rng=rng)
+    first = np.full(params.num_pieces + 1, -1.0)
+    for step, state in enumerate(trajectory):
+        lower = 0 if step == 0 else trajectory[step - 1].b + 1
+        for reached in range(lower, state.b + 1):
+            if first[reached] < 0:
+                first[reached] = step
+    return first, len(trajectory) - 1

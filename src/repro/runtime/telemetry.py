@@ -1,0 +1,80 @@
+"""Lightweight execution telemetry for the experiment runtime.
+
+:class:`Telemetry` accumulates, per experiment run: wall-clock time,
+tasks executed, events processed (trajectories sampled or simulator
+events, whichever the tasks report), and transition-kernel cache
+hit/miss counters aggregated across every worker process.  It is cheap
+enough to collect unconditionally; the CLI surfaces it behind
+``repro-bt run --timing``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Telemetry"]
+
+
+@dataclass
+class Telemetry:
+    """Counters for one experiment execution.
+
+    Attributes:
+        wall_time: total wall-clock seconds spent inside the executor.
+        tasks: tasks executed (replications, sweep points, sim runs).
+        workers: worker processes the executor was configured with.
+        events: work units the tasks reported — chain trajectories for
+            model tasks, processed simulator events for swarm tasks.
+        cache_hits / cache_misses: kernel-cache lookups aggregated over
+            all workers (hits grow with replications per parameter set).
+    """
+
+    wall_time: float = 0.0
+    tasks: int = 0
+    workers: int = 1
+    events: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batches: int = field(default=0, repr=False)
+
+    def merge(self, other: "Telemetry") -> "Telemetry":
+        """Fold another telemetry record into this one (in place)."""
+        self.wall_time += other.wall_time
+        self.tasks += other.tasks
+        self.workers = max(self.workers, other.workers)
+        self.events += other.events
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.batches += other.batches
+        return self
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hit fraction of all kernel-cache lookups (0 when none)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def tasks_per_second(self) -> float:
+        return self.tasks / self.wall_time if self.wall_time > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready counters."""
+        return {
+            "wall_time": self.wall_time,
+            "tasks": self.tasks,
+            "workers": self.workers,
+            "events": self.events,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+    def format(self) -> str:
+        """Printable summary (the ``--timing`` CLI block)."""
+        return (
+            f"timing: {self.wall_time:.3f}s wall, {self.tasks} task(s) on "
+            f"{self.workers} worker(s) ({self.tasks_per_second:.1f} tasks/s), "
+            f"{self.events} event(s); kernel cache: {self.cache_hits} hit(s) / "
+            f"{self.cache_misses} miss(es) ({100.0 * self.cache_hit_rate:.0f}% hit rate)"
+        )

@@ -26,6 +26,7 @@ O(s * B) per peer per round for studies where the distinction matters.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -67,6 +68,9 @@ class SwarmResult:
         connection_stats: accumulated connection survival/formation
             counts, whose ratios are the measured ``p_r`` and ``p_n``.
         seed_upload_count: total pieces granted by seeds over the run.
+        events_processed: discrete events the engine executed — the
+            per-run work unit the runtime telemetry aggregates.
+        wall_time: wall-clock seconds spent inside :meth:`Swarm.run`.
     """
 
     config: SimConfig
@@ -78,6 +82,8 @@ class SwarmResult:
     tracker_population_log: List[Tuple[float, int, int]]
     connection_stats: ConnectionStats
     seed_upload_count: int
+    events_processed: int = 0
+    wall_time: float = 0.0
 
 
 class Swarm:
@@ -571,6 +577,7 @@ class Swarm:
     # ------------------------------------------------------------------
     def run(self) -> SwarmResult:
         """Run to the configured horizon and return the result bundle."""
+        start = time.perf_counter()
         if not self._setup_done:
             self.setup()
         self.engine.run_until(self.config.max_time)
@@ -585,6 +592,8 @@ class Swarm:
             tracker_population_log=list(self.tracker.population_log),
             connection_stats=self.connection_stats,
             seed_upload_count=self.seed_upload_count,
+            events_processed=self.engine.processed_events,
+            wall_time=time.perf_counter() - start,
         )
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "phase_drift_analysis",
     "StabilityRun",
     "run_stability_experiment",
+    "run_stability_sweep",
     "stability_config",
     "BoundaryPoint",
     "PhaseBoundary",
@@ -48,7 +49,12 @@ __all__ = [
     "phase_boundary",
 ]
 
-_LAZY_EXPERIMENTS = {"StabilityRun", "run_stability_experiment", "stability_config"}
+_LAZY_EXPERIMENTS = {
+    "StabilityRun",
+    "run_stability_experiment",
+    "run_stability_sweep",
+    "stability_config",
+}
 _LAZY_CRITICAL = {
     "BoundaryPoint",
     "PhaseBoundary",

@@ -1,6 +1,5 @@
 """Tests for the Qiu-Srikant fluid baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.fluid import FluidModel

@@ -1,6 +1,5 @@
 """Tests for phase classification (paper Section 3.2)."""
 
-import pytest
 
 from repro.core.chain import State
 from repro.core.phases import (

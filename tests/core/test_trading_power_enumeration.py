@@ -7,7 +7,6 @@ up here.
 """
 
 import itertools
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the birth-death cross-check."""
 
-import numpy as np
 import pytest
 
 from repro.efficiency.birth_death import birth_death_equilibrium

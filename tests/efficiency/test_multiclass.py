@@ -1,14 +1,9 @@
 """Tests for the multiclass (heterogeneous) occupancy model."""
 
-import numpy as np
 import pytest
 
 from repro.efficiency.balance import iterate_balance
-from repro.efficiency.multiclass import (
-    MulticlassResult,
-    PeerClass,
-    multiclass_balance,
-)
+from repro.efficiency.multiclass import PeerClass, multiclass_balance
 from repro.errors import ConvergenceError, ParameterError
 
 

@@ -224,3 +224,43 @@ class TestRegistry:
             signature = inspect.signature(spec.runner)
             for key in spec.quick_kwargs:
                 assert key in signature.parameters, (spec.exp_id, key)
+
+    def test_all_runners_accept_workers(self):
+        import inspect
+
+        for spec in EXPERIMENTS.values():
+            assert "workers" in inspect.signature(spec.runner).parameters
+
+    def test_list_experiments_in_registration_order(self):
+        from repro.experiments.registry import list_experiments
+
+        specs = list_experiments()
+        assert [spec.exp_id for spec in specs] == list(EXPERIMENTS)
+
+    def test_unknown_error_names_available_ids(self):
+        with pytest.raises(ParameterError, match="available"):
+            get_experiment("F99")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.experiments.registry import register_experiment
+
+        with pytest.raises(ParameterError, match="already registered"):
+            @register_experiment("f1A", figure="x", description="dup")
+            def runner():  # pragma: no cover - never called
+                pass
+
+    def test_empty_id_rejected(self):
+        from repro.experiments.registry import register_experiment
+
+        with pytest.raises(ParameterError):
+            register_experiment("", figure="x", description="y")
+
+    def test_results_satisfy_protocol(self):
+        from repro.experiments.result import ExperimentResult
+
+        result = run_fig2(max_attempts=40, seed=0)
+        assert isinstance(result, ExperimentResult)
+        payload = result.to_dict()
+        assert payload["experiment"] == "F2"
+        assert result.timing is not None
+        assert result.timing.tasks == 3

@@ -1,0 +1,117 @@
+"""Tests for the kernel cache (`repro.runtime.cache`)."""
+
+import pytest
+
+from repro.core.parameters import ModelParameters
+from repro.runtime.cache import (
+    CacheStats,
+    KernelCache,
+    reset_shared_cache,
+    shared_cache,
+)
+
+
+def params(ns_size=8, **overrides):
+    kwargs = dict(
+        num_pieces=20,
+        max_conns=4,
+        ns_size=ns_size,
+        p_reenc=0.7,
+        p_new=0.7,
+    )
+    kwargs.update(overrides)
+    return ModelParameters(**kwargs)
+
+
+class TestKernelCache:
+    def test_hit_on_equal_params(self):
+        cache = KernelCache()
+        first = cache.chain(params())
+        second = cache.chain(params())
+        assert first is second
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+
+    def test_miss_on_changed_params(self):
+        cache = KernelCache()
+        a = cache.chain(params(ns_size=8))
+        b = cache.chain(params(ns_size=9))
+        assert a is not b
+        assert cache.stats() == CacheStats(hits=0, misses=2, size=2)
+
+    def test_any_field_invalidates(self):
+        cache = KernelCache()
+        base = params()
+        cache.chain(base)
+        cache.chain(base.with_changes(p_reenc=0.6))
+        assert cache.stats().misses == 2
+
+    def test_kernel_is_chain_kernel(self):
+        cache = KernelCache()
+        assert cache.kernel(params()) is cache.chain(params()).kernel
+
+    def test_chain_results_unchanged_by_caching(self):
+        from repro.core.chain import DownloadChain
+
+        cache = KernelCache()
+        p = params()
+        cached = cache.chain(p).trajectory(seed=7)
+        fresh = DownloadChain(p).trajectory(seed=7)
+        assert cached == fresh
+
+    def test_efficiency_point_cached(self):
+        cache = KernelCache()
+        a = cache.efficiency_point(4, 0.7)
+        b = cache.efficiency_point(4, 0.7)
+        assert a is b
+        assert cache.stats().hits == 1
+        c = cache.efficiency_point(5, 0.7)
+        assert c is not a
+        assert cache.stats().misses == 2
+
+    def test_efficiency_point_matches_direct_solve(self):
+        from repro.efficiency.balance import iterate_balance
+
+        point = KernelCache().efficiency_point(6, 0.8)
+        assert point.eta == pytest.approx(iterate_balance(6, 0.8).eta)
+
+    def test_lru_eviction(self):
+        cache = KernelCache(max_entries=2)
+        cache.chain(params(ns_size=5))
+        cache.chain(params(ns_size=6))
+        cache.chain(params(ns_size=7))  # evicts ns_size=5
+        assert len(cache) == 2
+        cache.chain(params(ns_size=5))  # rebuilt, not a hit
+        assert cache.stats().hits == 0
+
+    def test_clear_resets(self):
+        cache = KernelCache()
+        cache.chain(params())
+        cache.chain(params())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == CacheStats()
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            KernelCache(max_entries=0)
+
+
+class TestCacheStats:
+    def test_delta(self):
+        before = CacheStats(hits=3, misses=2, size=2)
+        after = CacheStats(hits=10, misses=4, size=4)
+        assert after.delta(before) == CacheStats(hits=7, misses=2, size=4)
+
+
+class TestSharedCache:
+    def test_singleton(self):
+        assert shared_cache() is shared_cache()
+
+    def test_reset(self):
+        shared_cache().chain(params())
+        reset_shared_cache()
+        assert len(shared_cache()) == 0
+        assert shared_cache().stats() == CacheStats()

@@ -1,0 +1,73 @@
+"""Tests for splittable seed derivation (`repro.runtime.seeding`)."""
+
+from repro.runtime.seeding import SeedTree, derive_seed, seed_path
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, 1, 2) == derive_seed(0, 1, 2)
+        assert derive_seed(1234, 9) == derive_seed(1234, 9)
+
+    def test_distinct_across_path(self):
+        seeds = {derive_seed(0, i) for i in range(1000)}
+        assert len(seeds) == 1000
+
+    def test_distinct_across_roots(self):
+        assert derive_seed(0, 5) != derive_seed(1, 5)
+
+    def test_path_order_matters(self):
+        assert derive_seed(0, 1, 2) != derive_seed(0, 2, 1)
+
+    def test_nesting_is_not_flattening(self):
+        # (root -> a) -> b must differ from root -> (a, b) being collapsed
+        # into a single sum; the mix is applied per path element.
+        assert derive_seed(derive_seed(0, 1), 2) != derive_seed(0, 3)
+
+    def test_range_is_uint64(self):
+        for i in range(100):
+            seed = derive_seed(17, i)
+            assert 0 <= seed < 2**64
+
+    def test_empty_path_mixes_root(self):
+        # Even a bare root is mixed, so adjacent roots decorrelate.
+        assert derive_seed(0) != 0
+        assert derive_seed(0) != derive_seed(1)
+
+    def test_numpy_free(self):
+        import inspect
+
+        import repro.runtime.seeding as mod
+
+        source = inspect.getsource(mod)
+        assert "import numpy" not in source
+        assert "np." not in source
+
+    def test_negative_root_reduced_mod_2_64(self):
+        assert derive_seed(-1, 0) == derive_seed(2**64 - 1, 0)
+
+
+class TestSeedPath:
+    def test_matches_derive_seed(self):
+        assert list(seed_path(7, 3)) == [derive_seed(7, j) for j in range(3)]
+
+    def test_prefix(self):
+        assert list(seed_path(7, 2, 4)) == [
+            derive_seed(7, 4, 0),
+            derive_seed(7, 4, 1),
+        ]
+
+
+class TestSeedTree:
+    def test_child_matches_derive(self):
+        tree = SeedTree(42)
+        assert tree.child(3).seed == derive_seed(42, 3)
+        assert tree.child(3).child(1).seed == derive_seed(42, 3, 1)
+
+    def test_children_enumerates_in_order(self):
+        tree = SeedTree(0)
+        seeds = [child.seed for child in tree.children(4)]
+        assert seeds == [tree.child(i).seed for i in range(4)]
+
+    def test_path_tracking(self):
+        tree = SeedTree(9).child(2).child(5)
+        assert tree.path == (2, 5)

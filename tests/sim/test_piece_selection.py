@@ -2,7 +2,6 @@
 
 import collections
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.config import SimConfig
 from repro.sim.swarm import Swarm, run_swarm
 from repro.stability.entropy import replication_degrees
 

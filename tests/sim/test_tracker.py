@@ -1,6 +1,5 @@
 """Tests for the tracker."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

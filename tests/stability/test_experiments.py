@@ -1,6 +1,5 @@
 """Tests for the stability experiment runner."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError

@@ -35,3 +35,39 @@ class TestPublicApi:
 
         with pytest.raises(AttributeError):
             repro.stability.does_not_exist
+
+
+class TestRunExperimentFacade:
+    def test_quick_run_returns_result(self):
+        result = repro.run_experiment("F2", quick=True)
+        assert result.to_dict()["experiment"] == "F2"
+        assert result.timing is not None
+
+    def test_case_insensitive(self):
+        result = repro.run_experiment("f2", quick=True)
+        assert result.to_dict()["experiment"] == "F2"
+
+    def test_overrides_beat_quick_kwargs(self):
+        result = repro.run_experiment(
+            "F1a", quick=True, seed=1, pss_values=(4,), num_pieces=20, runs=3
+        )
+        assert set(result.ratios) == {4}
+        assert result.pieces[-1] == 20
+
+    def test_workers_do_not_change_results(self):
+        import numpy as np
+
+        kwargs = dict(quick=True, seed=2, pss_values=(5,), num_pieces=25, runs=4)
+        serial = repro.run_experiment("F1a", workers=1, **kwargs)
+        parallel = repro.run_experiment("F1a", workers=2, **kwargs)
+        assert np.array_equal(
+            serial.ratios[5], parallel.ratios[5], equal_nan=True
+        )
+
+    def test_unknown_experiment(self):
+        import pytest
+
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            repro.run_experiment("F99")

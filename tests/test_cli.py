@@ -16,6 +16,30 @@ class TestParser:
         assert args.quick is True
         assert args.seed == 3
 
+    def test_run_defaults_serial_no_timing(self):
+        args = build_parser().parse_args(["run", "F1a"])
+        assert args.workers == 1
+        assert args.timing is False
+
+    def test_run_workers_and_timing_flags(self):
+        args = build_parser().parse_args(
+            ["run", "F1b", "--workers", "4", "--timing"]
+        )
+        assert args.workers == 4
+        assert args.timing is True
+
+    def test_stability_workers_flag(self):
+        args = build_parser().parse_args(["stability", "3", "--workers", "2"])
+        assert args.workers == 2
+
+    def test_seeding_workers_flag(self):
+        args = build_parser().parse_args(["seeding", "--workers", "3"])
+        assert args.workers == 3
+
+    def test_workers_rejects_non_integer(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "F1a", "--workers", "many"])
+
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -34,6 +58,30 @@ class TestMain:
         out = capsys.readouterr().out
         assert "Figure 1(a)" in out
         assert "PSS=" in out
+
+    def test_run_with_timing_prints_telemetry(self, capsys):
+        assert main(["run", "F2", "--quick", "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "timing:" in out
+        assert "kernel cache:" in out
+
+    def test_run_without_timing_omits_telemetry(self, capsys):
+        assert main(["run", "F2", "--quick"]) == 0
+        assert "timing:" not in capsys.readouterr().out
+
+    def test_run_with_workers_matches_serial(self, capsys):
+        assert main(["run", "F1a", "--quick", "--seed", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main([
+            "run", "F1a", "--quick", "--seed", "1", "--workers", "2",
+        ]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_run_rejects_bad_workers(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["run", "F2", "--quick", "--workers", "-1"])
 
     def test_run_unknown_experiment(self):
         from repro.errors import ParameterError

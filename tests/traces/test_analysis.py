@@ -1,6 +1,5 @@
 """Tests for trace analysis (segmentation, classification, swarm filter)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError, TraceError
