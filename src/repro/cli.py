@@ -11,6 +11,8 @@ Examples::
     repro-bt calibrate out.jsonl --max-conns 4 --ns-size 20
     repro-bt stability 3 10 20        # B sweep of the stability runs
     repro-bt seeding                  # the Section-7.2 seeding study
+    repro-bt chaos --quick            # fault-intensity sweep (smoke scale)
+    repro-bt chaos 0 1 2 --workers 4  # chaos sweep with crash recovery
     repro-bt scenario                 # list curated swarm scenarios
     repro-bt scenario flash-crowd     # run one and summarise it
 """
@@ -112,6 +114,38 @@ def build_parser() -> argparse.ArgumentParser:
     seeding.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (one task per seeding configuration)",
+    )
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="sweep fault-injection intensity and report eta degradation",
+    )
+    chaos.add_argument(
+        "intensities", type=float, nargs="*",
+        default=[0.0, 0.5, 1.0, 1.5, 2.0],
+        help="fault-plan multipliers to sweep (default: 0 0.5 1 1.5 2)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--replications", type=int, default=2,
+        help="independent swarms averaged per intensity",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="reduced-scale swarms (fast smoke sweep)",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (0 = all cores; results are identical)",
+    )
+    chaos.add_argument(
+        "--max-attempts", type=int, default=2,
+        help="attempts per swarm before it is abandoned (crash recovery)",
+    )
+    chaos.add_argument(
+        "--timing",
+        action="store_true",
+        help="print telemetry, including task-failure accounting",
     )
 
     scenario = subparsers.add_parser(
@@ -238,6 +272,32 @@ def _command_seeding(seed: int, workers: int = 1) -> int:
     return 0
 
 
+def _command_chaos(
+    intensities: List[float], seed: int, replications: int,
+    quick: bool = False, workers: int = 1, max_attempts: int = 2,
+    timing: bool = False,
+) -> int:
+    from repro.faults.chaos import default_chaos_config, run_chaos_sweep
+
+    config = default_chaos_config()
+    if quick:
+        config = config.with_changes(
+            max_time=40.0, initial_leechers=25, arrival_rate=2.0
+        )
+    result = run_chaos_sweep(
+        intensities,
+        config=config,
+        replications=replications,
+        seed=seed,
+        workers=workers,
+        max_attempts=max_attempts,
+    )
+    print(result.format())
+    if timing and result.timing is not None:
+        print(result.timing.format())
+    return 0
+
+
 def _command_scenario(name: Optional[str], seed: int,
                       horizon: Optional[float]) -> int:
     from repro.errors import ParameterError
@@ -300,6 +360,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "seeding":
         return _command_seeding(args.seed, args.workers)
+    if args.command == "chaos":
+        return _command_chaos(
+            args.intensities, args.seed, args.replications, args.quick,
+            args.workers, args.max_attempts, args.timing,
+        )
     if args.command == "scenario":
         return _command_scenario(args.name, args.seed, args.horizon)
     parser.error(f"unknown command {args.command!r}")

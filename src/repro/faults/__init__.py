@@ -1,0 +1,60 @@
+"""Deterministic fault injection for the swarm simulator.
+
+The subsystem has three layers (see ``docs/FAULTS.md``):
+
+``repro.faults.plan``
+    :class:`FaultPlan` / :class:`OutageWindow` — frozen, picklable
+    declarations of what goes wrong (churn, connection breaks,
+    handshake timeouts, shake failures, tracker outages) and
+    :class:`FaultStats`, the counters of what actually fired.
+
+``repro.faults.injector``
+    :class:`FaultInjector` — draws the declared faults from its own
+    seed-derived RNG stream (``derive_seed(seed, _FAULT_STREAM, salt)``)
+    so a zero-intensity plan reproduces the fault-free run bit-for-bit.
+    Hook points live in the tracker (announce outages), the choking
+    module (connection breaks, handshake timeouts), the shake module
+    (failed re-announces), and the swarm round loop (churn); the
+    injector learns the simulation clock through the engine's
+    pre-dispatch hook.
+
+``repro.faults.chaos``
+    :func:`run_chaos_sweep` — the fault-intensity sweep behind
+    ``repro-bt chaos``, measuring efficiency degradation and download
+    phase-boundary shifts against the balance-equation model, while
+    exercising the executor's crash-recovery path.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultStats, OutageWindow
+
+#: Chaos exports resolved lazily: ``repro.sim.swarm`` imports this
+#: package for the injector, while ``repro.faults.chaos`` imports the
+#: swarm — an eager import here would close that cycle.
+_CHAOS_EXPORTS = (
+    "ChaosResult",
+    "chaos_point_task",
+    "default_chaos_config",
+    "default_chaos_plan",
+    "run_chaos_sweep",
+)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from repro.faults import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ChaosResult",
+    "chaos_point_task",
+    "default_chaos_config",
+    "default_chaos_plan",
+    "run_chaos_sweep",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "OutageWindow",
+]

@@ -1,0 +1,329 @@
+"""The chaos experiment: efficiency degradation under escalating faults.
+
+Sweeps a :class:`~repro.faults.plan.FaultPlan` through a range of
+intensities (``plan.scaled(intensity)`` per point) and measures, per
+point:
+
+* the simulated efficiency ``eta`` (time-averaged slot occupancy);
+* the balance-equation ``eta`` evaluated at the *measured* re-encounter
+  probability ``p_r`` — the model's prediction once it is told how much
+  the faults actually degraded connection survival;
+* the measured ``p_r`` / ``p_n`` (driven below their nominal values by
+  the injected break and handshake-timeout probabilities);
+* the download-phase composition of instrumented peers — the mean
+  fraction of the download spent in the bootstrap and last phases, whose
+  growth under faults is the phase-boundary shift of the multiphase
+  analysis;
+* the count of fault events actually fired.
+
+Every point is an independent executor task, so the sweep exercises the
+crash-recovery path end to end: the executor retries failed points on
+re-derived attempt seeds and, under ``on_error="partial"``, completes
+the sweep with NaN at abandoned points and exact failure accounting in
+the telemetry.  Exposed on the CLI as ``repro-bt chaos``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.errors import ParameterError
+from repro.experiments.result import to_jsonable
+from repro.faults.plan import FaultPlan, OutageWindow
+from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.seeding import derive_seed
+from repro.runtime.telemetry import Telemetry
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.sim.swarm import Swarm
+from repro.traces.analysis import phase_segments
+from repro.traces.collector import trace_from_peer
+
+__all__ = [
+    "ChaosResult",
+    "chaos_point_task",
+    "default_chaos_plan",
+    "default_chaos_config",
+    "run_chaos_sweep",
+]
+
+#: Seed-path component separating chaos points from other experiments.
+_CHAOS_STREAM = 0xC4_05
+
+
+def default_chaos_plan() -> FaultPlan:
+    """A moderate all-fault-kinds plan for ``intensity = 1``.
+
+    Rates are deliberately mid-scale so the sweep's ``scaled()`` range
+    0..2 spans "barely perturbed" to "heavily degraded" without
+    saturating any probability.
+    """
+    return FaultPlan(
+        churn_hazard=0.01,
+        connection_break_prob=0.05,
+        handshake_failure_prob=0.15,
+        shake_failure_prob=0.25,
+        outages=(OutageWindow(30.0, 45.0, "empty"),
+                 OutageWindow(60.0, 75.0, "stale")),
+    )
+
+
+def default_chaos_config() -> SimConfig:
+    """The dense steady swarm the sweep perturbs (fig. 3/4(a) style)."""
+    return SimConfig(
+        num_pieces=40,
+        max_conns=3,
+        ns_size=20,
+        arrival_process="poisson",
+        arrival_rate=3.0,
+        initial_leechers=50,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        optimistic_unchoke_prob=0.5,
+        connection_setup_prob=0.8,
+        connection_failure_prob=0.1,
+        matching="blind",
+        piece_selection="rarest",
+        shake_threshold=0.9,
+        max_time=100.0,
+        seed=0,
+    )
+
+
+def chaos_point_task(
+    seed: int,
+    intensity: float,
+    plan: FaultPlan,
+    config: SimConfig,
+    instrument: int = 4,
+) -> dict:
+    """Run one faulted swarm and measure its degradation.
+
+    Module-level (picklable) so it fans out over worker processes; the
+    seed sits at position 0, letting the executor re-derive it on
+    retries (``TaskSpec(seed_index=0)``).
+    """
+    metrics = MetricsCollector(
+        config.max_conns, entropy_every=1_000_000, occupancy_warmup=0.25
+    )
+    swarm = Swarm(
+        config.with_changes(seed=seed),
+        metrics=metrics,
+        instrument_first=instrument,
+        faults=plan.scaled(intensity),
+    )
+    result = swarm.run()
+
+    bootstrap_fracs = []
+    last_fracs = []
+    for peer in result.instrumented:
+        trace = trace_from_peer(
+            peer,
+            swarm_id=f"chaos-{intensity:g}",
+            num_pieces=config.num_pieces,
+            piece_size_bytes=config.piece_size_bytes,
+        )
+        if len(trace.samples) < 2:
+            continue
+        segments = phase_segments(trace)
+        if segments.total > 0:
+            bootstrap_fracs.append(segments.bootstrap / segments.total)
+            last_fracs.append(segments.last / segments.total)
+
+    stats = result.connection_stats
+    fault_stats = result.fault_stats
+    return {
+        "eta": metrics.efficiency(),
+        "p_reenc": stats.p_reenc(),
+        "p_new": stats.p_new(),
+        "bootstrap_frac": (
+            float(np.mean(bootstrap_fracs)) if bootstrap_fracs else float("nan")
+        ),
+        "last_frac": float(np.mean(last_fracs)) if last_fracs else float("nan"),
+        "fault_events": fault_stats.total() if fault_stats else 0,
+        "fault_breakdown": fault_stats.to_dict() if fault_stats else {},
+        "events": result.events_processed,
+    }
+
+
+@dataclass
+class ChaosResult:
+    """Series of the chaos sweep (one entry per intensity).
+
+    Attributes:
+        intensities: the swept fault intensities.
+        sim_eta: measured efficiency per intensity (NaN where every
+            replication was abandoned).
+        model_eta: balance-equation efficiency at the *measured* ``p_r``
+            per intensity — how well the model tracks the faulted swarm
+            once fed the observed survival probability.
+        p_reenc / p_new: measured connection parameters per intensity.
+        bootstrap_frac / last_frac: mean fraction of an instrumented
+            download spent in the bootstrap / last phase — the
+            phase-boundary shift.
+        fault_events: injected fault events fired per intensity.
+        points_failed: replication tasks abandoned by the executor
+            (> 0 only when crash recovery ran out of attempts).
+        plan: the intensity-1 plan that was scaled.
+        replications: replications averaged per intensity.
+        timing: execution telemetry (includes failure accounting).
+    """
+
+    intensities: np.ndarray
+    sim_eta: np.ndarray
+    model_eta: np.ndarray
+    p_reenc: np.ndarray
+    p_new: np.ndarray
+    bootstrap_frac: np.ndarray
+    last_frac: np.ndarray
+    fault_events: np.ndarray
+    points_failed: int
+    plan: FaultPlan
+    replications: int
+    timing: Optional[Telemetry] = field(default=None, compare=False)
+
+    def format(self) -> str:
+        rows = [
+            [float(i), float(s), float(m), float(pr), float(pn),
+             float(b), float(l), int(f)]
+            for i, s, m, pr, pn, b, l, f in zip(
+                self.intensities, self.sim_eta, self.model_eta,
+                self.p_reenc, self.p_new, self.bootstrap_frac,
+                self.last_frac, self.fault_events,
+            )
+        ]
+        text = (
+            "Chaos sweep: efficiency and phase shifts vs fault intensity\n"
+            + format_table(
+                ["intensity", "sim eta", "model eta", "p_r", "p_n",
+                 "bootstrap", "last", "faults"],
+                rows,
+            )
+        )
+        if self.points_failed:
+            text += (
+                f"\n{self.points_failed} replication(s) abandoned after "
+                f"retries; means use the surviving replications."
+            )
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "experiment": "chaos",
+            "intensities": to_jsonable(self.intensities),
+            "sim_eta": to_jsonable(self.sim_eta),
+            "model_eta": to_jsonable(self.model_eta),
+            "p_reenc": to_jsonable(self.p_reenc),
+            "p_new": to_jsonable(self.p_new),
+            "bootstrap_frac": to_jsonable(self.bootstrap_frac),
+            "last_frac": to_jsonable(self.last_frac),
+            "fault_events": to_jsonable(self.fault_events),
+            "points_failed": self.points_failed,
+            "plan": self.plan.to_dict(),
+            "replications": self.replications,
+            "timing": self.timing.to_dict() if self.timing else None,
+        }
+
+
+def _nanmean(values: Sequence[float]) -> float:
+    finite = [v for v in values if not math.isnan(v)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
+def run_chaos_sweep(
+    intensities: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0),
+    *,
+    plan: Optional[FaultPlan] = None,
+    config: Optional[SimConfig] = None,
+    replications: int = 2,
+    instrument: int = 4,
+    seed: int = 0,
+    workers: int = 1,
+    max_attempts: int = 2,
+    on_error: str = "partial",
+) -> ChaosResult:
+    """Sweep fault intensity and report measured-vs-model degradation.
+
+    Args:
+        intensities: multipliers applied to ``plan`` (0 = fault-free
+            control, 1 = the plan as given).
+        plan: intensity-1 fault plan (default :func:`default_chaos_plan`).
+        config: swarm configuration (default :func:`default_chaos_config`).
+        replications: independent swarms averaged per intensity.
+        instrument: peers instrumented per swarm for phase segmentation.
+        seed: root seed; every replication derives its own stream.
+        workers: executor process-pool size.
+        max_attempts / on_error: crash-recovery policy, forwarded to the
+            :class:`~repro.runtime.executor.ExperimentExecutor` — the
+            default (2 attempts, partial) lets the sweep complete even
+            when individual replications crash.
+    """
+    if not intensities:
+        raise ParameterError("intensities must be non-empty")
+    if replications < 1:
+        raise ParameterError(f"replications must be >= 1, got {replications}")
+    plan = plan if plan is not None else default_chaos_plan()
+    config = config if config is not None else default_chaos_config()
+
+    executor = ExperimentExecutor(
+        workers=workers, max_attempts=max_attempts, on_error=on_error
+    )
+    tasks = [
+        TaskSpec(
+            chaos_point_task,
+            (derive_seed(seed, _CHAOS_STREAM, idx, rep),
+             float(intensity), plan, config),
+            {"instrument": instrument},
+            seed_index=0,
+        )
+        for idx, intensity in enumerate(intensities)
+        for rep in range(replications)
+    ]
+    outcomes = executor.run(tasks)
+
+    from repro.runtime.cache import shared_cache
+
+    cache = shared_cache()
+    sim_eta, model_eta, p_reenc, p_new = [], [], [], []
+    bootstrap_frac, last_frac, fault_events = [], [], []
+    points_failed = 0
+    for idx in range(len(intensities)):
+        chunk = outcomes[idx * replications:(idx + 1) * replications]
+        good = [o for o in chunk if o is not None]
+        points_failed += len(chunk) - len(good)
+        for outcome in good:
+            executor.record_events(outcome["events"])
+        sim_eta.append(_nanmean([o["eta"] for o in good]))
+        pr = _nanmean([o["p_reenc"] for o in good])
+        p_reenc.append(pr)
+        p_new.append(_nanmean([o["p_new"] for o in good]))
+        bootstrap_frac.append(_nanmean([o["bootstrap_frac"] for o in good]))
+        last_frac.append(_nanmean([o["last_frac"] for o in good]))
+        fault_events.append(sum(o["fault_events"] for o in good))
+        if math.isnan(pr):
+            model_eta.append(float("nan"))
+        else:
+            with executor.tracked():
+                model_eta.append(cache.efficiency_point(config.max_conns, pr).eta)
+
+    return ChaosResult(
+        intensities=np.asarray([float(i) for i in intensities]),
+        sim_eta=np.asarray(sim_eta),
+        model_eta=np.asarray(model_eta),
+        p_reenc=np.asarray(p_reenc),
+        p_new=np.asarray(p_new),
+        bootstrap_frac=np.asarray(bootstrap_frac),
+        last_frac=np.asarray(last_frac),
+        fault_events=np.asarray(fault_events, dtype=np.int64),
+        points_failed=points_failed,
+        plan=plan,
+        replications=replications,
+        timing=executor.telemetry,
+    )

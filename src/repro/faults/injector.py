@@ -1,0 +1,135 @@
+"""Runtime fault injection driven by a :class:`FaultPlan`.
+
+The :class:`FaultInjector` is the single object the simulator consults
+at every hook point (round churn, connection maintenance, slot filling,
+shaking, tracker announces).  Two properties make it safe to wire in
+unconditionally:
+
+* **Stream isolation** — the injector draws from its *own* RNG, seeded
+  with :func:`~repro.runtime.seeding.derive_seed` from the swarm's root
+  seed on a dedicated path.  Attaching an injector therefore never
+  perturbs the swarm's random stream, and a zero-intensity plan
+  produces bit-identical runs to no plan at all.
+* **Clock via the engine hook** — the injector learns the simulation
+  time through the engine's pre-dispatch hook instead of having every
+  call site thread ``time`` through, so outage windows apply to tracker
+  announces that have no notion of time themselves.
+
+Every fault actually fired is counted in :class:`FaultStats`; the
+measured degradation of ``p_r``/``p_n`` then falls out of the swarm's
+ordinary :class:`~repro.sim.choking.ConnectionStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, FaultStats, OutageWindow
+from repro.runtime.seeding import derive_seed
+
+__all__ = ["FaultInjector"]
+
+#: Dedicated path component separating the fault stream from every
+#: experiment/replication path derived off the same root seed.
+_FAULT_STREAM = 0xFA_017
+
+
+class FaultInjector:
+    """Draws fault events per a :class:`FaultPlan` (see module docstring).
+
+    Args:
+        plan: the declarative fault schedule.
+        root_seed: the swarm's root seed; the injector's stream is
+            ``derive_seed(root_seed, _FAULT_STREAM, plan.salt)``.
+    """
+
+    def __init__(self, plan: FaultPlan, root_seed: Optional[int] = 0):
+        self.plan = plan
+        self.stats = FaultStats()
+        self.rng = np.random.default_rng(
+            derive_seed(root_seed if root_seed is not None else 0,
+                        _FAULT_STREAM, plan.salt)
+        )
+        #: Simulation clock, advanced by the engine's pre-dispatch hook.
+        self.now = 0.0
+        self._stale_snapshots: dict = {}
+
+    # ------------------------------------------------------------------
+    # Engine wiring
+    # ------------------------------------------------------------------
+    def observe(self, time: float, event=None) -> None:
+        """Engine pre-dispatch hook: track the simulation clock."""
+        self.now = time
+
+    # ------------------------------------------------------------------
+    # Peer churn
+    # ------------------------------------------------------------------
+    def churn_peer(self) -> bool:
+        """Should this leecher be churned (abort mid-download) this round?"""
+        if self.plan.churn_hazard <= 0.0:
+            return False
+        if self.rng.random() < self.plan.churn_hazard:
+            self.stats.peers_churned += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Connection faults (the p_r / p_n degradation)
+    # ------------------------------------------------------------------
+    def break_connection(self) -> bool:
+        """Should this surviving connection be torn down anyway?"""
+        if self.plan.connection_break_prob <= 0.0:
+            return False
+        if self.rng.random() < self.plan.connection_break_prob:
+            self.stats.connections_broken += 1
+            return True
+        return False
+
+    def fail_handshake(self) -> bool:
+        """Should this otherwise-successful handshake time out?"""
+        if self.plan.handshake_failure_prob <= 0.0:
+            return False
+        if self.rng.random() < self.plan.handshake_failure_prob:
+            self.stats.handshakes_failed += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Shake faults
+    # ------------------------------------------------------------------
+    def fail_shake(self) -> bool:
+        """Should this peer-set shake's re-announce be blocked?"""
+        if self.plan.shake_failure_prob <= 0.0:
+            return False
+        if self.rng.random() < self.plan.shake_failure_prob:
+            self.stats.shakes_failed += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Tracker outages
+    # ------------------------------------------------------------------
+    def announce_outage(self) -> Optional[OutageWindow]:
+        """The outage window covering the current time, if any."""
+        return self.plan.outage_at(self.now)
+
+    def record_empty_announce(self) -> None:
+        self.stats.announces_empty += 1
+
+    def stale_peer_ids(
+        self, window: OutageWindow, live_ids: Iterable[int]
+    ) -> List[int]:
+        """Peer ids served during a stale outage window.
+
+        The first announce inside ``window`` snapshots the live
+        registry; every later announce in the same window is answered
+        from that snapshot, so peers that departed during the outage
+        are still handed out (and waste the refill).
+        """
+        key = (window.start, window.end, window.mode)
+        if key not in self._stale_snapshots:
+            self._stale_snapshots[key] = list(live_ids)
+        self.stats.announces_stale += 1
+        return self._stale_snapshots[key]

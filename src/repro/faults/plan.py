@@ -1,0 +1,229 @@
+"""Declarative fault schedules for the swarm simulator.
+
+A :class:`FaultPlan` is a frozen, picklable description of *what* goes
+wrong during a run — peer churn, connection failures, handshake
+timeouts, tracker outages — without saying anything about *how* the
+failures are drawn.  The drawing happens in
+:class:`~repro.faults.injector.FaultInjector`, which owns its own
+seed-derived RNG stream so that attaching a plan never perturbs the
+swarm's random stream: a zero-intensity plan is bit-identical to no
+plan at all.
+
+The plan's knobs map onto the paper's failure parameters:
+
+* ``connection_break_prob`` lowers the effective re-encounter success
+  ``p_r`` (an established connection fails exogenously);
+* ``handshake_failure_prob`` lowers the effective new-connection
+  success ``p_n`` (a slot-filling handshake times out);
+* ``churn_hazard`` is a departure rate on top of the config's
+  ``abort_rate`` — the disruption that drives the ``alpha``/``gamma``
+  escape waits up (fewer neighbors to escape through);
+* ``shake_failure_prob`` makes the Section-7.1 shake re-announce fail
+  (the peer is left with an empty peer set until the next refill);
+* ``outages`` are tracker announce windows that return empty or stale
+  peer sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.errors import ParameterError
+
+__all__ = ["OutageWindow", "FaultPlan", "FaultStats"]
+
+_OUTAGE_MODES = ("empty", "stale")
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A tracker outage: announces inside ``[start, end)`` degrade.
+
+    Attributes:
+        start / end: simulation-time bounds of the outage.
+        mode: ``"empty"`` — announces return no peers at all;
+            ``"stale"`` — announces are served from a snapshot of the
+            swarm taken when the window opened, so departed peers are
+            handed out and waste the refill.
+    """
+
+    start: float
+    end: float
+    mode: str = "empty"
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.start) or not math.isfinite(self.end):
+            raise ParameterError(
+                f"outage bounds must be finite, got [{self.start}, {self.end})"
+            )
+        if self.end <= self.start:
+            raise ParameterError(
+                f"outage end {self.end} must be after start {self.start}"
+            )
+        if self.mode not in _OUTAGE_MODES:
+            raise ParameterError(
+                f"outage mode must be one of {_OUTAGE_MODES}, got {self.mode!r}"
+            )
+
+    def covers(self, time: float) -> bool:
+        """True when ``time`` falls inside the window."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Validated, immutable fault schedule (see module docstring).
+
+    Attributes:
+        churn_hazard: per-round probability that a leecher is churned
+            (aborts mid-download and departs with its pieces).
+        connection_break_prob: extra per-round probability that an
+            established connection fails, composed with the config's
+            ``connection_failure_prob`` as independent failure sources —
+            the injected ``1 - p_r`` component.
+        handshake_failure_prob: probability that a slot-filling
+            handshake which would otherwise succeed times out — the
+            injected ``1 - p_n`` component.
+        shake_failure_prob: probability that the re-announce of a
+            peer-set shake fails, leaving the shaken peer isolated
+            until the next announce-interval refill.
+        outages: tracker outage windows (may overlap; the earliest
+            covering window wins).
+        salt: extra path component mixed into the injector's derived
+            seed, so two plans attached to the same swarm seed draw
+            independent fault streams.
+    """
+
+    churn_hazard: float = 0.0
+    connection_break_prob: float = 0.0
+    handshake_failure_prob: float = 0.0
+    shake_failure_prob: float = 0.0
+    outages: Tuple[OutageWindow, ...] = ()
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "churn_hazard",
+            "connection_break_prob",
+            "handshake_failure_prob",
+            "shake_failure_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ParameterError(f"{name} must be in [0, 1], got {value}")
+        object.__setattr__(self, "outages", tuple(self.outages))
+        for window in self.outages:
+            if not isinstance(window, OutageWindow):
+                raise ParameterError(
+                    f"outages must be OutageWindow instances, got {window!r}"
+                )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the plan injects nothing (identical to no plan)."""
+        return (
+            self.churn_hazard == 0.0
+            and self.connection_break_prob == 0.0
+            and self.handshake_failure_prob == 0.0
+            and self.shake_failure_prob == 0.0
+            and not self.outages
+        )
+
+    def outage_at(self, time: float) -> "OutageWindow | None":
+        """The earliest outage window covering ``time``, or None."""
+        for window in self.outages:
+            if window.covers(time):
+                return window
+        return None
+
+    def scaled(self, intensity: float) -> "FaultPlan":
+        """A copy with every probability multiplied by ``intensity``.
+
+        ``intensity=0`` yields a zero plan (outage windows are dropped);
+        ``intensity=1`` returns an equivalent plan.  Probabilities are
+        clipped to 1.  This is the knob the chaos sweep turns.
+        """
+        if intensity < 0:
+            raise ParameterError(f"intensity must be >= 0, got {intensity}")
+        return replace(
+            self,
+            churn_hazard=min(self.churn_hazard * intensity, 1.0),
+            connection_break_prob=min(
+                self.connection_break_prob * intensity, 1.0
+            ),
+            handshake_failure_prob=min(
+                self.handshake_failure_prob * intensity, 1.0
+            ),
+            shake_failure_prob=min(self.shake_failure_prob * intensity, 1.0),
+            outages=self.outages if intensity > 0 else (),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (chaos results embed the plan they ran)."""
+        return {
+            "churn_hazard": self.churn_hazard,
+            "connection_break_prob": self.connection_break_prob,
+            "handshake_failure_prob": self.handshake_failure_prob,
+            "shake_failure_prob": self.shake_failure_prob,
+            "outages": [
+                {"start": w.start, "end": w.end, "mode": w.mode}
+                for w in self.outages
+            ],
+            "salt": self.salt,
+        }
+
+
+@dataclass
+class FaultStats:
+    """Counters of the faults an injector actually fired during a run.
+
+    Attributes:
+        peers_churned: leechers aborted by the churn injector.
+        connections_broken: established connections torn down by the
+            injected break probability (on top of nominal churn).
+        handshakes_failed: slot-filling handshakes vetoed.
+        shakes_failed: peer-set shakes whose re-announce was blocked.
+        announces_empty: tracker announces answered with no peers.
+        announces_stale: tracker announces served from a stale snapshot.
+    """
+
+    peers_churned: int = 0
+    connections_broken: int = 0
+    handshakes_failed: int = 0
+    shakes_failed: int = 0
+    announces_empty: int = 0
+    announces_stale: int = 0
+
+    def total(self) -> int:
+        """Total fault events fired."""
+        return (
+            self.peers_churned
+            + self.connections_broken
+            + self.handshakes_failed
+            + self.shakes_failed
+            + self.announces_empty
+            + self.announces_stale
+        )
+
+    def merge(self, other: "FaultStats") -> "FaultStats":
+        """Fold another accumulator into this one (in place)."""
+        self.peers_churned += other.peers_churned
+        self.connections_broken += other.connections_broken
+        self.handshakes_failed += other.handshakes_failed
+        self.shakes_failed += other.shakes_failed
+        self.announces_empty += other.announces_empty
+        self.announces_stale += other.announces_stale
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "peers_churned": self.peers_churned,
+            "connections_broken": self.connections_broken,
+            "handshakes_failed": self.handshakes_failed,
+            "shakes_failed": self.shakes_failed,
+            "announces_empty": self.announces_empty,
+            "announces_stale": self.announces_stale,
+            "total": self.total(),
+        }

@@ -34,7 +34,7 @@ from repro.runtime.cache import (
 from repro.runtime.executor import ExperimentExecutor, TaskSpec
 from repro.runtime.seeding import SeedTree, derive_seed, seed_path
 from repro.runtime.tasks import first_passage_task, potential_ratio_task
-from repro.runtime.telemetry import Telemetry
+from repro.runtime.telemetry import TaskFailure, Telemetry
 
 __all__ = [
     "CacheStats",
@@ -48,5 +48,6 @@ __all__ = [
     "seed_path",
     "first_passage_task",
     "potential_ratio_task",
+    "TaskFailure",
     "Telemetry",
 ]

@@ -18,6 +18,31 @@ Each task additionally reports the kernel-cache counter delta it caused
 in its worker process; the executor folds those deltas — plus wall time
 and task counts — into a :class:`~repro.runtime.telemetry.Telemetry`
 record that experiment results expose as ``result.timing``.
+
+Crash recovery
+--------------
+
+With ``max_attempts > 1`` the executor retries failed tasks with
+exponential backoff.  A retry is deterministic: when the task declares
+where its seed lives (``TaskSpec.seed_index``), attempt ``a`` re-derives
+it as ``derive_seed(original_seed, _ATTEMPT_SALT, a)``, so the retry
+explores a fresh — but reproducible — random stream, and ``workers=1``
+and ``workers=4`` agree on the final results even through failures.
+
+A *crashed* worker (segfault, OOM kill, ``os._exit``) breaks the whole
+``ProcessPoolExecutor``; the executor cannot tell the culprit task from
+collateral victims, so it rebuilds the pool and re-runs every affected
+task in an isolation round (one single-worker pool per task, attempt
+count unchanged).  In isolation the crasher can only take itself down,
+its failure is attributed correctly, and innocent tasks keep their
+attempt budget — which is what keeps parallel results identical to
+serial ones.
+
+With ``on_error="partial"`` a task that exhausts its attempts yields
+``None`` in the result list instead of aborting the whole run; the
+failure is recorded as a :class:`~repro.runtime.telemetry.TaskFailure`
+in the telemetry, so experiments can complete on partial results with
+exact failure accounting.
 """
 
 from __future__ import annotations
@@ -26,14 +51,20 @@ import concurrent.futures
 import contextlib
 import os
 import time
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Sequence
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ParameterError
 from repro.runtime.cache import shared_cache
-from repro.runtime.telemetry import Telemetry
+from repro.runtime.seeding import derive_seed
+from repro.runtime.telemetry import TaskFailure, Telemetry
 
 __all__ = ["TaskSpec", "ExperimentExecutor"]
+
+#: Path component separating retry streams from first-attempt streams
+#: (and from every sibling task path derived off the same root seed).
+_ATTEMPT_SALT = 0x7E7237
 
 
 @dataclass(frozen=True)
@@ -45,11 +76,37 @@ class TaskSpec:
         args / kwargs: picklable payload passed through verbatim; any
             per-task seed belongs in here, pre-derived via
             :func:`~repro.runtime.seeding.derive_seed`.
+        seed_index: optional position in ``args`` holding the task's
+            seed.  Declaring it opts the task into deterministic
+            retry-with-reseed: attempt ``a > 1`` replaces the seed with
+            ``derive_seed(seed, _ATTEMPT_SALT, a)``.  Tasks without a
+            ``seed_index`` are retried with identical arguments.
     """
 
     fn: Callable
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
+    seed_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.seed_index is not None and not (
+            0 <= self.seed_index < len(self.args)
+        ):
+            raise ParameterError(
+                f"seed_index {self.seed_index} out of range for "
+                f"{len(self.args)} positional argument(s)"
+            )
+
+    def for_attempt(self, attempt: int) -> "TaskSpec":
+        """The spec to execute on the given 1-based attempt."""
+        if attempt <= 1 or self.seed_index is None:
+            return self
+        args = list(self.args)
+        args[self.seed_index] = derive_seed(
+            int(args[self.seed_index]), _ATTEMPT_SALT, attempt
+        )
+        return TaskSpec(self.fn, tuple(args), dict(self.kwargs),
+                        seed_index=self.seed_index)
 
 
 def _execute_task(task: TaskSpec) -> tuple:
@@ -74,6 +131,12 @@ class ExperimentExecutor:
             inline in submission order — no pool, no pickling — and is
             the reference behaviour parallel runs must reproduce
             bit-for-bit.  ``None`` or ``0`` selects ``os.cpu_count()``.
+        max_attempts: attempts per task (1 = no retries, the default).
+        retry_backoff: base sleep before a retry; attempt ``a`` waits
+            ``retry_backoff * 2**(a - 2)`` seconds (0 disables).
+        on_error: ``"raise"`` (default) propagates the final failure of
+            any task; ``"partial"`` records it and yields ``None`` for
+            that slot, letting the run complete on partial results.
 
     The executor is reusable: successive :meth:`run` calls accumulate
     into :attr:`telemetry`, so a runner that fans out model replications
@@ -86,52 +149,215 @@ class ExperimentExecutor:
         [(2, 1)]
     """
 
-    def __init__(self, workers: Optional[int] = 1):
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        *,
+        max_attempts: int = 1,
+        retry_backoff: float = 0.0,
+        on_error: str = "raise",
+    ):
         if workers is None or workers == 0:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
+        if max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        if retry_backoff < 0:
+            raise ParameterError(
+                f"retry_backoff must be >= 0, got {retry_backoff}"
+            )
+        if on_error not in ("raise", "partial"):
+            raise ParameterError(
+                f"on_error must be 'raise' or 'partial', got {on_error!r}"
+            )
         self.workers = workers
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.on_error = on_error
         self.telemetry = Telemetry(workers=workers)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[TaskSpec]) -> List[Any]:
-        """Execute ``tasks`` and return their results in task order."""
+        """Execute ``tasks``; results in task order (``None`` = abandoned).
+
+        Raises the final error of the first (lowest-index) exhausted
+        task under ``on_error="raise"``; under ``"partial"`` abandoned
+        slots come back as ``None`` with a
+        :class:`~repro.runtime.telemetry.TaskFailure` in the telemetry.
+        """
         tasks = list(tasks)
         start = time.perf_counter()
-        if self.workers == 1 or len(tasks) <= 1:
-            outcomes = [_execute_task(task) for task in tasks]
-        else:
-            # chunksize amortises IPC for large replication fans without
-            # affecting results (collection order stays task order).
-            chunksize = max(1, len(tasks) // (self.workers * 4))
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.workers, len(tasks))
-            ) as pool:
-                outcomes = list(
-                    pool.map(_execute_task, tasks, chunksize=chunksize)
-                )
-        elapsed = time.perf_counter() - start
+        outcomes: List[Optional[tuple]] = [None] * len(tasks)
+        batch = Telemetry(workers=self.workers, batches=1)
+        try:
+            if self.workers == 1 or len(tasks) <= 1:
+                self._run_serial(tasks, outcomes, batch)
+            elif self.max_attempts == 1 and self.on_error == "raise":
+                # Fast path: chunked pool.map amortises IPC for large
+                # replication fans (collection order stays task order).
+                chunksize = max(1, len(tasks) // (self.workers * 4))
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(tasks))
+                ) as pool:
+                    outcomes[:] = pool.map(
+                        _execute_task, tasks, chunksize=chunksize
+                    )
+            else:
+                self._run_resilient(tasks, outcomes, batch)
+        finally:
+            batch.wall_time = time.perf_counter() - start
+            batch.tasks = len(tasks)
+            self.telemetry.merge(batch)
 
         results = []
         hits = misses = 0
-        for result, task_hits, task_misses in outcomes:
+        for outcome in outcomes:
+            if outcome is None:
+                results.append(None)
+                continue
+            result, task_hits, task_misses = outcome
             results.append(result)
             hits += task_hits
             misses += task_misses
-        self.telemetry.merge(
-            Telemetry(
-                wall_time=elapsed,
-                tasks=len(tasks),
-                workers=self.workers,
-                cache_hits=hits,
-                cache_misses=misses,
-                batches=1,
+        self.telemetry.cache_hits += hits
+        self.telemetry.cache_misses += misses
+        return results
+
+    # -- serial reference ------------------------------------------------
+    def _run_serial(
+        self,
+        tasks: List[TaskSpec],
+        outcomes: List[Optional[tuple]],
+        batch: Telemetry,
+    ) -> None:
+        """In-process loop with inline retries (the reference semantics).
+
+        Only raised exceptions are survivable here: a task that kills
+        its process kills the run (there is no worker to sacrifice).
+        Use ``workers > 1`` for hard-crash isolation.
+        """
+        for index, task in enumerate(tasks):
+            for attempt in range(1, self.max_attempts + 1):
+                try:
+                    outcomes[index] = _execute_task(task.for_attempt(attempt))
+                    break
+                except Exception as exc:
+                    batch.task_failures += 1
+                    if attempt < self.max_attempts:
+                        batch.retries += 1
+                        self._backoff(attempt + 1)
+                        continue
+                    self._abandon(batch, index, attempt, exc, task)
+
+    # -- resilient pooled mode -------------------------------------------
+    def _run_resilient(
+        self,
+        tasks: List[TaskSpec],
+        outcomes: List[Optional[tuple]],
+        batch: Telemetry,
+    ) -> None:
+        """Pooled execution that survives raised errors *and* dead workers.
+
+        Rounds of per-task futures; a round whose pool broke (a worker
+        died) re-runs its unresolved tasks in *isolation* — one
+        single-worker pool each — so the crasher is identified and
+        charged an attempt while collateral tasks keep their budget.
+        """
+        pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(tasks))]
+        isolate = False
+        round_number = 1
+        while pending:
+            retry: List[Tuple[int, int]] = []
+            if round_number > 1:
+                self._backoff(round_number)
+            if isolate:
+                for index, attempt in pending:
+                    spec = tasks[index].for_attempt(attempt)
+                    try:
+                        with concurrent.futures.ProcessPoolExecutor(
+                            max_workers=1
+                        ) as solo:
+                            outcomes[index] = solo.submit(
+                                _execute_task, spec
+                            ).result()
+                    except Exception as exc:
+                        self._attempt_failed(
+                            batch, index, attempt, exc, tasks[index], retry
+                        )
+                isolate = False
+            else:
+                pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending))
+                )
+                futures = [
+                    (i, a, pool.submit(_execute_task, tasks[i].for_attempt(a)))
+                    for i, a in pending
+                ]
+                broken: List[Tuple[int, int]] = []
+                for index, attempt, future in futures:
+                    try:
+                        outcomes[index] = future.result()
+                    except BrokenExecutor:
+                        # Collateral or culprit — indistinguishable from
+                        # here; settle it in an isolation round without
+                        # charging anyone an attempt yet.
+                        broken.append((index, attempt))
+                    except Exception as exc:
+                        self._attempt_failed(
+                            batch, index, attempt, exc, tasks[index], retry
+                        )
+                pool.shutdown(wait=False)
+                if broken:
+                    retry = broken + retry
+                    isolate = True
+            pending = sorted(retry)
+            round_number += 1
+
+    # -- failure bookkeeping ---------------------------------------------
+    def _attempt_failed(
+        self,
+        batch: Telemetry,
+        index: int,
+        attempt: int,
+        exc: Exception,
+        task: TaskSpec,
+        retry: List[Tuple[int, int]],
+    ) -> None:
+        batch.task_failures += 1
+        if attempt < self.max_attempts:
+            batch.retries += 1
+            retry.append((index, attempt + 1))
+        else:
+            self._abandon(batch, index, attempt, exc, task)
+
+    def _abandon(
+        self,
+        batch: Telemetry,
+        index: int,
+        attempt: int,
+        exc: Exception,
+        task: TaskSpec,
+    ) -> None:
+        batch.tasks_failed += 1
+        batch.failure_log.append(
+            TaskFailure(
+                index=index,
+                attempts=attempt,
+                error=f"{type(exc).__name__}: {exc}",
+                fn=getattr(task.fn, "__name__", repr(task.fn)),
             )
         )
-        return results
+        if self.on_error == "raise":
+            raise exc
+
+    def _backoff(self, attempt: int) -> None:
+        if self.retry_backoff > 0:
+            time.sleep(self.retry_backoff * 2 ** min(attempt - 2, 10))
 
     def map(
         self, fn: Callable, payloads: Sequence[tuple], **common_kwargs: Any

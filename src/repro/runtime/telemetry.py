@@ -2,17 +2,46 @@
 
 :class:`Telemetry` accumulates, per experiment run: wall-clock time,
 tasks executed, events processed (trajectories sampled or simulator
-events, whichever the tasks report), and transition-kernel cache
-hit/miss counters aggregated across every worker process.  It is cheap
-enough to collect unconditionally; the CLI surfaces it behind
+events, whichever the tasks report), transition-kernel cache hit/miss
+counters aggregated across every worker process, and — since the
+executor grew crash recovery — per-task failure accounting: failed
+attempts, retries, permanently failed tasks, and a structured
+:class:`TaskFailure` record per abandoned task.  It is cheap enough to
+collect unconditionally; the CLI surfaces it behind
 ``repro-bt run --timing``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import List
 
-__all__ = ["Telemetry"]
+__all__ = ["TaskFailure", "Telemetry"]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """Record of one task the executor gave up on.
+
+    Attributes:
+        index: the task's position in the submitted batch.
+        attempts: how many attempts were made before giving up.
+        error: ``"ExcType: message"`` of the final failure.
+        fn: name of the task callable.
+    """
+
+    index: int
+    attempts: int
+    error: str
+    fn: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "attempts": self.attempts,
+            "error": self.error,
+            "fn": self.fn,
+        }
 
 
 @dataclass
@@ -27,6 +56,12 @@ class Telemetry:
             model tasks, processed simulator events for swarm tasks.
         cache_hits / cache_misses: kernel-cache lookups aggregated over
             all workers (hits grow with replications per parameter set).
+        task_failures: task attempts that raised or crashed a worker.
+        retries: attempts re-submitted after a failure (on a re-derived
+            attempt seed when the task declares one).
+        tasks_failed: tasks abandoned after exhausting their attempts
+            (> 0 only under ``on_error="partial"``).
+        failure_log: one :class:`TaskFailure` per abandoned task.
     """
 
     wall_time: float = 0.0
@@ -35,6 +70,10 @@ class Telemetry:
     events: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    task_failures: int = 0
+    retries: int = 0
+    tasks_failed: int = 0
+    failure_log: List[TaskFailure] = field(default_factory=list, repr=False)
     batches: int = field(default=0, repr=False)
 
     def merge(self, other: "Telemetry") -> "Telemetry":
@@ -45,6 +84,10 @@ class Telemetry:
         self.events += other.events
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.task_failures += other.task_failures
+        self.retries += other.retries
+        self.tasks_failed += other.tasks_failed
+        self.failure_log.extend(other.failure_log)
         self.batches += other.batches
         return self
 
@@ -68,13 +111,23 @@ class Telemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "task_failures": self.task_failures,
+            "retries": self.retries,
+            "tasks_failed": self.tasks_failed,
+            "failure_log": [failure.to_dict() for failure in self.failure_log],
         }
 
     def format(self) -> str:
         """Printable summary (the ``--timing`` CLI block)."""
-        return (
+        text = (
             f"timing: {self.wall_time:.3f}s wall, {self.tasks} task(s) on "
             f"{self.workers} worker(s) ({self.tasks_per_second:.1f} tasks/s), "
             f"{self.events} event(s); kernel cache: {self.cache_hits} hit(s) / "
             f"{self.cache_misses} miss(es) ({100.0 * self.cache_hit_rate:.0f}% hit rate)"
         )
+        if self.task_failures or self.tasks_failed:
+            text += (
+                f"; faults: {self.task_failures} failed attempt(s), "
+                f"{self.retries} retried, {self.tasks_failed} abandoned"
+            )
+        return text

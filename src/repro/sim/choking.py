@@ -77,6 +77,7 @@ def drop_stale_connections(
     failure_prob: float = 0.0,
     strict_tft: bool = True,
     stats: Optional[ConnectionStats] = None,
+    injector=None,
 ) -> int:
     """Tear down connections that lost mutual interest (or randomly fail).
 
@@ -86,6 +87,11 @@ def drop_stale_connections(
     exogenous churn.  Returns the number of connections dropped; when a
     :class:`ConnectionStats` accumulator is supplied, survivals and
     drops are recorded on it (the measured ``p_r``).
+
+    A :class:`~repro.faults.injector.FaultInjector` adds an independent
+    break probability on top of the nominal churn (drawn from the
+    injector's own stream), driving the measured ``p_r`` below its
+    nominal value without perturbing the swarm's RNG.
     """
     dropped = 0
     leecher_ids: Set[int] = {p.peer_id for p in leechers}
@@ -109,6 +115,8 @@ def drop_stale_connections(
             )
             if alive and failure_prob > 0.0 and rng.random() < failure_prob:
                 alive = False
+            if alive and injector is not None and injector.break_connection():
+                alive = False
             if not alive:
                 peer.partners.discard(partner_id)
                 partner.partners.discard(peer.peer_id)
@@ -130,6 +138,7 @@ def fill_open_slots(
     setup_prob: float = 1.0,
     matching: str = "blind",
     stats: Optional[ConnectionStats] = None,
+    injector=None,
 ) -> int:
     """Fill open slots from potential sets (connection formation).
 
@@ -148,6 +157,11 @@ def fill_open_slots(
     * ``"greedy"`` — per open slot, candidates are tried in random
       order until an open one accepts: an idealised matchmaker, useful
       as an upper-bound ablation.
+
+    A :class:`~repro.faults.injector.FaultInjector` can veto an
+    otherwise-successful handshake (a timeout), lowering the measured
+    ``p_n`` below the nominal ``setup_prob`` without touching the
+    swarm's RNG stream.
 
     Returns the number of new connections formed.
     """
@@ -182,6 +196,8 @@ def fill_open_slots(
                     continue  # busy or stale candidate: attempt wasted
                 if setup_prob < 1.0 and rng.random() >= setup_prob:
                     continue  # handshake did not complete within the round
+                if injector is not None and injector.fail_handshake():
+                    continue  # injected handshake timeout
                 peer.partners.add(candidate_id)
                 candidate.partners.add(peer.peer_id)
                 formed += 1
@@ -201,6 +217,8 @@ def fill_open_slots(
                     continue
                 if setup_prob < 1.0 and rng.random() >= setup_prob:
                     continue
+                if injector is not None and injector.fail_handshake():
+                    continue  # injected handshake timeout
                 peer.partners.add(candidate_id)
                 candidate.partners.add(peer.peer_id)
                 formed += 1

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ParameterError, SimulationError
 
@@ -44,6 +45,7 @@ class DiscreteEventEngine:
         self._seq = itertools.count()
         self._now = 0.0
         self._handlers: Dict[str, Callable[[float, Event], None]] = {}
+        self._pre_dispatch: List[Callable[[float, Event], None]] = []
         self._processed = 0
 
     # ------------------------------------------------------------------
@@ -72,8 +74,28 @@ class DiscreteEventEngine:
             raise ParameterError(f"handler for event kind {kind!r} already registered")
         self._handlers[kind] = handler
 
+    def add_pre_dispatch_hook(
+        self, hook: Callable[[float, Event], None]
+    ) -> None:
+        """Register a hook called before *every* event dispatch.
+
+        Hooks observe ``(time, event)`` ahead of the handler — fault
+        injectors track the simulation clock this way, and invariant
+        tests assert clock monotonicity.  Hooks run in registration
+        order and must not schedule or mutate the queue.
+        """
+        self._pre_dispatch.append(hook)
+
     def schedule_at(self, time: float, event: Event) -> None:
-        """Schedule ``event`` at absolute time ``time`` (>= now)."""
+        """Schedule ``event`` at absolute time ``time`` (>= now, finite)."""
+        if not math.isfinite(time):
+            # A NaN key would corrupt the heap invariant (every
+            # comparison is False) and make run_until exit silently
+            # with events still pending.
+            raise SimulationError(
+                f"cannot schedule event {event.kind!r} at non-finite "
+                f"time {time}"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event {event.kind!r} at {time} in the past "
@@ -95,10 +117,20 @@ class DiscreteEventEngine:
         if not self._queue:
             return None
         time, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            # Tripwire for heap corruption: schedule_at validates its
+            # inputs, so a backwards pop means the queue was mutated
+            # behind the engine's back.
+            raise SimulationError(
+                f"event {event.kind!r} at {time} precedes the clock "
+                f"(now={self._now}); event queue is corrupt"
+            )
         self._now = time
         handler = self._handlers.get(event.kind)
         if handler is None:
             raise SimulationError(f"no handler registered for event {event.kind!r}")
+        for hook in self._pre_dispatch:
+            hook(time, event)
         handler(time, event)
         self._processed += 1
         return event

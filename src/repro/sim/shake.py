@@ -21,12 +21,21 @@ def maybe_shake(
     tracker: Tracker,
     threshold: float,
     time: float,
+    *,
+    injector=None,
 ) -> bool:
     """Shake ``peer``'s peer set once it crosses the completion threshold.
 
     Drops every neighbor (symmetrically) and every active connection,
     then re-announces to the tracker for a fresh random peer set.  Each
     peer shakes at most once per download.
+
+    A :class:`~repro.faults.injector.FaultInjector` can fail the
+    re-announce (the tracker is unreachable at the worst moment): the
+    old peer set is already torn down, so the peer sits isolated until
+    the next announce-interval refill — the degraded-shake regime.
+    The re-announce also degrades implicitly when it lands inside a
+    tracker outage window.
 
     Returns:
         True if a shake was performed this call.
@@ -45,5 +54,7 @@ def maybe_shake(
     peer.partners.clear()
     peer.shaken = True
     peer.stats.shaken_at = time
+    if injector is not None and injector.fail_shake():
+        return True  # shook into the void: re-announce never reached
     tracker.announce(peer)
     return True

@@ -33,6 +33,8 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.errors import ParameterError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultStats
 from repro.sim.bitfield import Bitfield
 from repro.sim.choking import (
     ConnectionStats,
@@ -71,6 +73,8 @@ class SwarmResult:
         events_processed: discrete events the engine executed — the
             per-run work unit the runtime telemetry aggregates.
         wall_time: wall-clock seconds spent inside :meth:`Swarm.run`.
+        fault_stats: counters of injected faults (None when the swarm
+            ran without a :class:`~repro.faults.plan.FaultPlan`).
     """
 
     config: SimConfig
@@ -84,6 +88,7 @@ class SwarmResult:
     seed_upload_count: int
     events_processed: int = 0
     wall_time: float = 0.0
+    fault_stats: Optional[FaultStats] = None
 
 
 class Swarm:
@@ -104,6 +109,10 @@ class Swarm:
         rarity_view: ``"global"`` (incremental swarm-wide counts) or
             ``"neighborhood"`` (exact per-peer limited view).
         metrics: optionally supply a pre-configured collector.
+        faults: optional :class:`~repro.faults.plan.FaultPlan`.  The
+            resulting injector draws from its own seed-derived stream,
+            so a zero-intensity plan reproduces the fault-free run
+            bit-for-bit (see ``docs/FAULTS.md``).
     """
 
     def __init__(
@@ -115,6 +124,7 @@ class Swarm:
         instrumented_start_empty: bool = True,
         rarity_view: str = "global",
         metrics: Optional[MetricsCollector] = None,
+        faults: Optional[FaultPlan] = None,
     ):
         if instrument_first < 0:
             raise ParameterError(
@@ -150,6 +160,14 @@ class Swarm:
         self.seed_upload_count = 0
         self._rounds = 0
         self._setup_done = False
+        #: Fault injection (None when no plan is attached).
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None:
+            self.fault_injector = FaultInjector(faults, config.seed)
+            self.tracker.fault_injector = self.fault_injector
+            # The injector learns the simulation clock from the engine's
+            # pre-dispatch hook (tracker announces carry no time).
+            self.engine.add_pre_dispatch_hook(self.fault_injector.observe)
         self.engine.register("round", self._on_round)
         self.engine.register("arrival", self._on_arrival)
 
@@ -256,6 +274,7 @@ class Swarm:
 
         self._depart_lingering_seeds(time)
         self._handle_aborts(time)
+        self._inject_churn(time)
         leechers = list(self.tracker.leechers())
 
         if leechers:
@@ -266,6 +285,7 @@ class Swarm:
                 failure_prob=config.connection_failure_prob,
                 strict_tft=config.strict_tft,
                 stats=self.connection_stats,
+                injector=self.fault_injector,
             )
             potential = potential_set_sizes(
                 leechers, self.tracker, strict_tft=config.strict_tft
@@ -279,6 +299,7 @@ class Swarm:
                 setup_prob=config.connection_setup_prob,
                 matching=config.matching,
                 stats=self.connection_stats,
+                injector=self.fault_injector,
             )
             acquisitions = self._exchange_pieces(leechers, time)
             acquisitions += self._seed_uploads(time)
@@ -314,6 +335,23 @@ class Swarm:
             return
         for peer in list(self.tracker.leechers()):
             if self.rng.random() < rate:
+                self.metrics.on_peer_abort(peer, time)
+                self.tracker.deregister(peer.peer_id)
+                for piece in peer.bitfield.pieces():
+                    self.piece_counts[piece] -= 1
+
+    def _inject_churn(self, time: float) -> None:
+        """Fault-injected churn: leechers abort at the plan's hazard rate.
+
+        Draws come from the injector's own stream, so the swarm's RNG
+        consumption — and hence every fault-free draw sequence — is
+        untouched by attaching a plan.
+        """
+        injector = self.fault_injector
+        if injector is None or injector.plan.churn_hazard <= 0.0:
+            return
+        for peer in list(self.tracker.leechers()):
+            if injector.churn_peer():
                 self.metrics.on_peer_abort(peer, time)
                 self.tracker.deregister(peer.peer_id)
                 for piece in peer.bitfield.pieces():
@@ -561,7 +599,10 @@ class Swarm:
         if threshold is None:
             return
         for peer in list(self.tracker.leechers()):
-            maybe_shake(peer, self.tracker, threshold, time)
+            maybe_shake(
+                peer, self.tracker, threshold, time,
+                injector=self.fault_injector,
+            )
 
     def _refill_neighbor_sets(self, time: float) -> None:
         config = self.config
@@ -594,6 +635,9 @@ class Swarm:
             seed_upload_count=self.seed_upload_count,
             events_processed=self.engine.processed_events,
             wall_time=time.perf_counter() - start,
+            fault_stats=(
+                self.fault_injector.stats if self.fault_injector else None
+            ),
         )
 
 

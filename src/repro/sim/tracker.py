@@ -10,6 +10,12 @@ measurements.
 The optional *bootstrap bias* implements the Section 4.3 suggestion:
 "the tracker can bias new peer arrivals into the neighborhood of the
 peers which are trapped in the bootstrap phase."
+
+When a :class:`~repro.faults.injector.FaultInjector` is attached (via
+:attr:`Tracker.fault_injector`), announces that fall inside a tracker
+outage window degrade: ``"empty"`` windows return no peers at all,
+``"stale"`` windows are served from a registry snapshot taken when the
+window opened (departed peers waste the handout).
 """
 
 from __future__ import annotations
@@ -49,6 +55,9 @@ class Tracker:
                 f"accept_cap {self.accept_cap} below ns_size {ns_size}"
             )
         self.bias_bootstrap = bias_bootstrap
+        #: Optional fault injector; when set, announces consult its
+        #: outage schedule (see module docstring).
+        self.fault_injector = None
         self._rng = rng
         self._peers: Dict[int, Peer] = {}
         self._next_id = 0
@@ -135,20 +144,42 @@ class Tracker:
         if deficit <= 0:
             return 0
 
+        pool = self._peers
+        stale = False
+        if self.fault_injector is not None:
+            outage = self.fault_injector.announce_outage()
+            if outage is not None:
+                if outage.mode == "empty":
+                    self.fault_injector.record_empty_announce()
+                    return 0
+                # Stale: answer from the snapshot taken when the window
+                # opened; departed ids survive in it and waste handouts.
+                pool = self.fault_injector.stale_peer_ids(
+                    outage, sorted(self._peers)
+                )
+                stale = True
+
         candidates = [
             pid
-            for pid in self._peers
+            for pid in pool
             if pid != peer.peer_id and pid not in peer.neighbors
         ]
         if not candidates:
             return 0
 
         ordered = self._order_candidates(candidates)
+        if stale:
+            # A stale list is a fixed handout of `deficit` contacts;
+            # departed or declining entries waste their attempt instead
+            # of falling through to the next candidate.
+            ordered = ordered[:deficit]
         added = 0
         for candidate_id in ordered:
             if added >= deficit:
                 break
-            other = self._peers[candidate_id]
+            other = self._peers.get(candidate_id)
+            if other is None:
+                continue  # stale-snapshot id: the peer departed meanwhile
             # Seeds accept any number of neighbors (they only upload);
             # leechers decline once at their inbound acceptance cap.
             if not other.is_seed and len(other.neighbors) >= self.accept_cap:

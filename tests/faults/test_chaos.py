@@ -1,0 +1,97 @@
+"""Tests for the chaos fault-intensity sweep."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.faults import FaultPlan
+from repro.faults.chaos import default_chaos_config, run_chaos_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = default_chaos_config().with_changes(
+        max_time=40.0, initial_leechers=30, arrival_rate=2.0
+    )
+    plan = FaultPlan(
+        churn_hazard=0.01,
+        connection_break_prob=0.3,
+        handshake_failure_prob=0.3,
+    )
+    return run_chaos_sweep(
+        (0.0, 1.0), plan=plan, config=config, replications=2,
+        instrument=2, seed=0,
+    )
+
+
+class TestSweep:
+    def test_series_shapes(self, result):
+        for series in (result.sim_eta, result.model_eta, result.p_reenc,
+                       result.p_new, result.bootstrap_frac, result.last_frac,
+                       result.fault_events):
+            assert series.shape == (2,)
+
+    def test_control_point_fires_nothing(self, result):
+        assert result.fault_events[0] == 0
+
+    def test_faulted_point_fires(self, result):
+        assert result.fault_events[1] > 0
+
+    def test_injected_breaks_lower_measured_p_r(self, result):
+        # The injected break probability composes with nominal churn, so
+        # the measured survival probability must drop.
+        assert result.p_reenc[1] < result.p_reenc[0]
+
+    def test_injected_timeouts_lower_measured_p_n(self, result):
+        assert result.p_new[1] < result.p_new[0]
+
+    def test_model_follows_measured_p_r(self, result):
+        # Model eta at the lower measured p_r is itself lower.
+        assert result.model_eta[1] < result.model_eta[0]
+
+    def test_no_points_failed(self, result):
+        assert result.points_failed == 0
+        assert result.timing.tasks_failed == 0
+
+    def test_etas_in_domain(self, result):
+        assert ((result.sim_eta > 0) & (result.sim_eta <= 1)).all()
+        assert ((result.model_eta > 0) & (result.model_eta <= 1)).all()
+
+    def test_format_mentions_intensities(self, result):
+        text = result.format()
+        assert "intensity" in text and "model eta" in text
+
+    def test_to_dict_json_serializable(self, result):
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["experiment"] == "chaos"
+        assert payload["replications"] == 2
+        assert len(payload["intensities"]) == 2
+        assert payload["plan"]["connection_break_prob"] == 0.3
+
+    def test_deterministic(self, result):
+        config = default_chaos_config().with_changes(
+            max_time=40.0, initial_leechers=30, arrival_rate=2.0
+        )
+        plan = FaultPlan(
+            churn_hazard=0.01,
+            connection_break_prob=0.3,
+            handshake_failure_prob=0.3,
+        )
+        again = run_chaos_sweep(
+            (0.0, 1.0), plan=plan, config=config, replications=2,
+            instrument=2, seed=0,
+        )
+        np.testing.assert_array_equal(result.sim_eta, again.sim_eta)
+        np.testing.assert_array_equal(result.fault_events, again.fault_events)
+
+
+class TestValidation:
+    def test_empty_intensities_rejected(self):
+        with pytest.raises(ParameterError):
+            run_chaos_sweep(())
+
+    def test_bad_replications_rejected(self):
+        with pytest.raises(ParameterError):
+            run_chaos_sweep((0.0,), replications=0)

@@ -1,0 +1,95 @@
+"""Tests for the FaultInjector's draws, stream isolation, and counters."""
+
+import numpy as np
+
+from repro.faults import FaultInjector, FaultPlan, OutageWindow
+from repro.faults.injector import _FAULT_STREAM
+from repro.runtime.seeding import derive_seed
+
+
+class TestStreamIsolation:
+    def test_seed_derivation_path(self):
+        injector = FaultInjector(FaultPlan(salt=3), root_seed=42)
+        expected = np.random.default_rng(derive_seed(42, _FAULT_STREAM, 3))
+        assert injector.rng.random() == expected.random()
+
+    def test_none_root_seed_falls_back_to_zero(self):
+        a = FaultInjector(FaultPlan(), root_seed=None)
+        b = FaultInjector(FaultPlan(), root_seed=0)
+        assert a.rng.random() == b.rng.random()
+
+    def test_salt_separates_streams(self):
+        a = FaultInjector(FaultPlan(churn_hazard=0.5, salt=0), root_seed=1)
+        b = FaultInjector(FaultPlan(churn_hazard=0.5, salt=1), root_seed=1)
+        draws_a = [a.churn_peer() for _ in range(64)]
+        draws_b = [b.churn_peer() for _ in range(64)]
+        assert draws_a != draws_b
+
+    def test_deterministic_per_seed(self):
+        def draws():
+            injector = FaultInjector(FaultPlan(churn_hazard=0.3), root_seed=7)
+            return [injector.churn_peer() for _ in range(50)]
+
+        assert draws() == draws()
+
+
+class TestZeroGuards:
+    def test_zero_probabilities_consume_no_randomness(self):
+        injector = FaultInjector(FaultPlan(), root_seed=5)
+        before = injector.rng.bit_generator.state
+        assert not injector.churn_peer()
+        assert not injector.break_connection()
+        assert not injector.fail_handshake()
+        assert not injector.fail_shake()
+        assert injector.rng.bit_generator.state == before
+        assert injector.stats.total() == 0
+
+
+class TestCounters:
+    def test_certain_faults_fire_and_count(self):
+        plan = FaultPlan(
+            churn_hazard=1.0,
+            connection_break_prob=1.0,
+            handshake_failure_prob=1.0,
+            shake_failure_prob=1.0,
+        )
+        injector = FaultInjector(plan, root_seed=0)
+        assert injector.churn_peer()
+        assert injector.break_connection()
+        assert injector.fail_handshake()
+        assert injector.fail_shake()
+        stats = injector.stats
+        assert (stats.peers_churned, stats.connections_broken,
+                stats.handshakes_failed, stats.shakes_failed) == (1, 1, 1, 1)
+
+
+class TestOutages:
+    def test_clock_follows_observe_hook(self):
+        window = OutageWindow(10.0, 20.0, "empty")
+        injector = FaultInjector(FaultPlan(outages=(window,)))
+        assert injector.announce_outage() is None
+        injector.observe(15.0)
+        assert injector.announce_outage() is window
+        injector.observe(25.0)
+        assert injector.announce_outage() is None
+
+    def test_stale_snapshot_frozen_per_window(self):
+        window = OutageWindow(0.0, 10.0, "stale")
+        injector = FaultInjector(FaultPlan(outages=(window,)))
+        first = injector.stale_peer_ids(window, [1, 2, 3])
+        # Later announces see the original snapshot, not the live set.
+        second = injector.stale_peer_ids(window, [4, 5])
+        assert first == second == [1, 2, 3]
+        assert injector.stats.announces_stale == 2
+
+    def test_distinct_windows_snapshot_separately(self):
+        w1 = OutageWindow(0.0, 5.0, "stale")
+        w2 = OutageWindow(6.0, 9.0, "stale")
+        injector = FaultInjector(FaultPlan(outages=(w1, w2)))
+        assert injector.stale_peer_ids(w1, [1]) == [1]
+        assert injector.stale_peer_ids(w2, [2]) == [2]
+
+    def test_empty_announce_counter(self):
+        injector = FaultInjector(FaultPlan())
+        injector.record_empty_announce()
+        assert injector.stats.announces_empty == 1

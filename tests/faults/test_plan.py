@@ -1,0 +1,112 @@
+"""Tests for FaultPlan / OutageWindow / FaultStats."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.faults import FaultPlan, FaultStats, OutageWindow
+
+
+class TestOutageWindow:
+    def test_covers_half_open(self):
+        window = OutageWindow(10.0, 20.0)
+        assert window.covers(10.0)
+        assert window.covers(19.999)
+        assert not window.covers(20.0)
+        assert not window.covers(9.999)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ParameterError):
+            OutageWindow(5.0, 5.0)
+        with pytest.raises(ParameterError):
+            OutageWindow(5.0, 4.0)
+
+    def test_rejects_non_finite_bounds(self):
+        with pytest.raises(ParameterError):
+            OutageWindow(float("nan"), 1.0)
+        with pytest.raises(ParameterError):
+            OutageWindow(0.0, float("inf"))
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ParameterError):
+            OutageWindow(0.0, 1.0, "flaky")
+
+
+class TestFaultPlan:
+    def test_default_is_zero(self):
+        assert FaultPlan().is_zero
+
+    def test_nonzero_detection(self):
+        assert not FaultPlan(churn_hazard=0.1).is_zero
+        assert not FaultPlan(outages=(OutageWindow(0.0, 1.0),)).is_zero
+
+    @pytest.mark.parametrize("name", [
+        "churn_hazard", "connection_break_prob",
+        "handshake_failure_prob", "shake_failure_prob",
+    ])
+    def test_probability_bounds(self, name):
+        with pytest.raises(ParameterError):
+            FaultPlan(**{name: 1.5})
+        with pytest.raises(ParameterError):
+            FaultPlan(**{name: -0.1})
+
+    def test_outage_type_checked(self):
+        with pytest.raises(ParameterError):
+            FaultPlan(outages=((0.0, 1.0),))
+
+    def test_outage_at_earliest_wins(self):
+        early = OutageWindow(0.0, 10.0, "empty")
+        late = OutageWindow(5.0, 15.0, "stale")
+        plan = FaultPlan(outages=(early, late))
+        assert plan.outage_at(7.0) is early
+        assert plan.outage_at(12.0) is late
+        assert plan.outage_at(20.0) is None
+
+    def test_scaled(self):
+        plan = FaultPlan(
+            churn_hazard=0.1,
+            connection_break_prob=0.2,
+            handshake_failure_prob=0.4,
+            shake_failure_prob=0.6,
+            outages=(OutageWindow(0.0, 1.0),),
+        )
+        half = plan.scaled(0.5)
+        assert half.churn_hazard == pytest.approx(0.05)
+        assert half.connection_break_prob == pytest.approx(0.1)
+        assert half.outages == plan.outages
+
+    def test_scaled_clips_at_one(self):
+        assert FaultPlan(shake_failure_prob=0.6).scaled(5.0).shake_failure_prob == 1.0
+
+    def test_scaled_zero_is_zero_plan(self):
+        plan = FaultPlan(churn_hazard=0.1, outages=(OutageWindow(0.0, 1.0),))
+        assert plan.scaled(0.0).is_zero
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            FaultPlan().scaled(-1.0)
+
+    def test_picklable(self):
+        plan = FaultPlan(churn_hazard=0.1, outages=(OutageWindow(1.0, 2.0),))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_to_dict_round_trips_values(self):
+        plan = FaultPlan(
+            connection_break_prob=0.25,
+            outages=(OutageWindow(3.0, 4.0, "stale"),),
+            salt=7,
+        )
+        payload = plan.to_dict()
+        assert payload["connection_break_prob"] == 0.25
+        assert payload["outages"] == [{"start": 3.0, "end": 4.0, "mode": "stale"}]
+        assert payload["salt"] == 7
+
+
+class TestFaultStats:
+    def test_total_and_merge(self):
+        a = FaultStats(peers_churned=1, handshakes_failed=2)
+        b = FaultStats(connections_broken=3, announces_empty=4)
+        a.merge(b)
+        assert a.total() == 10
+        assert a.to_dict()["total"] == 10

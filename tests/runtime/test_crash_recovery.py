@@ -1,0 +1,265 @@
+"""Executor crash recovery: retries, reseeding, partial results.
+
+The task functions are module-level so the process-pool paths can
+pickle them.  "Flaky" tasks fail deterministically on their
+first-attempt seed and succeed on any re-derived attempt seed, which
+lets the tests assert both the retry mechanics and the determinism
+guarantee (workers=1 and workers=4 agree through failures).
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime import ExperimentExecutor, TaskFailure, TaskSpec, derive_seed
+from repro.runtime.executor import _ATTEMPT_SALT
+
+FLAKY_BELOW = 1_000_000
+
+
+def flaky_task(seed):
+    """Fails on small (first-attempt) seeds, succeeds on derived ones."""
+    if seed < FLAKY_BELOW:
+        raise ValueError(f"flaky failure for seed {seed}")
+    return seed
+
+
+def flaky_even_task(seed):
+    """Fails on even first-attempt seeds only."""
+    if seed < FLAKY_BELOW and seed % 2 == 0:
+        raise ValueError(f"flaky failure for seed {seed}")
+    return seed
+
+
+def always_failing_task(seed):
+    raise RuntimeError("broken beyond repair")
+
+
+def crashing_task(seed):
+    """Hard-kills its worker process for one specific seed."""
+    if seed == 13:
+        os._exit(17)
+    return seed
+
+
+def always_crashing_task(seed):
+    os._exit(17)
+
+
+def attempt2_seed(seed):
+    return derive_seed(seed, _ATTEMPT_SALT, 2)
+
+
+class TestTaskSpecReseeding:
+    def test_first_attempt_is_identity(self):
+        spec = TaskSpec(flaky_task, (5,), seed_index=0)
+        assert spec.for_attempt(1) is spec
+
+    def test_later_attempts_rederive_the_seed(self):
+        spec = TaskSpec(flaky_task, (5,), seed_index=0)
+        assert spec.for_attempt(2).args == (attempt2_seed(5),)
+        assert spec.for_attempt(3).args != spec.for_attempt(2).args
+
+    def test_without_seed_index_args_unchanged(self):
+        spec = TaskSpec(flaky_task, (5,))
+        assert spec.for_attempt(2).args == (5,)
+
+    def test_seed_index_out_of_range_rejected(self):
+        with pytest.raises(ParameterError):
+            TaskSpec(flaky_task, (5,), seed_index=1)
+        with pytest.raises(ParameterError):
+            TaskSpec(flaky_task, (), seed_index=0)
+
+
+class TestExecutorValidation:
+    def test_max_attempts_validated(self):
+        with pytest.raises(ParameterError):
+            ExperimentExecutor(max_attempts=0)
+
+    def test_backoff_validated(self):
+        with pytest.raises(ParameterError):
+            ExperimentExecutor(retry_backoff=-1.0)
+
+    def test_on_error_validated(self):
+        with pytest.raises(ParameterError):
+            ExperimentExecutor(on_error="ignore")
+
+
+class TestSerialRetry:
+    def test_fails_once_then_succeeds_on_retry_seed(self):
+        executor = ExperimentExecutor(workers=1, max_attempts=2)
+        results = executor.run([TaskSpec(flaky_task, (5,), seed_index=0)])
+        assert results == [attempt2_seed(5)]
+        assert executor.telemetry.task_failures == 1
+        assert executor.telemetry.retries == 1
+        assert executor.telemetry.tasks_failed == 0
+
+    def test_exhausted_attempts_raise_by_default(self):
+        executor = ExperimentExecutor(workers=1, max_attempts=3)
+        with pytest.raises(RuntimeError, match="broken beyond repair"):
+            executor.run([TaskSpec(always_failing_task, (1,), seed_index=0)])
+        assert executor.telemetry.task_failures == 3
+        assert executor.telemetry.retries == 2
+
+    def test_partial_mode_yields_none_and_failure_record(self):
+        executor = ExperimentExecutor(
+            workers=1, max_attempts=2, on_error="partial"
+        )
+        results = executor.run([
+            TaskSpec(always_failing_task, (1,), seed_index=0),
+            TaskSpec(flaky_even_task, (3,), seed_index=0),
+        ])
+        assert results[0] is None
+        assert results[1] == 3
+        telemetry = executor.telemetry
+        assert telemetry.tasks_failed == 1
+        assert len(telemetry.failure_log) == 1
+        failure = telemetry.failure_log[0]
+        assert failure.index == 0
+        assert failure.attempts == 2
+        assert failure.fn == "always_failing_task"
+        assert "RuntimeError" in failure.error
+
+    def test_no_retries_preserves_original_semantics(self):
+        executor = ExperimentExecutor(workers=1)
+        with pytest.raises(ValueError):
+            executor.run([TaskSpec(flaky_task, (5,), seed_index=0)])
+
+
+class TestPooledRetry:
+    def test_raised_errors_retry_in_pool(self):
+        executor = ExperimentExecutor(workers=2, max_attempts=2)
+        results = executor.run(
+            [TaskSpec(flaky_even_task, (s,), seed_index=0) for s in range(4)]
+        )
+        assert results == [
+            attempt2_seed(0), 1, attempt2_seed(2), 3,
+        ]
+        assert executor.telemetry.retries == 2
+
+    def test_crashed_worker_does_not_abort_the_run(self):
+        executor = ExperimentExecutor(
+            workers=2, max_attempts=2, on_error="partial"
+        )
+        results = executor.run(
+            [TaskSpec(crashing_task, (s,), seed_index=0) for s in (1, 13, 3)]
+        )
+        assert results[0] == 1 and results[2] == 3
+        # The crasher either succeeded on its re-derived seed or was
+        # abandoned; either way the run completed.
+        assert results[1] in (attempt2_seed(13), None)
+
+    def test_unrecoverable_crasher_abandoned_with_record(self):
+        executor = ExperimentExecutor(
+            workers=2, max_attempts=2, on_error="partial"
+        )
+        results = executor.run([
+            TaskSpec(always_crashing_task, (1,), seed_index=0),
+            TaskSpec(crashing_task, (2,), seed_index=0),
+            TaskSpec(crashing_task, (3,), seed_index=0),
+        ])
+        assert results == [None, 2, 3]
+        telemetry = executor.telemetry
+        assert telemetry.tasks_failed == 1
+        assert telemetry.failure_log[0].index == 0
+        assert telemetry.failure_log[0].attempts == 2
+
+    def test_collateral_victims_keep_their_attempt_budget(self):
+        # One guaranteed crasher among healthy tasks: the healthy tasks
+        # must all succeed with their first-attempt seeds even if they
+        # were collateral damage of the broken pool.
+        executor = ExperimentExecutor(
+            workers=4, max_attempts=2, on_error="partial"
+        )
+        specs = [TaskSpec(always_crashing_task, (99,), seed_index=0)] + [
+            TaskSpec(flaky_even_task, (s,), seed_index=0)
+            for s in (1, 3, 5, 7, 9, 11)
+        ]
+        results = executor.run(specs)
+        assert results == [None, 1, 3, 5, 7, 9, 11]
+
+
+class TestDeterminism:
+    @staticmethod
+    def _specs():
+        return [
+            TaskSpec(flaky_even_task, (s,), seed_index=0) for s in range(12)
+        ]
+
+    def test_serial_and_parallel_agree_under_failures(self):
+        serial = ExperimentExecutor(workers=1, max_attempts=3).run(self._specs())
+        parallel = ExperimentExecutor(workers=4, max_attempts=3).run(self._specs())
+        assert serial == parallel
+
+    def test_repeated_runs_identical(self):
+        first = ExperimentExecutor(workers=2, max_attempts=2).run(self._specs())
+        second = ExperimentExecutor(workers=2, max_attempts=2).run(self._specs())
+        assert first == second
+
+
+class TestFailureTelemetry:
+    def test_merge_folds_failure_counters(self):
+        from repro.runtime.telemetry import Telemetry
+
+        a = Telemetry(task_failures=1, retries=1,
+                      failure_log=[TaskFailure(0, 2, "ValueError: x")])
+        b = Telemetry(task_failures=2, tasks_failed=1,
+                      failure_log=[TaskFailure(3, 2, "OSError: y")])
+        a.merge(b)
+        assert a.task_failures == 3
+        assert a.tasks_failed == 1
+        assert [f.index for f in a.failure_log] == [0, 3]
+
+    def test_format_mentions_faults_only_when_present(self):
+        from repro.runtime.telemetry import Telemetry
+
+        assert "faults" not in Telemetry().format()
+        text = Telemetry(task_failures=2, retries=1, tasks_failed=1).format()
+        assert "2 failed attempt(s)" in text
+        assert "1 retried" in text
+        assert "1 abandoned" in text
+
+    def test_to_dict_includes_failure_log(self):
+        executor = ExperimentExecutor(
+            workers=1, max_attempts=2, on_error="partial"
+        )
+        executor.run([TaskSpec(always_failing_task, (1,), seed_index=0)])
+        payload = executor.telemetry.to_dict()
+        assert payload["tasks_failed"] == 1
+        assert payload["failure_log"][0]["fn"] == "always_failing_task"
+
+    def test_task_failure_to_dict(self):
+        failure = TaskFailure(index=2, attempts=3, error="E: boom", fn="f")
+        assert failure.to_dict() == {
+            "index": 2, "attempts": 3, "error": "E: boom", "fn": "f",
+        }
+
+
+class TestBackoff:
+    def test_backoff_sleeps_between_attempts(self, monkeypatch):
+        import repro.runtime.executor as executor_module
+
+        naps = []
+        monkeypatch.setattr(
+            executor_module.time, "sleep", lambda s: naps.append(s)
+        )
+        executor = ExperimentExecutor(
+            workers=1, max_attempts=3, retry_backoff=0.5, on_error="partial"
+        )
+        executor.run([TaskSpec(always_failing_task, (1,), seed_index=0)])
+        # Exponential: 0.5 before attempt 2, 1.0 before attempt 3.
+        assert naps == [0.5, 1.0]
+
+    def test_zero_backoff_never_sleeps(self, monkeypatch):
+        import repro.runtime.executor as executor_module
+
+        naps = []
+        monkeypatch.setattr(
+            executor_module.time, "sleep", lambda s: naps.append(s)
+        )
+        executor = ExperimentExecutor(
+            workers=1, max_attempts=3, on_error="partial"
+        )
+        executor.run([TaskSpec(always_failing_task, (1,), seed_index=0)])
+        assert naps == []

@@ -80,6 +80,81 @@ class TestDispatch:
         assert count[0] == 3
 
 
+class TestNonFiniteTimes:
+    """Regression: NaN-keyed heap entries compare False against
+    everything, silently corrupting the heap so run_until exits with
+    events still pending instead of raising.  The engine must reject
+    non-finite times up front."""
+
+    @pytest.mark.parametrize(
+        "bad_time", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_schedule_at_rejects_non_finite(self, engine, bad_time):
+        engine.register("x", lambda t, e: None)
+        with pytest.raises(SimulationError, match="non-finite"):
+            engine.schedule_at(bad_time, Event("x"))
+
+    def test_schedule_in_rejects_nan_delay(self, engine):
+        engine.register("x", lambda t, e: None)
+        with pytest.raises(SimulationError):
+            engine.schedule_in(float("nan"), Event("x"))
+
+    def test_handler_scheduling_nan_raises_not_silently_stops(self, engine):
+        fired = []
+
+        def handler(t, e):
+            fired.append(t)
+            engine.schedule_at(float("nan"), Event("x"))
+
+        engine.register("x", handler)
+        engine.schedule_at(1.0, Event("x"))
+        with pytest.raises(SimulationError):
+            engine.run_until(10.0)
+        assert fired == [1.0]
+
+    def test_corrupt_queue_tripwire(self, engine):
+        # schedule_at validates inputs, so a backwards pop can only
+        # come from behind-the-back queue mutation; step must trip.
+        engine.register("x", lambda t, e: None)
+        engine.schedule_at(5.0, Event("x"))
+        engine.run_until(5.0)
+        engine._queue.append((1.0, -1, Event("x")))
+        with pytest.raises(SimulationError, match="corrupt"):
+            engine.step()
+
+
+class TestPreDispatchHooks:
+    def test_hooks_observe_every_dispatch_in_order(self, engine):
+        seen = []
+        engine.register("x", lambda t, e: seen.append(("handler", t)))
+        engine.add_pre_dispatch_hook(lambda t, e: seen.append(("hook", t)))
+        engine.schedule_at(1.0, Event("x"))
+        engine.schedule_at(2.0, Event("x"))
+        engine.run_until(10.0)
+        assert seen == [
+            ("hook", 1.0), ("handler", 1.0),
+            ("hook", 2.0), ("handler", 2.0),
+        ]
+
+    def test_multiple_hooks_run_in_registration_order(self, engine):
+        order = []
+        engine.register("x", lambda t, e: None)
+        engine.add_pre_dispatch_hook(lambda t, e: order.append("first"))
+        engine.add_pre_dispatch_hook(lambda t, e: order.append("second"))
+        engine.schedule_at(1.0, Event("x"))
+        engine.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_hook_sees_monotone_clock(self, engine):
+        times = []
+        engine.register("x", lambda t, e: None)
+        engine.add_pre_dispatch_hook(lambda t, e: times.append(t))
+        for t in (3.0, 1.0, 2.0, 1.0):
+            engine.schedule_at(t, Event("x"))
+        engine.run_until(10.0)
+        assert times == sorted(times)
+
+
 class TestRunUntil:
     def test_respects_horizon(self, engine):
         fired = []

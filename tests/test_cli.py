@@ -44,6 +44,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.intensities == [0.0, 0.5, 1.0, 1.5, 2.0]
+        assert args.replications == 2
+        assert args.max_attempts == 2
+        assert args.workers == 1
+
+    def test_chaos_explicit_intensities(self):
+        args = build_parser().parse_args(
+            ["chaos", "0", "1", "2", "--quick", "--max-attempts", "3"]
+        )
+        assert args.intensities == [0.0, 1.0, 2.0]
+        assert args.quick is True
+        assert args.max_attempts == 3
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -149,3 +164,18 @@ class TestScenarioCommand:
 
         with pytest.raises(ParameterError):
             main(["scenario", "warp-speed"])
+
+
+class TestChaosCommand:
+    def test_quick_sweep_output(self, capsys):
+        assert main([
+            "chaos", "0", "1", "--quick", "--replications", "1", "--timing",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos sweep" in out
+        assert "model eta" in out
+        assert "timing:" in out
+
+    def test_without_timing_omits_telemetry(self, capsys):
+        assert main(["chaos", "0", "--quick", "--replications", "1"]) == 0
+        assert "timing:" not in capsys.readouterr().out
