@@ -1,0 +1,82 @@
+"""Performance: batched vs serial Monte-Carlo chain sampling.
+
+Times the Figure-1 workload (``runs=64`` trajectories of the default
+paper-scale parameter set) through both engines:
+
+* serial — ``runs`` sequential :meth:`DownloadChain.trajectory` calls,
+  one Python-loop state step at a time (the pre-batch estimator path);
+* batched — one :class:`~repro.core.batch.BatchChainSampler.sample`
+  call stepping all runs simultaneously off dense cumulative kernel
+  tables.
+
+The headline number is the speedup, asserted >= 5x and recorded in
+``BENCH_perf.json`` (section ``batch_sampler``) so the perf trajectory
+is visible across PRs.  Estimator agreement is not checked here — the
+statistical-equivalence suite (``tests/core/test_batch.py``) pins both
+paths against the exact absorbing-chain solver.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.perf_report import record_perf
+from repro.core.batch import BatchChainSampler
+from repro.core.chain import DownloadChain
+from repro.core.parameters import DEFAULT_PARAMETERS
+
+RUNS = 64
+
+#: The acceptance floor: the vectorized engine must beat the serial
+#: trajectory loop by at least this factor on the Figure-1 workload.
+MIN_SPEEDUP = 5.0
+
+
+def sample_serial(chain: DownloadChain) -> int:
+    rng = np.random.default_rng(0)
+    steps = 0
+    for _ in range(RUNS):
+        steps += len(chain.trajectory(rng=rng)) - 1
+    return steps
+
+
+def sample_batched(sampler: BatchChainSampler) -> int:
+    return sampler.sample(RUNS, seed=0).total_steps
+
+
+def test_perf_batch_speedup(benchmark):
+    chain = DownloadChain(DEFAULT_PARAMETERS)
+    sampler = chain.batch_sampler()
+    # Warm the kernel pmf cache / dense tables outside the timings so
+    # both engines are measured on sampling alone.
+    sample_batched(sampler)
+
+    serial_start = time.perf_counter()
+    serial_steps = sample_serial(chain)
+    serial_seconds = time.perf_counter() - serial_start
+
+    batch_steps = benchmark.pedantic(
+        sample_batched, args=(sampler,), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    batch_seconds = benchmark.stats.stats.mean
+
+    assert serial_steps > 0 and batch_steps > 0
+    speedup = serial_seconds / batch_seconds
+    trajectories_per_second = RUNS / batch_seconds
+    print(
+        f"\nbatch sampler: {batch_seconds:.3f}s vs serial "
+        f"{serial_seconds:.3f}s on runs={RUNS}, "
+        f"B={DEFAULT_PARAMETERS.num_pieces} -> {speedup:.1f}x "
+        f"({trajectories_per_second:.0f} trajectories/s)"
+    )
+    record_perf("batch_sampler", {
+        "runs": RUNS,
+        "num_pieces": DEFAULT_PARAMETERS.num_pieces,
+        "serial_seconds": round(serial_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "speedup": round(speedup, 2),
+        "trajectories_per_second": round(trajectories_per_second, 1),
+        "chain_steps": int(batch_steps),
+    })
+    assert speedup >= MIN_SPEEDUP

@@ -10,6 +10,7 @@ count — but the timing table makes regressions visible.
 
 import numpy as np
 
+from benchmarks.perf_report import record_perf
 from repro.core.parameters import ModelParameters
 from repro.runtime import (
     ExperimentExecutor,
@@ -51,6 +52,14 @@ def test_perf_executor_fan(benchmark):
     assert telemetry.cache_hits == RUNS - 1
     assert telemetry.events > 0
     print(f"\n{telemetry.format()}")
+    mean_seconds = benchmark.stats.stats.mean
+    record_perf("executor", {
+        "tasks": RUNS,
+        "seconds": round(mean_seconds, 4),
+        "tasks_per_second": round(RUNS / mean_seconds, 1),
+        "cache_hits": telemetry.cache_hits,
+        "cache_misses": telemetry.cache_misses,
+    })
 
     # The parallel path must reproduce the serial reference exactly.
     parallel = ExperimentExecutor(workers=2).run(_tasks())

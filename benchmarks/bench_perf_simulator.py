@@ -4,9 +4,15 @@ Unlike the figure benches (timed once, asserted on shape), this bench
 actually uses pytest-benchmark for what it is for: timing.  It measures
 the simulator's round throughput on a mid-size steady swarm so
 regressions in the hot paths (potential sets, matching, exchanges) are
-visible in the benchmark table.
+visible in the benchmark table, plus two hot-spot micro-checks: the
+bigint popcount powering :class:`Bitfield` and the cost of carrying a
+disabled :class:`RoundProfiler` through the round loop.
 """
 
+import time
+
+from benchmarks.perf_report import record_perf
+from repro.sim.bitfield import Bitfield
 from repro.sim.config import SimConfig
 from repro.sim.metrics import MetricsCollector
 from repro.sim.swarm import Swarm
@@ -14,7 +20,7 @@ from repro.sim.swarm import Swarm
 ROUNDS = 60
 
 
-def run_swarm_once():
+def run_swarm_once(profile=False):
     config = SimConfig(
         num_pieces=60,
         max_conns=4,
@@ -31,7 +37,7 @@ def run_swarm_once():
         seed=9,
     )
     metrics = MetricsCollector(config.max_conns, entropy_every=10)
-    swarm = Swarm(config, metrics=metrics)
+    swarm = Swarm(config, metrics=metrics, profile=profile)
     result = swarm.run()
     return result
 
@@ -47,5 +53,68 @@ def test_perf_simulator_throughput(benchmark):
     rounds_per_second = ROUNDS / mean_seconds
     print(f"\nthroughput: {rounds_per_second:.0f} protocol rounds/s "
           f"(~100-peer swarm)")
+    record_perf("simulator", {
+        "rounds": ROUNDS,
+        "seconds": round(mean_seconds, 4),
+        "rounds_per_second": round(rounds_per_second, 1),
+    })
     # Generous floor: catches order-of-magnitude regressions only.
     assert rounds_per_second > 20
+
+
+def test_perf_profiler_overhead_unmeasurable():
+    """A profiled run stays within noise of an unprofiled one.
+
+    The profiler adds two attribute checks plus at most seven
+    ``perf_counter`` calls per round; on a ~100-peer swarm that is
+    far below run-to-run noise.  The bound here is deliberately loose
+    (50%) — it exists to catch the profiler accidentally becoming a
+    per-peer or per-exchange cost, not to resolve its true overhead.
+    """
+    def best_of(profile):
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            result = run_swarm_once(profile=profile)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    run_swarm_once()  # warm caches outside the timings
+    plain_seconds, plain = best_of(False)
+    profiled_seconds, profiled = best_of(True)
+    assert plain.round_profile is None
+    assert profiled.round_profile is not None
+    assert sum(profiled.round_profile.values()) > 0
+    overhead = profiled_seconds / plain_seconds - 1.0
+    print(f"\nprofiler overhead: {overhead:+.1%} "
+          f"({profiled_seconds:.3f}s vs {plain_seconds:.3f}s)")
+    assert overhead < 0.5
+
+
+def test_perf_bitfield_popcount(benchmark):
+    """Micro-bench the bigint popcount behind ``Bitfield.count``.
+
+    ``int.bit_count()`` (CPython >= 3.10) replaced the
+    ``bin(mask).count("1")`` string round-trip in the Bitfield
+    constructor; this pins the cost of counting a paper-scale
+    (B = 200) mask so the fallback never silently returns.
+    """
+    pieces = [p for p in range(200) if p % 3 != 0]
+    mask = Bitfield.from_pieces(200, pieces)._mask
+
+    def count_many():
+        total = 0
+        for _ in range(1000):
+            total += Bitfield(200, mask).count
+        return total
+
+    total = benchmark.pedantic(
+        count_many, rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert total == 1000 * len(pieces)
+    per_count_us = benchmark.stats.stats.mean / 1000 * 1e6
+    record_perf("bitfield", {
+        "num_pieces": 200,
+        "construct_and_count_us": round(per_count_us, 3),
+        "native_bit_count": hasattr(int, "bit_count"),
+    })

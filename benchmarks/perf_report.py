@@ -1,0 +1,46 @@
+"""Machine-readable benchmark trajectory: ``BENCH_perf.json``.
+
+The perf benches (``bench_perf_*.py``) each record their headline
+numbers into one JSON file at the repository root, so the performance
+trajectory is tracked across PRs instead of living only in ephemeral
+pytest-benchmark tables.  Sections are merged: every bench owns one
+top-level key and overwrites only its own section, so running a single
+bench refreshes its numbers without clobbering the others.
+
+The schema is documented in ``docs/RUNTIME.md``; CI's ``perf-smoke``
+job runs the benches and uploads the file as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Dict
+
+__all__ = ["record_perf", "REPORT_PATH"]
+
+#: Repo-root report file (this module lives in ``<root>/benchmarks/``).
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+#: Current report schema version (bump on breaking layout changes).
+SCHEMA_VERSION = 1
+
+
+def record_perf(section: str, payload: Dict) -> None:
+    """Merge ``{section: payload}`` into ``BENCH_perf.json``.
+
+    Numbers are rounded via JSON round-trip as-is; callers should round
+    what they record.  Corrupt or missing files are rebuilt from
+    scratch, so a bench never fails on report bookkeeping.
+    """
+    try:
+        report = json.loads(REPORT_PATH.read_text())
+        if not isinstance(report, dict):
+            report = {}
+    except (OSError, ValueError):
+        report = {}
+    report["schema"] = SCHEMA_VERSION
+    report["python"] = platform.python_version()
+    report[section] = payload
+    REPORT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -175,11 +175,17 @@ def _command_run(
     experiment: str, quick: bool, seed: Optional[int],
     workers: int = 1, timing: bool = False,
 ) -> int:
+    import inspect
+
     spec = get_experiment(experiment)
     kwargs = dict(spec.quick_kwargs) if quick else {}
     if seed is not None:
         kwargs["seed"] = seed
     kwargs["workers"] = workers
+    if timing and "profile" in inspect.signature(spec.runner).parameters:
+        # Swarm-backed runners bucket per-round wall time by stage when
+        # telemetry was asked for; the buckets print with the timing.
+        kwargs["profile"] = True
     print(f"== {spec.figure}: {spec.description} ==")
     result = spec.runner(**kwargs)
     print(result.format())

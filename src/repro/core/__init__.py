@@ -15,6 +15,7 @@ The transition kernel factors as ``f(b'|n,b) * g(i'|n,b,i) * h(n'|n,b,i')``
 (paper Eq. 1) in :mod:`repro.core.trading_power`.
 """
 
+from repro.core.batch import BatchChainSampler, BatchTrajectories
 from repro.core.binomial import binomial_pmf, convolve_pmf
 from repro.core.chain import DownloadChain, State
 from repro.core.exact import (
@@ -28,6 +29,8 @@ from repro.core.piece_distribution import PieceCountDistribution
 from repro.core.trading_power import exchange_probability
 
 __all__ = [
+    "BatchChainSampler",
+    "BatchTrajectories",
     "binomial_pmf",
     "convolve_pmf",
     "DownloadChain",

@@ -17,7 +17,7 @@ lengths are directly comparable with the simulator's round counter
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, NamedTuple, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, NamedTuple, Optional
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.core.parameters import ModelParameters
 from repro.core.phases import Phase, classify_state
 from repro.core.transitions import TransitionKernel, piece_successor
 from repro.errors import ParameterError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.batch import BatchChainSampler
 
 __all__ = ["State", "DownloadChain"]
 
@@ -143,6 +146,17 @@ class DownloadChain:
         rng = np.random.default_rng(seed)
         for _ in range(count):
             yield self.trajectory(rng=rng)
+
+    def batch_sampler(self) -> "BatchChainSampler":
+        """A vectorized sampler sharing this chain's cached kernel.
+
+        See :class:`repro.core.batch.BatchChainSampler` — it advances
+        all runs simultaneously and is the default engine behind the
+        Figure-1 estimators in :mod:`repro.core.timeline`.
+        """
+        from repro.core.batch import BatchChainSampler
+
+        return BatchChainSampler(self)
 
     # ------------------------------------------------------------------
     # Exact kernel access

@@ -8,9 +8,15 @@ These produce the two model-side series of the paper's Figure 1:
   piece-exchange rounds) to each piece count ``b`` (Figure 1(b)).
 
 Both are Monte-Carlo estimators over independent chain trajectories.
-For small state spaces, :func:`expected_download_time_exact` solves the
-absorbing-chain linear system instead and is used by the test suite to
-pin the Monte-Carlo estimators down.
+By default they run on the vectorized
+:class:`~repro.core.batch.BatchChainSampler` fast path, which advances
+all ``runs`` trajectories simultaneously; ``batch=False`` restores the
+serial per-trajectory loop (same distribution, different RNG order —
+the two paths produce statistically equivalent, not bit-identical,
+estimates).  For small state spaces,
+:func:`expected_download_time_exact` solves the absorbing-chain linear
+system instead and is used by the test suite to pin both Monte-Carlo
+paths down.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import numpy as np
 import scipy.sparse
 import scipy.sparse.linalg
 
+from repro.core.batch import BatchChainSampler
 from repro.core.chain import DownloadChain, State
 from repro.core.phases import Phase, phase_durations
 from repro.errors import ParameterError
@@ -81,29 +88,39 @@ def mean_timeline(
     *,
     runs: int = 64,
     seed: Optional[int] = None,
+    batch: bool = True,
 ) -> TimelineResult:
     """Monte-Carlo estimate of first-passage rounds to each piece count.
 
     Piece counts can advance by more than one per round (``n`` pieces
     arrive in parallel), so "first passage to ``b``" means the first
     round at which the peer holds *at least* ``b`` pieces.
+
+    Args:
+        batch: step all runs simultaneously on the vectorized
+            :class:`~repro.core.batch.BatchChainSampler` (default);
+            ``False`` keeps the serial per-trajectory loop (same
+            distribution, different RNG consumption order).
     """
     if runs < 1:
         raise ParameterError(f"runs must be >= 1, got {runs}")
     num_pieces = chain.params.num_pieces
-    hits = np.zeros((runs, num_pieces + 1))
-    rng = np.random.default_rng(seed)
-    for run in range(runs):
-        traj = chain.trajectory(rng=rng)
-        first = np.full(num_pieces + 1, -1.0)
-        for step, state in enumerate(traj):
-            b = state.b
-            # Record first passage for every count newly reached.
-            lower = 0 if step == 0 else traj[step - 1].b + 1
-            for reached in range(lower, b + 1):
-                if first[reached] < 0:
-                    first[reached] = step
-        hits[run] = first
+    if batch:
+        hits = BatchChainSampler(chain).sample(runs, seed=seed).first_passage()
+    else:
+        hits = np.zeros((runs, num_pieces + 1))
+        rng = np.random.default_rng(seed)
+        for run in range(runs):
+            traj = chain.trajectory(rng=rng)
+            first = np.full(num_pieces + 1, -1.0)
+            for step, state in enumerate(traj):
+                b = state.b
+                # Record first passage for every count newly reached.
+                lower = 0 if step == 0 else traj[step - 1].b + 1
+                for reached in range(lower, b + 1):
+                    if first[reached] < 0:
+                        first[reached] = step
+            hits[run] = first
     mean = hits.mean(axis=0)
     std = hits.std(axis=0)
     return TimelineResult(
@@ -119,23 +136,34 @@ def potential_ratio_by_pieces(
     *,
     runs: int = 64,
     seed: Optional[int] = None,
+    batch: bool = True,
 ) -> PotentialRatioResult:
     """Monte-Carlo estimate of E[ i / s | b ] (paper Figure 1(a)).
 
     For each trajectory, every round spent holding exactly ``b`` pieces
     contributes one sample of ``i / s``; samples are pooled across runs.
+
+    Args:
+        batch: use the vectorized batch sampler (default); ``False``
+            keeps the serial per-trajectory loop.
     """
     if runs < 1:
         raise ParameterError(f"runs must be >= 1, got {runs}")
     num_pieces = chain.params.num_pieces
     s = chain.params.ns_size
-    sums = np.zeros(num_pieces + 1)
-    counts = np.zeros(num_pieces + 1)
-    rng = np.random.default_rng(seed)
-    for _ in range(runs):
-        for state in chain.trajectory(rng=rng):
-            sums[state.b] += state.i / s
-            counts[state.b] += 1
+    if batch:
+        sums, counts = (
+            BatchChainSampler(chain).sample(runs, seed=seed)
+            .potential_accumulators()
+        )
+    else:
+        sums = np.zeros(num_pieces + 1)
+        counts = np.zeros(num_pieces + 1)
+        rng = np.random.default_rng(seed)
+        for _ in range(runs):
+            for state in chain.trajectory(rng=rng):
+                sums[state.b] += state.i / s
+                counts[state.b] += 1
     with np.errstate(invalid="ignore", divide="ignore"):
         ratio = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
     return PotentialRatioResult(
@@ -170,6 +198,7 @@ def phase_duration_statistics(
     *,
     runs: int = 64,
     seed: Optional[int] = None,
+    batch: bool = True,
 ) -> PhaseStatistics:
     """Expected rounds per phase over Monte-Carlo trajectories.
 
@@ -177,19 +206,28 @@ def phase_duration_statistics(
     sets the efficient/trading phase dominates ("most of the pieces are
     downloaded in this phase"), while small neighbor sets inflate the
     bootstrap and last phases.
+
+    Args:
+        batch: use the vectorized batch sampler (default); ``False``
+            keeps the serial per-trajectory loop.
     """
     if runs < 1:
         raise ParameterError(f"runs must be >= 1, got {runs}")
     phases = (Phase.BOOTSTRAP, Phase.EFFICIENT, Phase.LAST)
-    samples: Dict[Phase, list] = {phase: [] for phase in phases}
-    rng = np.random.default_rng(seed)
-    for _ in range(runs):
-        durations = phase_durations(
-            chain.trajectory(rng=rng), chain.params.num_pieces
-        )
-        for phase in phases:
-            samples[phase].append(durations[phase])
-    arrays = {phase: np.asarray(samples[phase], dtype=float) for phase in phases}
+    if batch:
+        arrays = BatchChainSampler(chain).sample(runs, seed=seed).phase_durations()
+    else:
+        samples: Dict[Phase, list] = {phase: [] for phase in phases}
+        rng = np.random.default_rng(seed)
+        for _ in range(runs):
+            durations = phase_durations(
+                chain.trajectory(rng=rng), chain.params.num_pieces
+            )
+            for phase in phases:
+                samples[phase].append(durations[phase])
+        arrays = {
+            phase: np.asarray(samples[phase], dtype=float) for phase in phases
+        }
     totals = sum(arrays.values())
     total_mean = float(totals.mean()) or 1.0
     return PhaseStatistics(

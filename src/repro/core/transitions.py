@@ -24,7 +24,7 @@ Monte-Carlo stepping.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -37,8 +37,35 @@ __all__ = [
     "piece_successor",
     "potential_set_pmf",
     "connection_pmf",
+    "DenseKernelTables",
     "TransitionKernel",
 ]
+
+
+class DenseKernelTables(NamedTuple):
+    """Cumulative transition tables for vectorized batch stepping.
+
+    Both kernels collapse to small keys (see :class:`TransitionKernel`),
+    so the entire chain fits two dense cumulative-probability tables.
+    Memory is ``O(B * s + k^3)`` — for the paper's canonical
+    ``B=200, k=7, s=50`` that is ~82 KiB of float64.
+
+    Attributes:
+        g_cum: shape ``(B + 1, 2, s + 1)``; ``g_cum[c, flag]`` is the
+            cumulative pmf of ``i'`` for trading-power input ``c`` and
+            ``flag = int(i == 0)``.  Rows for ``c == 0`` ignore the flag
+            (the just-joined branch does not read ``i``).
+        h_cum: shape ``(k + 1, k + 1, k + 1)``; ``h_cum[n, free]`` is
+            the cumulative pmf of ``n'`` for ``n`` prior connections and
+            ``free = max(min(i', k) - n, 0)`` fillable slots.
+            Combinations unreachable within the state space are padded
+            with a point mass at 0.  The deterministic ``b == B`` /
+            ``c == 0`` branches are not encoded; batch steppers mask
+            those states explicitly.
+    """
+
+    g_cum: np.ndarray
+    h_cum: np.ndarray
 
 
 def piece_successor(n: int, b: int, num_pieces: int) -> int:
@@ -171,6 +198,7 @@ class TransitionKernel:
         self._h_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self._g_cum_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
         self._h_cum_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self._dense_tables: Optional[DenseKernelTables] = None
 
     @property
     def p_curve(self) -> np.ndarray:
@@ -214,6 +242,53 @@ class TransitionKernel:
             self._h_cache[key] = pmf
             self._h_cum_cache[key] = np.cumsum(pmf)
         return pmf
+
+    # -- dense tables ------------------------------------------------------
+    def dense_tables(self) -> DenseKernelTables:
+        """Compile (once) the dense cumulative tables for batch stepping.
+
+        Every row is produced by the authoritative pmf builders
+        (:func:`potential_set_pmf` / :func:`connection_pmf`) evaluated
+        at a representative state for its collapsed key, so the tables
+        agree with the serial sampling path by construction.
+        """
+        if self._dense_tables is not None:
+            return self._dense_tables
+        params = self.params
+        num_pieces = params.num_pieces
+        k = params.max_conns
+        s = params.ns_size
+
+        g_cum = np.empty((num_pieces + 1, 2, s + 1))
+        for c in range(num_pieces + 1):
+            # Representative (n, b) with min(b + n, B) == c and b < B.
+            if c < num_pieces:
+                n_rep, b_rep = 0, c
+            else:
+                n_rep, b_rep = 1, num_pieces - 1
+            for flag, i_rep in ((0, 1), (1, 0)):
+                pmf = potential_set_pmf(
+                    n_rep, b_rep, min(i_rep, s), params, p_curve=self._p_curve
+                )
+                g_cum[c, flag] = np.cumsum(pmf)
+
+        # Padding for (n, free) combinations no reachable state produces:
+        # a point mass at n' = 0 (cumulative row of ones).
+        h_cum = np.ones((k + 1, k + 1, k + 1))
+        b_rep = 1 if num_pieces >= 2 else 0
+        for n in range(k + 1):
+            max_free = max(min(k, s) - n, 0)
+            for free in range(max_free + 1):
+                i_rep = min(n + free, s) if free == 0 else n + free
+                if b_rep == 0 and n == 0:
+                    continue  # c == 0: masked by the stepper, keep padding
+                pmf = connection_pmf(n, b_rep, i_rep, params)
+                h_cum[n, free] = np.cumsum(pmf)
+
+        g_cum.setflags(write=False)
+        h_cum.setflags(write=False)
+        self._dense_tables = DenseKernelTables(g_cum=g_cum, h_cum=h_cum)
+        return self._dense_tables
 
     # -- sampling --------------------------------------------------------
     def sample_i_next(self, n: int, b: int, i: int, rng: np.random.Generator) -> int:

@@ -27,7 +27,7 @@ from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
 from repro.runtime.executor import ExperimentExecutor, TaskSpec
 from repro.runtime.seeding import derive_seed
-from repro.runtime.tasks import first_passage_task
+from repro.runtime.tasks import batch_first_passage_task, first_passage_task
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.swarm import Swarm
@@ -86,6 +86,7 @@ def sim_timeline(
     *,
     instrument: int = 8,
     avoid_seeds: bool = True,
+    profile: bool = False,
 ) -> tuple:
     """Average first-passage rounds to each piece count from a swarm run.
 
@@ -93,14 +94,17 @@ def sim_timeline(
     per-piece acquisition times (relative to its join, in rounds).
 
     Returns:
-        ``(mean_rounds, completed_count, events)`` where ``mean_rounds``
-        has ``B + 1`` entries (entry 0 is 0; unreached counts are NaN)
-        and ``events`` is the simulator's processed-event count.
+        ``(mean_rounds, completed_count, events, round_profile)`` where
+        ``mean_rounds`` has ``B + 1`` entries (entry 0 is 0; unreached
+        counts are NaN), ``events`` is the simulator's processed-event
+        count, and ``round_profile`` is the per-stage wall-time dict
+        (None unless ``profile=True``).
     """
     swarm = Swarm(
         config,
         instrument_first=instrument,
         instrumented_avoid_seeds=avoid_seeds,
+        profile=profile,
     )
     result = swarm.run()
     num_pieces = config.num_pieces
@@ -120,7 +124,7 @@ def sim_timeline(
     with np.errstate(invalid="ignore"):
         mean = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
     mean[0] = 0.0
-    return mean, completed, result.events_processed
+    return mean, completed, result.events_processed, result.round_profile
 
 
 @register_experiment(
@@ -148,6 +152,8 @@ def run_fig1b(
     arrival_rate: float = 1.5,
     max_time: float = 800.0,
     workers: int = 1,
+    model_batch: bool = False,
+    profile: bool = False,
 ) -> Fig1bResult:
     """Reproduce Figure 1(b): model and simulation timelines per PSS.
 
@@ -156,6 +162,17 @@ def run_fig1b(
     ``p_new``; the model's bootstrap/last-phase escape probabilities
     ``alpha`` (and ``gamma``, same inflow process) are derived from the
     swarm via the paper's formula ``alpha = lambda * w * s / N``.
+
+    Args:
+        model_batch: sample all model replications per PSS on the
+            vectorized :class:`~repro.core.batch.BatchChainSampler`
+            (one task per PSS) instead of fanning one trajectory per
+            task.  Statistically equivalent, not bit-identical — the
+            default keeps the per-trajectory fan so existing goldens
+            hold.
+        profile: run the swarms with a per-stage
+            :class:`~repro.runtime.profiler.RoundProfiler` and fold the
+            buckets into the returned telemetry (``--timing``).
     """
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
@@ -204,38 +221,54 @@ def run_fig1b(
             seed=seed + 1000 + offset,
         )
 
-    # One fan for everything: model replications per PSS, then one
-    # simulator run per PSS; the executor interleaves them freely but
-    # returns results in task order.
-    tasks = [
-        TaskSpec(
-            first_passage_task,
-            (model_params[pss], derive_seed(seed, offset, run)),
-        )
-        for offset, pss in enumerate(pss_values)
-        for run in range(model_runs)
-    ]
+    # One fan for everything: model replications per PSS (one batched
+    # task per PSS under ``model_batch``, else one per trajectory), then
+    # one simulator run per PSS; the executor interleaves them freely
+    # but returns results in task order.
+    if model_batch:
+        tasks = [
+            TaskSpec(
+                batch_first_passage_task,
+                (model_params[pss], derive_seed(seed, offset), model_runs),
+            )
+            for offset, pss in enumerate(pss_values)
+        ]
+    else:
+        tasks = [
+            TaskSpec(
+                first_passage_task,
+                (model_params[pss], derive_seed(seed, offset, run)),
+            )
+            for offset, pss in enumerate(pss_values)
+            for run in range(model_runs)
+        ]
     sim_task_base = len(tasks)
     tasks += [
         TaskSpec(
             sim_timeline,
             (sim_configs[pss],),
-            {"instrument": sim_instrument},
+            {"instrument": sim_instrument, "profile": profile},
         )
         for pss in pss_values
     ]
     outcomes = executor.run(tasks)
 
     for offset, pss in enumerate(pss_values):
-        runs = outcomes[offset * model_runs : (offset + 1) * model_runs]
-        hits = np.stack([first for first, _steps in runs])
-        for _first, steps in runs:
+        if model_batch:
+            hits, steps = outcomes[offset]
             executor.record_events(steps)
+        else:
+            runs = outcomes[offset * model_runs : (offset + 1) * model_runs]
+            hits = np.stack([first for first, _steps in runs])
+            for _first, steps in runs:
+                executor.record_events(steps)
         model[pss] = hits.mean(axis=0)
-        mean, completed, events = outcomes[sim_task_base + offset]
+        mean, completed, events, round_profile = outcomes[sim_task_base + offset]
         sim[pss] = mean
         sim_completed[pss] = completed
         executor.record_events(events)
+        if round_profile:
+            executor.telemetry.add_round_profile(round_profile)
     return Fig1bResult(
         pieces=pieces,
         model=model,

@@ -75,6 +75,19 @@ class FaultInjector:
             return True
         return False
 
+    def churn_mask(self, count: int) -> np.ndarray:
+        """Vectorized :meth:`churn_peer` for ``count`` leechers at once.
+
+        One ``rng.random(count)`` call consumes the stream identically
+        to ``count`` sequential :meth:`churn_peer` draws, so the swarm's
+        batched churn pass reproduces the scalar loop bit-for-bit.
+        """
+        if self.plan.churn_hazard <= 0.0 or count <= 0:
+            return np.zeros(max(count, 0), dtype=bool)
+        mask = self.rng.random(count) < self.plan.churn_hazard
+        self.stats.peers_churned += int(mask.sum())
+        return mask
+
     # ------------------------------------------------------------------
     # Connection faults (the p_r / p_n degradation)
     # ------------------------------------------------------------------

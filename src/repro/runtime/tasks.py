@@ -22,7 +22,12 @@ import numpy as np
 from repro.core.parameters import ModelParameters
 from repro.runtime.cache import shared_cache
 
-__all__ = ["potential_ratio_task", "first_passage_task"]
+__all__ = [
+    "potential_ratio_task",
+    "first_passage_task",
+    "batch_potential_ratio_task",
+    "batch_first_passage_task",
+]
 
 
 def potential_ratio_task(params: ModelParameters, seed: int) -> tuple:
@@ -42,6 +47,26 @@ def potential_ratio_task(params: ModelParameters, seed: int) -> tuple:
         sums[state.b] += state.i / s
         counts[state.b] += 1
     return sums, counts, len(trajectory) - 1
+
+
+def batch_potential_ratio_task(
+    params: ModelParameters, seed: int, runs: int
+) -> tuple:
+    """All Figure-1(a) replications of one parameter set, vectorized.
+
+    Steps every trajectory simultaneously on the
+    :class:`~repro.core.batch.BatchChainSampler`; statistically
+    equivalent to ``runs`` :func:`potential_ratio_task` calls (pooled
+    draws, different stream order).
+
+    Returns:
+        ``(sums, counts, steps)`` — pooled ``i / s`` accumulators per
+        piece count, plus the total chain steps sampled.
+    """
+    chain = shared_cache().chain(params)
+    batch = chain.batch_sampler().sample(runs, seed=seed)
+    sums, counts = batch.potential_accumulators()
+    return sums, counts, batch.total_steps
 
 
 def first_passage_task(params: ModelParameters, seed: int) -> tuple:
@@ -64,3 +89,25 @@ def first_passage_task(params: ModelParameters, seed: int) -> tuple:
             if first[reached] < 0:
                 first[reached] = step
     return first, len(trajectory) - 1
+
+
+def batch_first_passage_task(
+    params: ModelParameters, seed: int, runs: int
+) -> tuple:
+    """All Figure-1(b) replications of one parameter set, vectorized.
+
+    One task steps every trajectory simultaneously on the
+    :class:`~repro.core.batch.BatchChainSampler` — the fan-out unit
+    becomes the parameter set instead of the single trajectory.  The
+    estimates are statistically equivalent to ``runs`` independent
+    :func:`first_passage_task` calls, but not bit-identical (pooled
+    draws consume the stream in a different order).
+
+    Returns:
+        ``(hits, steps)`` — ``hits[r, b]`` is run ``r``'s first-passage
+        round to ``b`` pieces; ``steps`` is the total chain steps
+        sampled (the telemetry event count).
+    """
+    chain = shared_cache().chain(params)
+    batch = chain.batch_sampler().sample(runs, seed=seed)
+    return batch.first_passage(), batch.total_steps

@@ -14,7 +14,7 @@ collect unconditionally; the CLI surfaces it behind
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 __all__ = ["TaskFailure", "Telemetry"]
 
@@ -62,6 +62,9 @@ class Telemetry:
         tasks_failed: tasks abandoned after exhausting their attempts
             (> 0 only under ``on_error="partial"``).
         failure_log: one :class:`TaskFailure` per abandoned task.
+        round_profile: per-stage simulator wall seconds accumulated from
+            :class:`~repro.runtime.profiler.RoundProfiler` runs (empty
+            unless a profiled swarm contributed).
     """
 
     wall_time: float = 0.0
@@ -75,6 +78,7 @@ class Telemetry:
     tasks_failed: int = 0
     failure_log: List[TaskFailure] = field(default_factory=list, repr=False)
     batches: int = field(default=0, repr=False)
+    round_profile: Dict[str, float] = field(default_factory=dict)
 
     def merge(self, other: "Telemetry") -> "Telemetry":
         """Fold another telemetry record into this one (in place)."""
@@ -89,7 +93,18 @@ class Telemetry:
         self.tasks_failed += other.tasks_failed
         self.failure_log.extend(other.failure_log)
         self.batches += other.batches
+        for stage, seconds in other.round_profile.items():
+            self.round_profile[stage] = (
+                self.round_profile.get(stage, 0.0) + seconds
+            )
         return self
+
+    def add_round_profile(self, profile: Dict[str, float]) -> None:
+        """Accumulate one swarm's per-stage round profile."""
+        for stage, seconds in profile.items():
+            self.round_profile[stage] = (
+                self.round_profile.get(stage, 0.0) + seconds
+            )
 
     @property
     def cache_hit_rate(self) -> float:
@@ -115,6 +130,7 @@ class Telemetry:
             "retries": self.retries,
             "tasks_failed": self.tasks_failed,
             "failure_log": [failure.to_dict() for failure in self.failure_log],
+            "round_profile": dict(self.round_profile),
         }
 
     def format(self) -> str:
@@ -130,4 +146,12 @@ class Telemetry:
                 f"; faults: {self.task_failures} failed attempt(s), "
                 f"{self.retries} retried, {self.tasks_failed} abandoned"
             )
+        if self.round_profile:
+            total = sum(self.round_profile.values())
+            stages = ", ".join(
+                f"{stage} {seconds:.3f}s"
+                f" ({100.0 * seconds / total if total > 0 else 0.0:.0f}%)"
+                for stage, seconds in self.round_profile.items()
+            )
+            text += f"\nround profile ({total:.3f}s sim): {stages}"
         return text

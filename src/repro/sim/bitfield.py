@@ -15,6 +15,13 @@ from repro.errors import ParameterError
 
 __all__ = ["Bitfield"]
 
+if hasattr(int, "bit_count"):  # Python >= 3.10
+    def _popcount(mask: int) -> int:
+        return mask.bit_count()
+else:  # pragma: no cover - exercised only on Python 3.9
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
+
 
 class Bitfield:
     """Set of held pieces over a fixed universe ``0 .. num_pieces - 1``."""
@@ -29,7 +36,7 @@ class Bitfield:
         if mask & ~self._full_mask:
             raise ParameterError("mask has bits outside the piece universe")
         self._mask = mask
-        self._count = bin(mask).count("1")
+        self._count = _popcount(mask)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -126,12 +133,14 @@ class Bitfield:
 
         True iff ``other`` holds a piece we lack **and** we hold a piece
         ``other`` lacks — the paper's potential-set membership test.
+        The xor form needs three bigint ops instead of six: ``diff``
+        already confines both directions to the piece universe, so
+        ``diff & other`` is "theirs-not-ours" and ``diff & self`` is
+        "ours-not-theirs".
         """
         self._check_compatible(other)
-        return (
-            bool(other._mask & ~self._mask & self._full_mask)
-            and bool(self._mask & ~other._mask & self._full_mask)
-        )
+        diff = self._mask ^ other._mask
+        return bool(diff & other._mask) and bool(diff & self._mask)
 
     def interested_in(self, other: "Bitfield") -> bool:
         """One-directional interest: ``other`` has a piece we lack."""

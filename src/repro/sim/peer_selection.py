@@ -10,12 +10,17 @@ evolution is the quantity validated in Figures 1 and 2.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.sim.peer import Peer
 from repro.sim.tracker import Tracker
 
-__all__ = ["potential_set", "potential_set_sizes", "is_bootstrap_trapped"]
+__all__ = [
+    "potential_set",
+    "potential_set_sizes",
+    "IncrementalPotentialSets",
+    "is_bootstrap_trapped",
+]
 
 
 def potential_set(peer: Peer, tracker: Tracker, *, strict_tft: bool = True) -> List[int]:
@@ -54,6 +59,78 @@ def potential_set_sizes(
         peer.peer_id: potential_set(peer, tracker, strict_tft=strict_tft)
         for peer in peers
     }
+
+
+class IncrementalPotentialSets:
+    """Dirty-flag cache of per-peer potential sets.
+
+    Recomputing every leecher's potential set every round costs
+    O(N * s) bigint mutual-interest checks even when almost nothing
+    changed.  This cache keeps the last computed member list per peer
+    and recomputes only peers invalidated since — which makes each
+    round's cost proportional to the *churn* (pieces granted,
+    connections announced, departures) instead of the population.
+
+    A peer's potential set depends on exactly: its own neighbor set and
+    bitfield, and each neighbor's bitfield, seed flag, and registration.
+    Because neighbor relations are symmetric, every one of those inputs
+    is invalidated by marking the mutated peer *and its neighbors*
+    dirty.  The cache subscribes to the tracker's neighbor-mutation and
+    departure notifications; bitfield and seed-flag changes are reported
+    by the swarm through :meth:`mark_neighborhood_dirty`.
+
+    Recomputation calls the same :func:`potential_set` over the same
+    (unmutated) neighbor sets, so cached results are **bit-identical**
+    to a from-scratch computation — including member order, which
+    follows neighbor-set iteration order.
+    """
+
+    def __init__(self, tracker: Tracker, *, strict_tft: bool = True):
+        self.tracker = tracker
+        self.strict_tft = strict_tft
+        self._cache: Dict[int, List[int]] = {}
+        self._dirty: Set[int] = set()
+        tracker.add_neighbor_listener(self._dirty.add)
+        tracker.add_departure_listener(self._forget)
+
+    def _forget(self, peer_id: int) -> None:
+        self._cache.pop(peer_id, None)
+        self._dirty.discard(peer_id)
+
+    def mark_dirty(self, peer_id: int) -> None:
+        """Invalidate one peer's cached potential set."""
+        self._dirty.add(peer_id)
+
+    def mark_neighborhood_dirty(self, peer: Peer) -> None:
+        """Invalidate ``peer`` and every peer holding it as a neighbor.
+
+        Call after a change to ``peer``'s bitfield or seed flag — both
+        alter the potential sets of its whole (symmetric) neighborhood.
+        """
+        self._dirty.add(peer.peer_id)
+        self._dirty.update(peer.neighbors)
+
+    def compute(self, peers: List[Peer]) -> Dict[int, List[int]]:
+        """Potential sets for ``peers``: ``{peer_id: member_ids}``.
+
+        Clean peers are served from cache; dirty (or never-seen) peers
+        are recomputed.  The result is value-identical to
+        :func:`potential_set_sizes` over the same peers.
+        """
+        dirty = self._dirty
+        cache = self._cache
+        result: Dict[int, List[int]] = {}
+        for peer in peers:
+            pid = peer.peer_id
+            members = cache.get(pid)
+            if members is None or pid in dirty:
+                members = potential_set(
+                    peer, self.tracker, strict_tft=self.strict_tft
+                )
+                cache[pid] = members
+            result[pid] = members
+        dirty.clear()
+        return result
 
 
 def is_bootstrap_trapped(peer: Peer, potential_size: int) -> bool:

@@ -13,7 +13,7 @@ against global-knowledge models), with ties broken uniformly at random.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -22,7 +22,14 @@ from repro.sim.bitfield import Bitfield
 from repro.sim.peer import Peer
 from repro.sim.tracker import Tracker
 
-__all__ = ["neighborhood_rarity", "select_piece"]
+__all__ = ["neighborhood_rarity", "select_piece", "RarityView"]
+
+#: A rarity view is either a sparse ``{piece: count}`` dict (the
+#: neighborhood view — pieces held by nobody are absent) or a dense
+#: per-piece count array (the swarm's global ``piece_counts`` snapshot,
+#: indexed by piece).  Both encode the same counts; the array avoids
+#: rebuilding a dict every round.
+RarityView = Union[Dict[int, int], np.ndarray]
 
 
 def neighborhood_rarity(peer: Peer, tracker: Tracker) -> Dict[int, int]:
@@ -67,7 +74,7 @@ def select_piece(
     policy: str,
     rng: np.random.Generator,
     *,
-    rarity: Optional[Dict[int, int]] = None,
+    rarity: Optional[RarityView] = None,
     exclude: Optional[set] = None,
     random_first_cutoff: int = RANDOM_FIRST_CUTOFF,
 ) -> Optional[int]:
@@ -81,9 +88,13 @@ def select_piece(
             (random within the next STREAM_WINDOW needed indices — the
             streaming compromise).
         rng: random source (tie-breaking / random policy).
-        rarity: neighborhood replication counts for rarest-first; when
-            omitted, rarest-first degrades to random (no view to rank
-            by), mirroring a client before its first HAVE messages.
+        rarity: replication counts for rarest-first — a sparse
+            neighborhood dict or a dense global count array (see
+            :data:`RarityView`); when omitted (or an empty dict — no
+            HAVE messages seen yet), rarest-first degrades to random.
+            A dense array is always treated as a valid view: it comes
+            from the swarm's global counts, which include the sender's
+            own pieces, so it is never all-zero when candidates exist.
         exclude: pieces already committed this round (in-flight dedupe).
         random_first_cutoff: rarest-first receivers holding fewer than
             this many pieces select randomly instead (the protocol's
@@ -118,27 +129,38 @@ def select_piece(
         in_window = [p for p in candidates if p < horizon]
         pool = in_window if in_window else candidates
         return int(pool[rng.integers(len(pool))])
+    no_view = rarity is None or (isinstance(rarity, dict) and not rarity)
     if (
         policy == "random"
-        or not rarity
+        or no_view
         or receiver.count < random_first_cutoff
     ):
         return int(candidates[rng.integers(len(candidates))])
+    if isinstance(rarity, dict):
+        counts = np.array([rarity.get(p, 0) for p in candidates], dtype=float)
+    else:
+        counts = rarity[candidates].astype(float)
     if policy == "strict-rarest":
         # Deterministic argmin (random tie-break): the idealised global
         # rarest-first.  With every peer sharing the same view this
         # synchronises download orders and collapses mutual novelty —
         # useful for studying exactly that artifact.
-        best_count = min(rarity.get(p, 0) for p in candidates)
-        rarest = [p for p in candidates if rarity.get(p, 0) == best_count]
+        best_count = counts.min()
+        rarest = [p for p, c in zip(candidates, counts) if c == best_count]
         return int(rarest[rng.integers(len(rarest))])
     # "rarest": noisy-view rarest-first.  Real clients rank rarity from
     # HAVE messages within their own neighbor set, so their views — and
     # hence their choices — are decorrelated.  Sampling candidates with
     # weight (count + 1)^-RARITY_EXPONENT reproduces that: a strong
     # preference for rare pieces without the lock-step orders that
-    # identical global views produce.
-    counts = np.array([rarity.get(p, 0) for p in candidates], dtype=float)
+    # identical global views produce.  The inverse-transform draw below
+    # replicates ``rng.choice(m, p=weights)`` — same cumsum, same
+    # searchsorted side, same single uniform — at a fraction of its
+    # argument-validation overhead.
     weights = (counts + 1.0) ** -RARITY_EXPONENT
     weights /= weights.sum()
-    return int(candidates[rng.choice(len(candidates), p=weights)])
+    cdf = weights.cumsum()
+    cdf /= cdf[-1]
+    idx = min(int(cdf.searchsorted(rng.random(), side="right")),
+              len(candidates) - 1)
+    return int(candidates[idx])

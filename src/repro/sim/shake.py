@@ -50,8 +50,10 @@ def maybe_shake(
         if neighbor is not None:
             neighbor.neighbors.discard(peer.peer_id)
             neighbor.partners.discard(peer.peer_id)
+            tracker.notify_neighbors_changed(neighbor_id)
     peer.neighbors.clear()
     peer.partners.clear()
+    tracker.notify_neighbors_changed(peer.peer_id)
     peer.shaken = True
     peer.stats.shaken_at = time
     if injector is not None and injector.fail_shake():

@@ -45,7 +45,11 @@ from repro.sim.config import SimConfig
 from repro.sim.engine import DiscreteEventEngine, Event
 from repro.sim.metrics import MetricsCollector
 from repro.sim.peer import Peer
-from repro.sim.peer_selection import is_bootstrap_trapped, potential_set_sizes
+from repro.runtime.profiler import RoundProfiler
+from repro.sim.peer_selection import (
+    IncrementalPotentialSets,
+    is_bootstrap_trapped,
+)
 from repro.sim.piece_selection import neighborhood_rarity, select_piece
 from repro.sim.seeds import plan_seed_uploads
 from repro.sim.shake import maybe_shake
@@ -75,6 +79,9 @@ class SwarmResult:
         wall_time: wall-clock seconds spent inside :meth:`Swarm.run`.
         fault_stats: counters of injected faults (None when the swarm
             ran without a :class:`~repro.faults.plan.FaultPlan`).
+        round_profile: per-stage wall seconds from the
+            :class:`~repro.runtime.profiler.RoundProfiler` (None unless
+            the swarm ran with ``profile=True``).
     """
 
     config: SimConfig
@@ -89,6 +96,7 @@ class SwarmResult:
     events_processed: int = 0
     wall_time: float = 0.0
     fault_stats: Optional[FaultStats] = None
+    round_profile: Optional[Dict[str, float]] = None
 
 
 class Swarm:
@@ -113,6 +121,10 @@ class Swarm:
             resulting injector draws from its own seed-derived stream,
             so a zero-intensity plan reproduces the fault-free run
             bit-for-bit (see ``docs/FAULTS.md``).
+        profile: bucket per-round wall time by stage with a
+            :class:`~repro.runtime.profiler.RoundProfiler`; the profile
+            lands on :attr:`SwarmResult.round_profile`.  Disabled, the
+            round loop pays only a few ``is None`` checks.
     """
 
     def __init__(
@@ -125,6 +137,7 @@ class Swarm:
         rarity_view: str = "global",
         metrics: Optional[MetricsCollector] = None,
         faults: Optional[FaultPlan] = None,
+        profile: bool = False,
     ):
         if instrument_first < 0:
             raise ParameterError(
@@ -153,9 +166,18 @@ class Swarm:
         self.instrumented_peers: List[Peer] = []
         #: Global replication counts, maintained incrementally.
         self.piece_counts = np.zeros(config.num_pieces, dtype=np.int64)
-        self._global_rarity: Dict[int, int] = {}
+        self._global_rarity: Optional[np.ndarray] = None
         self._rarity_round = -1
+        #: Dirty-flag potential-set cache (subscribes to tracker
+        #: mutations; bitfield/seed-flag changes are reported below).
+        self._potential_sets = IncrementalPotentialSets(
+            self.tracker, strict_tft=config.strict_tft
+        )
         self.connection_stats = ConnectionStats()
+        #: Per-stage round profiler (None unless ``profile=True``).
+        self.profiler: Optional[RoundProfiler] = (
+            RoundProfiler() if profile else None
+        )
         #: Total pieces granted by seeds (capacity accounting).
         self.seed_upload_count = 0
         self._rounds = 0
@@ -271,6 +293,9 @@ class Swarm:
     def _on_round(self, time: float, event: Event) -> None:
         config = self.config
         self._rounds += 1
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.begin_round()
 
         self._depart_lingering_seeds(time)
         self._handle_aborts(time)
@@ -287,9 +312,11 @@ class Swarm:
                 stats=self.connection_stats,
                 injector=self.fault_injector,
             )
-            potential = potential_set_sizes(
-                leechers, self.tracker, strict_tft=config.strict_tft
-            )
+            if profiler is not None:
+                profiler.lap("maintenance")
+            potential = self._potential_sets.compute(leechers)
+            if profiler is not None:
+                profiler.lap("potential")
             fill_open_slots(
                 leechers,
                 potential,
@@ -301,20 +328,30 @@ class Swarm:
                 stats=self.connection_stats,
                 injector=self.fault_injector,
             )
+            if profiler is not None:
+                profiler.lap("matching")
             acquisitions = self._exchange_pieces(leechers, time)
+            if profiler is not None:
+                profiler.lap("exchange")
             acquisitions += self._seed_uploads(time)
             acquisitions += self._optimistic_donations(leechers, time)
+            if profiler is not None:
+                profiler.lap("seeds")
             self._record_round_stats(leechers, potential, time)
             self._handle_completions(time)
             self._handle_shakes(time)
             self._refill_neighbor_sets(time)
         else:
             potential = {}
+            if profiler is not None:
+                profiler.lap("maintenance")
 
         self.tracker.log_population(time)
         self.metrics.on_round_end(time, self.tracker, {
             pid: len(members) for pid, members in potential.items()
         })
+        if profiler is not None:
+            profiler.lap("bookkeeping")
 
         next_time = time + config.piece_time
         if next_time <= config.max_time and (
@@ -329,12 +366,22 @@ class Swarm:
                 self.piece_counts -= 1  # a full bitfield leaves
 
     def _handle_aborts(self, time: float) -> None:
-        """Leechers abandon at rate ``abort_rate`` (the fluid theta)."""
+        """Leechers abandon at rate ``abort_rate`` (the fluid theta).
+
+        The per-leecher uniforms are drawn as one vectorized call; a
+        batch of ``m`` draws consumes the generator stream identically
+        to ``m`` sequential ``rng.random()`` calls, so the per-peer
+        abort decisions are bit-identical to the old scalar loop.
+        """
         rate = self.config.abort_rate
         if rate <= 0.0:
             return
-        for peer in list(self.tracker.leechers()):
-            if self.rng.random() < rate:
+        peers = list(self.tracker.leechers())
+        if not peers:
+            return
+        draws = self.rng.random(len(peers))
+        for peer, u in zip(peers, draws):
+            if u < rate:
                 self.metrics.on_peer_abort(peer, time)
                 self.tracker.deregister(peer.peer_id)
                 for piece in peer.bitfield.pieces():
@@ -345,32 +392,40 @@ class Swarm:
 
         Draws come from the injector's own stream, so the swarm's RNG
         consumption — and hence every fault-free draw sequence — is
-        untouched by attaching a plan.
+        untouched by attaching a plan.  One vectorized
+        :meth:`~repro.faults.injector.FaultInjector.churn_mask` call
+        replaces the per-peer draws with an identical stream order.
         """
         injector = self.fault_injector
         if injector is None or injector.plan.churn_hazard <= 0.0:
             return
-        for peer in list(self.tracker.leechers()):
-            if injector.churn_peer():
+        peers = list(self.tracker.leechers())
+        if not peers:
+            return
+        mask = injector.churn_mask(len(peers))
+        for peer, churned in zip(peers, mask):
+            if churned:
                 self.metrics.on_peer_abort(peer, time)
                 self.tracker.deregister(peer.peer_id)
                 for piece in peer.bitfield.pieces():
                     self.piece_counts[piece] -= 1
 
     # -- piece exchange ---------------------------------------------------
-    def _rarity_for(self, peer: Peer) -> Dict[int, int]:
+    def _rarity_for(self, peer: Peer):
         if self.rarity_view == "neighborhood":
             return neighborhood_rarity(peer, self.tracker)
-        # Global view: rebuild at most once per round (piece counts move
-        # within a round, but rarest-first is a heuristic ranking; the
-        # one-round-stale view is the standard fidelity/cost trade).
+        # Global view: snapshot at most once per round (piece counts
+        # move within a round, but rarest-first is a heuristic ranking;
+        # the one-round-stale view is the standard fidelity/cost trade).
+        # The snapshot is the raw count array — O(B) copy instead of the
+        # old O(B) dict build — which select_piece indexes directly;
+        # every count matches the old ``{piece: count if count > 0}``
+        # view, so selections are bit-identical.
         if self._rarity_round != self._rounds:
             self._rarity_round = self._rounds
-            self._global_rarity = {
-                piece: int(count)
-                for piece, count in enumerate(self.piece_counts)
-                if count > 0
-            }
+            snapshot = self.piece_counts.copy()
+            snapshot.setflags(write=False)
+            self._global_rarity = snapshot
         return self._global_rarity
 
     def _grant_piece(self, receiver: Peer, piece: int, time: float) -> bool:
@@ -396,6 +451,7 @@ class Swarm:
             return False
         receiver.record_piece(time, piece)
         self.piece_counts[piece] += 1
+        self._potential_sets.mark_neighborhood_dirty(receiver)
         return True
 
     def _select_for(
@@ -583,6 +639,9 @@ class Swarm:
             if config.completed_become_seeds > 0:
                 peer.is_seed = True
                 peer.seed_until = time + config.completed_become_seeds
+                # The seed flag removes the peer from every neighbor's
+                # potential set; invalidate the whole neighborhood.
+                self._potential_sets.mark_neighborhood_dirty(peer)
                 # Sever trading connections symmetrically: seeds upload
                 # outside the tit-for-tat slots.
                 for partner_id in list(peer.partners):
@@ -637,6 +696,9 @@ class Swarm:
             wall_time=time.perf_counter() - start,
             fault_stats=(
                 self.fault_injector.stats if self.fault_injector else None
+            ),
+            round_profile=(
+                self.profiler.as_dict() if self.profiler is not None else None
             ),
         )
 

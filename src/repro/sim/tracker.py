@@ -20,7 +20,15 @@ window opened (departed peers waste the handout).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple  # noqa: F401
+from typing import (  # noqa: F401
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -61,6 +69,12 @@ class Tracker:
         self._rng = rng
         self._peers: Dict[int, Peer] = {}
         self._next_id = 0
+        #: Callbacks fired with a peer id whenever that peer's neighbor
+        #: set mutates (announce handouts, deregister scrubs, shakes).
+        #: The incremental potential-set cache subscribes here.
+        self._neighbor_listeners: List[Callable[[int], None]] = []
+        #: Callbacks fired with a peer id when the peer deregisters.
+        self._departure_listeners: List[Callable[[int], None]] = []
         #: Peer ids the swarm reported as stuck in the bootstrap phase.
         self._bootstrap_trapped: Set[int] = set()
         #: ``(time, leechers, seeds)`` samples — the tracker statistics.
@@ -89,9 +103,12 @@ class Tracker:
             if neighbor is not None:
                 neighbor.neighbors.discard(peer_id)
                 neighbor.partners.discard(peer_id)
+                self.notify_neighbors_changed(neighbor_id)
         peer.neighbors.clear()
         peer.partners.clear()
         self._bootstrap_trapped.discard(peer_id)
+        for listener in self._departure_listeners:
+            listener(peer_id)
         return peer
 
     def get(self, peer_id: int) -> Optional[Peer]:
@@ -118,6 +135,27 @@ class Tracker:
         """``(leechers, seeds)`` currently registered."""
         leech = sum(1 for p in self._peers.values() if not p.is_seed)
         return leech, len(self._peers) - leech
+
+    # ------------------------------------------------------------------
+    # Mutation observers
+    # ------------------------------------------------------------------
+    def add_neighbor_listener(self, listener: Callable[[int], None]) -> None:
+        """Subscribe to neighbor-set mutations (called with the peer id)."""
+        self._neighbor_listeners.append(listener)
+
+    def add_departure_listener(self, listener: Callable[[int], None]) -> None:
+        """Subscribe to peer departures (called with the departed id)."""
+        self._departure_listeners.append(listener)
+
+    def notify_neighbors_changed(self, peer_id: int) -> None:
+        """Report that ``peer_id``'s neighbor set mutated.
+
+        Public so out-of-tracker mutation sites (peer-set shaking, which
+        tears neighbor relations down directly) can keep subscribers —
+        notably the incremental potential-set cache — consistent.
+        """
+        for listener in self._neighbor_listeners:
+            listener(peer_id)
 
     # ------------------------------------------------------------------
     # Neighbor handout
@@ -186,7 +224,10 @@ class Tracker:
                 continue
             peer.neighbors.add(candidate_id)
             other.neighbors.add(peer.peer_id)
+            self.notify_neighbors_changed(candidate_id)
             added += 1
+        if added:
+            self.notify_neighbors_changed(peer.peer_id)
         return added
 
     def _order_candidates(self, candidates: List[int]) -> List[int]:
