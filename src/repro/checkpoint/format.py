@@ -1,0 +1,152 @@
+"""On-disk checkpoint container: header, CRC, atomic write-rename.
+
+A checkpoint file is::
+
+    MAGIC (8 bytes) | format version (u32 LE) | payload length (u64 LE)
+    | CRC32 of payload (u32 LE) | payload (canonical JSON, UTF-8)
+
+The payload is the snapshot document produced by
+:mod:`repro.checkpoint.schema` serialized as canonical JSON
+(``sort_keys=True``, compact separators).  Canonical JSON keeps the
+format auditable (a golden fixture diff is human-readable) and makes
+byte-identical re-serialization possible, which the golden-format tests
+rely on.  All order-sensitive state lives in JSON *arrays*, never in
+object key order, so key sorting is loss-free.
+
+Writes are crash-safe: the payload is written to a same-directory
+temporary file, flushed and fsynced, then moved into place with
+:func:`os.replace` (atomic on POSIX).  A reader therefore sees either
+the previous complete checkpoint or the new complete checkpoint, never
+a torn file — the invariant that lets a SIGKILLed sweep resume from its
+latest snapshot no matter when the kill landed.
+
+Loads are paranoid: magic, version, length, and CRC are validated
+before the JSON is parsed, and every failure raises
+:class:`~repro.errors.CheckpointError` with a reason — silent
+acceptance of a truncated or bit-rotted snapshot would quietly fork the
+replayed trajectory, which is exactly what this subsystem exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Union
+
+from repro.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CONTAINER_VERSION",
+    "dumps_payload",
+    "write_checkpoint",
+    "read_checkpoint",
+]
+
+#: File magic; the trailing byte leaves room for a container redesign.
+CHECKPOINT_MAGIC = b"RBTCKPT\x01"
+
+#: Container-format version (independent of the snapshot schema version
+#: inside the payload; see ``repro.checkpoint.schema.SCHEMA_VERSION``).
+CONTAINER_VERSION = 1
+
+_HEADER = struct.Struct("<8sIQI")
+
+
+def dumps_payload(document: dict) -> bytes:
+    """Canonical JSON bytes for a snapshot document."""
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+def write_checkpoint(document: dict, path: Union[str, Path]) -> int:
+    """Atomically write ``document`` to ``path``; returns bytes written.
+
+    The temporary file lives in the target directory (same filesystem,
+    so the final :func:`os.replace` is atomic) and is suffixed with the
+    writer's PID so concurrent writers of *different* checkpoints never
+    collide.
+    """
+    path = Path(path)
+    payload = dumps_payload(document)
+    header = _HEADER.pack(
+        CHECKPOINT_MAGIC, CONTAINER_VERSION, len(payload),
+        zlib.crc32(payload) & 0xFFFFFFFF,
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    finally:
+        if tmp_path.exists():  # a failed write leaves no debris behind
+            tmp_path.unlink()
+    return _HEADER.size + len(payload)
+
+
+def read_checkpoint(path: Union[str, Path]) -> dict:
+    """Load and validate a checkpoint file.
+
+    Raises:
+        CheckpointError: missing file, bad magic, unsupported container
+            version, truncation, trailing garbage, CRC mismatch, or
+            unparseable payload.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        raise CheckpointError(f"checkpoint file {path} does not exist")
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+
+    if len(raw) < _HEADER.size:
+        raise CheckpointError(
+            f"checkpoint {path} is truncated: {len(raw)} bytes is smaller "
+            f"than the {_HEADER.size}-byte header"
+        )
+    magic, version, length, crc = _HEADER.unpack_from(raw)
+    if magic != CHECKPOINT_MAGIC:
+        raise CheckpointError(
+            f"checkpoint {path} has bad magic {magic!r} (not a repro-bt "
+            f"checkpoint?)"
+        )
+    if version != CONTAINER_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} uses container version {version}; this "
+            f"build reads version {CONTAINER_VERSION}"
+        )
+    payload = raw[_HEADER.size:]
+    if len(payload) != length:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt: header promises {length} "
+            f"payload bytes, file carries {len(payload)}"
+        )
+    actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual_crc != crc:
+        raise CheckpointError(
+            f"checkpoint {path} failed its CRC check "
+            f"(stored {crc:#010x}, computed {actual_crc:#010x})"
+        )
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} payload is not valid JSON despite a "
+            f"passing CRC: {exc}"
+        )
+    if not isinstance(document, dict):
+        raise CheckpointError(
+            f"checkpoint {path} payload must be a JSON object, "
+            f"got {type(document).__name__}"
+        )
+    return document

@@ -7,6 +7,8 @@ Examples::
     repro-bt run F1a --workers 4      # fan replications over 4 processes
     repro-bt run F1b --timing         # print wall-time / cache telemetry
     repro-bt run F3bc --quick         # reduced-scale stability panels
+    repro-bt run F3bc --checkpoint-dir ck/   # snapshot every 25 rounds
+    repro-bt run F3bc --checkpoint-dir ck/ --resume  # pick up after a kill
     repro-bt trace smooth out.jsonl   # generate a Figure-2 archetype
     repro-bt calibrate out.jsonl --max-conns 4 --ns-size 20
     repro-bt stability 3 10 20        # B sweep of the stability runs
@@ -68,6 +70,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print wall-time and kernel-cache telemetry after the result",
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory for round-boundary snapshots; an interrupted run "
+            "relaunched with --resume picks up from the latest snapshots"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        help="rounds between snapshots when --checkpoint-dir is set",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from existing snapshots in --checkpoint-dir instead "
+            "of clearing them and starting fresh"
+        ),
+    )
 
     trace = subparsers.add_parser(
         "trace", help="generate a Figure-2 archetype trace to a JSONL file"
@@ -105,6 +129,18 @@ def build_parser() -> argparse.ArgumentParser:
     stability.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (one stability run per B fans out)",
+    )
+    stability.add_argument(
+        "--checkpoint-dir", default=None,
+        help="snapshot directory (see 'run --checkpoint-dir')",
+    )
+    stability.add_argument(
+        "--checkpoint-every", type=int, default=25,
+        help="rounds between snapshots when --checkpoint-dir is set",
+    )
+    stability.add_argument(
+        "--resume", action="store_true",
+        help="resume from existing snapshots instead of clearing them",
     )
 
     seeding = subparsers.add_parser(
@@ -171,9 +207,22 @@ def _command_list() -> int:
     return 0
 
 
+def _prepare_checkpoint_dir(checkpoint_dir: Optional[str], resume: bool) -> None:
+    """Fresh-start semantics: clear stale snapshots unless resuming."""
+    if checkpoint_dir is None or resume:
+        return
+    from repro.checkpoint.store import CheckpointStore
+
+    removed = CheckpointStore(checkpoint_dir).clear()
+    if removed:
+        print(f"cleared {removed} stale checkpoint(s) from {checkpoint_dir}")
+
+
 def _command_run(
     experiment: str, quick: bool, seed: Optional[int],
     workers: int = 1, timing: bool = False,
+    checkpoint_dir: Optional[str] = None, checkpoint_every: int = 25,
+    resume: bool = False,
 ) -> int:
     import inspect
 
@@ -182,10 +231,22 @@ def _command_run(
     if seed is not None:
         kwargs["seed"] = seed
     kwargs["workers"] = workers
-    if timing and "profile" in inspect.signature(spec.runner).parameters:
+    params = inspect.signature(spec.runner).parameters
+    if timing and "profile" in params:
         # Swarm-backed runners bucket per-round wall time by stage when
         # telemetry was asked for; the buckets print with the timing.
         kwargs["profile"] = True
+    if checkpoint_dir is not None:
+        if "checkpoint_dir" not in params:
+            print(
+                f"note: {experiment} does not support checkpointing; "
+                f"ignoring --checkpoint-dir",
+                file=sys.stderr,
+            )
+        else:
+            _prepare_checkpoint_dir(checkpoint_dir, resume)
+            kwargs["checkpoint_dir"] = checkpoint_dir
+            kwargs["checkpoint_every"] = checkpoint_every
     print(f"== {spec.figure}: {spec.description} ==")
     result = spec.runner(**kwargs)
     print(result.format())
@@ -241,10 +302,13 @@ def _command_calibrate(path: str, max_conns: int, ns_size: int) -> int:
 def _command_stability(
     pieces: List[int], arrival_rate: float, initial: int,
     horizon: float, seed: int, workers: int = 1,
+    checkpoint_dir: Optional[str] = None, checkpoint_every: int = 25,
+    resume: bool = False,
 ) -> int:
     from repro.stability.drift import phase_drift_analysis
     from repro.stability.experiments import run_stability_sweep
 
+    _prepare_checkpoint_dir(checkpoint_dir, resume)
     runs, _telemetry = run_stability_sweep(
         pieces,
         arrival_rate=arrival_rate,
@@ -253,6 +317,8 @@ def _command_stability(
         seed=seed,
         entropy_every=4,
         workers=workers,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
     )
     rows = []
     for num_pieces, run in runs.items():
@@ -353,7 +419,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(
-            args.experiment, args.quick, args.seed, args.workers, args.timing
+            args.experiment, args.quick, args.seed, args.workers, args.timing,
+            args.checkpoint_dir, args.checkpoint_every, args.resume,
         )
     if args.command == "trace":
         return _command_trace(args.archetype, args.output, args.seed, args.count)
@@ -363,6 +430,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_stability(
             args.pieces, args.arrival_rate, args.initial, args.horizon,
             args.seed, args.workers,
+            args.checkpoint_dir, args.checkpoint_every, args.resume,
         )
     if args.command == "seeding":
         return _command_seeding(args.seed, args.workers)

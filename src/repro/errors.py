@@ -28,3 +28,7 @@ class SimulationError(ReproError, RuntimeError):
 
 class TraceError(ReproError, ValueError):
     """A download trace is malformed or fails schema validation."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A simulation checkpoint is corrupt, truncated, or incompatible."""

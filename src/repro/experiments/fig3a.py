@@ -85,12 +85,16 @@ def sim_efficiency(
     arrival_rate: float = 4.0,
     max_time: float = 150.0,
     seed: int = 0,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> tuple:
     """Measure the simulated ``eta`` for one ``k``.
 
     Uses a dense, continuously refreshed swarm so the occupancy
     distribution reaches (quasi) steady state; the collector discards
-    the warmup quarter before averaging.
+    the warmup quarter before averaging.  With a ``checkpoint_path``
+    (injected by the executor for checkpointable tasks) the run
+    snapshots periodically and resumes from an existing snapshot.
 
     Returns:
         ``(eta, events)`` — the efficiency plus the engine's
@@ -118,6 +122,16 @@ def sim_efficiency(
     metrics = MetricsCollector(
         max_conns, entropy_every=1_000_000, occupancy_warmup=0.25
     )
+    if checkpoint_path is not None:
+        from repro.checkpoint.store import run_swarm_with_checkpoints
+
+        result = run_swarm_with_checkpoints(
+            config,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            metrics=metrics,
+        )
+        return result.metrics.efficiency(), result.events_processed
     swarm = Swarm(config, metrics=metrics)
     result = swarm.run()
     return metrics.efficiency(), result.events_processed
@@ -144,20 +158,29 @@ def run_fig3a(
     seed: int = 0,
     sim_kwargs: dict | None = None,
     workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> Fig3aResult:
     """Reproduce Figure 3/4(a): model and simulated efficiency per ``k``."""
     if not k_values:
         raise ParameterError("k_values must be non-empty")
     if lifetime is None:
         lifetime = ConnectionLifetimeModel.for_file(num_pieces)
-    executor = ExperimentExecutor(workers=workers)
+    executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
     with executor.tracked():
         model_points = efficiency_curve(list(k_values), lifetime=lifetime)
     sim_kwargs = dict(sim_kwargs or {})
     sim_kwargs.setdefault("num_pieces", num_pieces)
+    interval = checkpoint_every if checkpoint_dir is not None else 0
     outcomes = executor.run(
         [
-            TaskSpec(sim_efficiency, (k,), {"seed": seed + idx, **sim_kwargs})
+            TaskSpec(
+                sim_efficiency,
+                (k,),
+                {"seed": seed + idx, **sim_kwargs},
+                checkpoint_interval=interval,
+                checkpoint_key=f"fig3a-k{k}",
+            )
             for idx, k in enumerate(k_values)
         ]
     )

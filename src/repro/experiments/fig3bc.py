@@ -118,6 +118,8 @@ def run_fig3bc(
     entropy_every: int = 2,
     config_overrides: dict | None = None,
     workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> Fig3bcResult:
     """Reproduce Figures 3/4(b,c): one stability run per piece count."""
     if not piece_counts:
@@ -134,11 +136,18 @@ def run_fig3bc(
         )
         for offset, num_pieces in enumerate(piece_counts)
     ]
-    executor = ExperimentExecutor(workers=workers)
+    interval = checkpoint_every if checkpoint_dir is not None else 0
+    executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
     outcomes = executor.run(
         [
-            TaskSpec(run_stability_experiment, (config,), {"entropy_every": entropy_every})
-            for config in configs
+            TaskSpec(
+                run_stability_experiment,
+                (config,),
+                {"entropy_every": entropy_every},
+                checkpoint_interval=interval,
+                checkpoint_key=f"fig3bc-B{num_pieces}",
+            )
+            for config, num_pieces in zip(configs, piece_counts)
         ]
     )
     runs: Dict[int, StabilityRun] = {}

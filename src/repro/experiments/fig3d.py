@@ -74,9 +74,17 @@ class Fig3dResult:
 
 
 def mean_ttd_by_ordinal(
-    config: SimConfig, *, window: int
+    config: SimConfig,
+    *,
+    window: int,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> tuple:
     """Run one swarm and average per-ordinal TTD over completed peers.
+
+    With a ``checkpoint_path`` (injected by the executor for
+    checkpointable tasks) the swarm snapshots periodically and resumes
+    from an existing snapshot instead of recomputing finished rounds.
 
     Returns:
         ``(ordinals, mean_ttd, completed_count, events)`` — ordinals
@@ -87,7 +95,16 @@ def mean_ttd_by_ordinal(
         raise ParameterError(
             f"window must be in 1..{config.num_pieces - 1}, got {window}"
         )
-    result = run_swarm(config)
+    if checkpoint_path is not None:
+        from repro.checkpoint.store import run_swarm_with_checkpoints
+
+        result = run_swarm_with_checkpoints(
+            config,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+    else:
+        result = run_swarm(config)
     num_pieces = config.num_pieces
     ordinals = np.arange(num_pieces - window + 1, num_pieces + 1)
     sums = np.zeros(window)
@@ -126,6 +143,8 @@ def run_fig3d(
     max_time: float = 700.0,
     seed: int = 0,
     workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> Fig3dResult:
     """Reproduce Figure 3/4(d): TTD of the last ``window`` blocks.
 
@@ -156,11 +175,18 @@ def run_fig3d(
         "normal": base,
         "shake": base.with_changes(shake_threshold=shake_threshold),
     }
-    executor = ExperimentExecutor(workers=workers)
+    interval = checkpoint_every if checkpoint_dir is not None else 0
+    executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
     outcomes = executor.run(
         [
-            TaskSpec(mean_ttd_by_ordinal, (config,), {"window": window})
-            for config in variants.values()
+            TaskSpec(
+                mean_ttd_by_ordinal,
+                (config,),
+                {"window": window},
+                checkpoint_interval=interval,
+                checkpoint_key=f"fig3d-{name}",
+            )
+            for name, config in variants.items()
         ]
     )
     ttd: Dict[str, np.ndarray] = {}

@@ -131,6 +131,52 @@ class FaultInjector:
     def record_empty_announce(self) -> None:
         self.stats.announces_empty += 1
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable injector state (plan, RNG position, counters).
+
+        Together with the plan itself this is everything a resumed swarm
+        needs to keep drawing the *same* fault stream the uninterrupted
+        run would have drawn — including the stale-announce snapshots
+        taken inside any currently open outage window.
+        """
+        return {
+            "plan": self.plan.to_dict(),
+            "rng": self.rng.bit_generator.state,
+            "now": self.now,
+            "stats": self.stats.to_dict(),
+            "stale_snapshots": [
+                [[start, end, mode], list(ids)]
+                for (start, end, mode), ids in self._stale_snapshots.items()
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the counterpart of :meth:`snapshot_state`.
+
+        The plan is assumed to match (the caller reconstructs the
+        injector from the snapshot's embedded plan before calling).
+        """
+        self.rng.bit_generator.state = state["rng"]
+        self.now = float(state["now"])
+        stats = state["stats"]
+        self.stats = FaultStats(
+            peers_churned=int(stats["peers_churned"]),
+            connections_broken=int(stats["connections_broken"]),
+            handshakes_failed=int(stats["handshakes_failed"]),
+            shakes_failed=int(stats["shakes_failed"]),
+            announces_empty=int(stats["announces_empty"]),
+            announces_stale=int(stats["announces_stale"]),
+        )
+        self._stale_snapshots = {
+            (float(key[0]), float(key[1]), str(key[2])): [
+                int(pid) for pid in ids
+            ]
+            for key, ids in state["stale_snapshots"]
+        }
+
     def stale_peer_ids(
         self, window: OutageWindow, live_ids: Iterable[int]
     ) -> List[int]:

@@ -160,6 +160,36 @@ class FaultPlan:
             outages=self.outages if intensity > 0 else (),
         )
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild (and re-validate) a plan from :meth:`to_dict` output.
+
+        This is the checkpoint-restore path: a snapshot embeds the plan
+        that was active so a resumed swarm reattaches an identical
+        injector.
+        """
+        known = {
+            "churn_hazard",
+            "connection_break_prob",
+            "handshake_failure_prob",
+            "shake_failure_prob",
+            "outages",
+            "salt",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ParameterError(
+                f"unknown FaultPlan fields: {sorted(unknown)}"
+            )
+        payload = dict(data)
+        payload["outages"] = tuple(
+            OutageWindow(
+                start=entry["start"], end=entry["end"], mode=entry["mode"]
+            )
+            for entry in payload.get("outages", ())
+        )
+        return cls(**payload)
+
     def to_dict(self) -> dict:
         """JSON-ready form (chaos results embed the plan they ran)."""
         return {

@@ -81,12 +81,25 @@ class TaskSpec:
             retry-with-reseed: attempt ``a > 1`` replaces the seed with
             ``derive_seed(seed, _ATTEMPT_SALT, a)``.  Tasks without a
             ``seed_index`` are retried with identical arguments.
+        checkpoint_interval: rounds between snapshots for checkpointable
+            tasks (0 = not checkpointable).  When the executor has a
+            ``checkpoint_dir``, such tasks receive ``checkpoint_path``
+            and ``checkpoint_every`` keyword arguments, and retried
+            attempts keep their *original* seed: a retry resumes the
+            interrupted trajectory from its latest snapshot, so a fresh
+            attempt stream would fork it (see ``docs/CHECKPOINT.md``).
+        checkpoint_key: stable name for this task's checkpoint file;
+            defaults to ``b{batch}-t{index}``, which is reproducible
+            across process relaunches as long as the runner submits the
+            same batches in the same order.
     """
 
     fn: Callable
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
     seed_index: Optional[int] = None
+    checkpoint_interval: int = 0
+    checkpoint_key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.seed_index is not None and not (
@@ -96,10 +109,25 @@ class TaskSpec:
                 f"seed_index {self.seed_index} out of range for "
                 f"{len(self.args)} positional argument(s)"
             )
+        if self.checkpoint_interval < 0:
+            raise ParameterError(
+                f"checkpoint_interval must be >= 0, "
+                f"got {self.checkpoint_interval}"
+            )
 
     def for_attempt(self, attempt: int) -> "TaskSpec":
-        """The spec to execute on the given 1-based attempt."""
-        if attempt <= 1 or self.seed_index is None:
+        """The spec to execute on the given 1-based attempt.
+
+        Checkpointable tasks are exempt from retry-reseed: their retry
+        resumes the original stream from the latest snapshot, and the
+        zero-extra-draws guarantee of the resume path is what the
+        seed-accounting regression tests pin down.
+        """
+        if (
+            attempt <= 1
+            or self.seed_index is None
+            or self.checkpoint_interval > 0
+        ):
             return self
         args = list(self.args)
         args[self.seed_index] = derive_seed(
@@ -137,6 +165,13 @@ class ExperimentExecutor:
         on_error: ``"raise"`` (default) propagates the final failure of
             any task; ``"partial"`` records it and yields ``None`` for
             that slot, letting the run complete on partial results.
+        checkpoint_dir: directory for task checkpoints.  Tasks with a
+            ``checkpoint_interval`` get ``checkpoint_path`` /
+            ``checkpoint_every`` keyword arguments injected; an attempt
+            that finds an existing snapshot resumes it (counted in
+            ``telemetry.resumes``) instead of recomputing finished
+            rounds — including attempts dispatched by a relaunched
+            process after the previous one was killed outright.
 
     The executor is reusable: successive :meth:`run` calls accumulate
     into :attr:`telemetry`, so a runner that fans out model replications
@@ -156,6 +191,7 @@ class ExperimentExecutor:
         max_attempts: int = 1,
         retry_backoff: float = 0.0,
         on_error: str = "raise",
+        checkpoint_dir: Optional[str] = None,
     ):
         if workers is None or workers == 0:
             workers = os.cpu_count() or 1
@@ -177,6 +213,7 @@ class ExperimentExecutor:
         self.max_attempts = max_attempts
         self.retry_backoff = retry_backoff
         self.on_error = on_error
+        self.checkpoint_dir = checkpoint_dir
         self.telemetry = Telemetry(workers=workers)
 
     # ------------------------------------------------------------------
@@ -194,6 +231,7 @@ class ExperimentExecutor:
         start = time.perf_counter()
         outcomes: List[Optional[tuple]] = [None] * len(tasks)
         batch = Telemetry(workers=self.workers, batches=1)
+        tasks = self._prepare_checkpoints(tasks, batch)
         try:
             if self.workers == 1 or len(tasks) <= 1:
                 self._run_serial(tasks, outcomes, batch)
@@ -228,6 +266,59 @@ class ExperimentExecutor:
         self.telemetry.cache_misses += misses
         return results
 
+    # -- checkpoint wiring -----------------------------------------------
+    def _prepare_checkpoints(
+        self, tasks: List[TaskSpec], batch: Telemetry
+    ) -> List[TaskSpec]:
+        """Inject checkpoint kwargs into checkpointable tasks.
+
+        Filenames are derived from ``(batch number, task index)`` unless
+        the task names its own key, so a relaunched process that submits
+        the same batches derives the same paths — that is the whole
+        resume-after-SIGKILL story.  Tasks whose snapshot already exists
+        at submission are counted as resumes up front (their very first
+        attempt will pick the snapshot up).
+        """
+        if self.checkpoint_dir is None or not any(
+            task.checkpoint_interval > 0 for task in tasks
+        ):
+            return tasks
+        from repro.checkpoint.store import CheckpointStore
+
+        store = CheckpointStore(self.checkpoint_dir)
+        batch_id = self.telemetry.batches  # batches completed so far
+        prepared: List[TaskSpec] = []
+        for index, task in enumerate(tasks):
+            if task.checkpoint_interval <= 0:
+                prepared.append(task)
+                continue
+            key = task.checkpoint_key or f"b{batch_id}-t{index}"
+            path = store.path_for(key)
+            if path.is_file():
+                batch.resumes += 1
+            kwargs = dict(task.kwargs)
+            kwargs["checkpoint_path"] = str(path)
+            kwargs["checkpoint_every"] = task.checkpoint_interval
+            prepared.append(
+                TaskSpec(
+                    task.fn,
+                    task.args,
+                    kwargs,
+                    seed_index=task.seed_index,
+                    checkpoint_interval=task.checkpoint_interval,
+                    checkpoint_key=key,
+                )
+            )
+        return prepared
+
+    def _note_retry_resume(self, task: TaskSpec, batch: Telemetry) -> None:
+        """Count a retry that will resume from an existing snapshot."""
+        if task.checkpoint_interval <= 0:
+            return
+        path = task.kwargs.get("checkpoint_path")
+        if path and os.path.isfile(path):
+            batch.resumes += 1
+
     # -- serial reference ------------------------------------------------
     def _run_serial(
         self,
@@ -244,6 +335,8 @@ class ExperimentExecutor:
         for index, task in enumerate(tasks):
             for attempt in range(1, self.max_attempts + 1):
                 try:
+                    if attempt > 1:
+                        self._note_retry_resume(task, batch)
                     outcomes[index] = _execute_task(task.for_attempt(attempt))
                     break
                 except Exception as exc:
@@ -277,6 +370,8 @@ class ExperimentExecutor:
                 self._backoff(round_number)
             if isolate:
                 for index, attempt in pending:
+                    if attempt > 1:
+                        self._note_retry_resume(tasks[index], batch)
                     spec = tasks[index].for_attempt(attempt)
                     try:
                         with concurrent.futures.ProcessPoolExecutor(
@@ -294,6 +389,9 @@ class ExperimentExecutor:
                 pool = concurrent.futures.ProcessPoolExecutor(
                     max_workers=min(self.workers, len(pending))
                 )
+                for i, a in pending:
+                    if a > 1:
+                        self._note_retry_resume(tasks[i], batch)
                 futures = [
                     (i, a, pool.submit(_execute_task, tasks[i].for_attempt(a)))
                     for i, a in pending

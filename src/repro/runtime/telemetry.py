@@ -61,6 +61,9 @@ class Telemetry:
             attempt seed when the task declares one).
         tasks_failed: tasks abandoned after exhausting their attempts
             (> 0 only under ``on_error="partial"``).
+        resumes: task attempts that picked up an existing checkpoint
+            instead of computing from round zero (crashed/preempted
+            work recovered, or a relaunched sweep skipping ahead).
         failure_log: one :class:`TaskFailure` per abandoned task.
         round_profile: per-stage simulator wall seconds accumulated from
             :class:`~repro.runtime.profiler.RoundProfiler` runs (empty
@@ -76,6 +79,7 @@ class Telemetry:
     task_failures: int = 0
     retries: int = 0
     tasks_failed: int = 0
+    resumes: int = 0
     failure_log: List[TaskFailure] = field(default_factory=list, repr=False)
     batches: int = field(default=0, repr=False)
     round_profile: Dict[str, float] = field(default_factory=dict)
@@ -91,6 +95,7 @@ class Telemetry:
         self.task_failures += other.task_failures
         self.retries += other.retries
         self.tasks_failed += other.tasks_failed
+        self.resumes += other.resumes
         self.failure_log.extend(other.failure_log)
         self.batches += other.batches
         for stage, seconds in other.round_profile.items():
@@ -129,6 +134,7 @@ class Telemetry:
             "task_failures": self.task_failures,
             "retries": self.retries,
             "tasks_failed": self.tasks_failed,
+            "resumes": self.resumes,
             "failure_log": [failure.to_dict() for failure in self.failure_log],
             "round_profile": dict(self.round_profile),
         }
@@ -146,6 +152,8 @@ class Telemetry:
                 f"; faults: {self.task_failures} failed attempt(s), "
                 f"{self.retries} retried, {self.tasks_failed} abandoned"
             )
+        if self.resumes:
+            text += f"; checkpoints: {self.resumes} task(s) resumed"
         if self.round_profile:
             total = sum(self.round_profile.values())
             stages = ", ".join(

@@ -13,7 +13,6 @@ announces, shakes).
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
@@ -42,7 +41,10 @@ class DiscreteEventEngine:
 
     def __init__(self) -> None:
         self._queue: list = []
-        self._seq = itertools.count()
+        # Explicit int counter (not itertools.count): the checkpoint
+        # subsystem must capture and restore the exact tie-breaker
+        # position for bit-identical resumes.
+        self._next_seq = 0
         self._now = 0.0
         self._handlers: Dict[str, Callable[[float, Event], None]] = {}
         self._pre_dispatch: List[Callable[[float, Event], None]] = []
@@ -101,7 +103,8 @@ class DiscreteEventEngine:
                 f"cannot schedule event {event.kind!r} at {time} in the past "
                 f"(now={self._now})"
             )
-        heapq.heappush(self._queue, (time, next(self._seq), event))
+        heapq.heappush(self._queue, (time, self._next_seq, event))
+        self._next_seq += 1
 
     def schedule_in(self, delay: float, event: Event) -> None:
         """Schedule ``event`` ``delay`` time units from now."""
@@ -129,10 +132,13 @@ class DiscreteEventEngine:
         handler = self._handlers.get(event.kind)
         if handler is None:
             raise SimulationError(f"no handler registered for event {event.kind!r}")
+        # Count before dispatch: a checkpoint taken *inside* a handler
+        # (the round hook) must include the event being handled, or the
+        # resumed run's processed-event total comes up one short.
+        self._processed += 1
         for hook in self._pre_dispatch:
             hook(time, event)
         handler(time, event)
-        self._processed += 1
         return event
 
     def run_until(
@@ -160,3 +166,49 @@ class DiscreteEventEngine:
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, or None when idle."""
         return self._queue[0][0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable engine state (see ``repro.checkpoint.schema``).
+
+        The pending queue is captured in its *internal heap order*; a
+        restore that replays the same list reproduces the exact heap
+        layout, and because ``(time, seq)`` is a total order, every
+        subsequent pop agrees with the uninterrupted run.  Event
+        payloads must be JSON-serializable (the swarm only schedules
+        payload-free ``round``/``arrival`` events).
+        """
+        for _time, _seq, event in self._queue:
+            if event.payload is not None and not isinstance(
+                event.payload, (bool, int, float, str, list, dict)
+            ):
+                raise SimulationError(
+                    f"cannot snapshot event {event.kind!r}: payload "
+                    f"{event.payload!r} is not JSON-serializable"
+                )
+        return {
+            "now": self._now,
+            "next_seq": self._next_seq,
+            "processed": self._processed,
+            "queue": [
+                [time, seq, event.kind, event.payload]
+                for time, seq, event in self._queue
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the counterpart of :meth:`snapshot_state`.
+
+        Handlers and pre-dispatch hooks are *not* part of the state:
+        they are re-registered by the owning orchestrator before this
+        call.
+        """
+        self._now = float(state["now"])
+        self._next_seq = int(state["next_seq"])
+        self._processed = int(state["processed"])
+        self._queue = [
+            (float(time), int(seq), Event(str(kind), payload))
+            for time, seq, kind, payload in state["queue"]
+        ]

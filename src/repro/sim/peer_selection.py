@@ -37,7 +37,12 @@ def potential_set(peer: Peer, tracker: Tracker, *, strict_tft: bool = True) -> L
     """
     members: List[int] = []
     mine = peer.bitfield
-    for neighbor_id in peer.neighbors:
+    # Canonical (sorted) neighbor order: member order feeds the swarm's
+    # RNG-indexed draws, and Python set iteration order depends on the
+    # set's internal layout — which a checkpoint restore cannot
+    # reproduce.  Sorting makes the run a pure function of the visible
+    # state, which is what makes resume ≡ uninterrupted possible.
+    for neighbor_id in sorted(peer.neighbors):
         neighbor = tracker.get(neighbor_id)
         if neighbor is None or neighbor.is_seed:
             continue

@@ -68,7 +68,10 @@ def plan_seed_uploads(
     if slots <= 0:
         return []
     interested: List[Peer] = []
-    for neighbor_id in seed.neighbors:
+    # Sorted neighbor order: the permutation below indexes into this
+    # list, so its order must be a pure function of the visible state
+    # (set layout is not restorable from a checkpoint).
+    for neighbor_id in sorted(seed.neighbors):
         if blocked_receivers and neighbor_id in blocked_receivers:
             continue
         neighbor = tracker.get(neighbor_id)

@@ -82,6 +82,12 @@ class SwarmResult:
         round_profile: per-stage wall seconds from the
             :class:`~repro.runtime.profiler.RoundProfiler` (None unless
             the swarm ran with ``profile=True``).
+        resumed_from_round: round the run was restored at when it came
+            from a checkpoint (None for an uninterrupted run).  Excluded
+            from the result fingerprint — the replayed trajectory is
+            identical either way.
+        checkpoints_written: snapshots this run wrote (also excluded
+            from the fingerprint).
     """
 
     config: SimConfig
@@ -97,6 +103,19 @@ class SwarmResult:
     wall_time: float = 0.0
     fault_stats: Optional[FaultStats] = None
     round_profile: Optional[Dict[str, float]] = None
+    resumed_from_round: Optional[int] = None
+    checkpoints_written: int = 0
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every deterministic output of the run.
+
+        Two runs of the same trajectory — uninterrupted, or snapshotted
+        and resumed at any round boundary — share this value; see
+        :mod:`repro.checkpoint.fingerprint`.
+        """
+        from repro.checkpoint.fingerprint import result_fingerprint
+
+        return result_fingerprint(self)
 
 
 class Swarm:
@@ -125,6 +144,11 @@ class Swarm:
             :class:`~repro.runtime.profiler.RoundProfiler`; the profile
             lands on :attr:`SwarmResult.round_profile`.  Disabled, the
             round loop pays only a few ``is None`` checks.
+        checkpoint_every: write a snapshot every this many rounds (0
+            disables checkpointing).
+        checkpoint_path: where snapshots land (atomic overwrite of the
+            same file; see :mod:`repro.checkpoint.format`).  Required
+            when ``checkpoint_every > 0``.
     """
 
     def __init__(
@@ -138,6 +162,8 @@ class Swarm:
         metrics: Optional[MetricsCollector] = None,
         faults: Optional[FaultPlan] = None,
         profile: bool = False,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
     ):
         if instrument_first < 0:
             raise ParameterError(
@@ -182,6 +208,19 @@ class Swarm:
         self.seed_upload_count = 0
         self._rounds = 0
         self._setup_done = False
+        if checkpoint_every < 0:
+            raise ParameterError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ParameterError(
+                "checkpoint_every > 0 requires a checkpoint_path"
+            )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.checkpoints_written = 0
+        #: Round a restore re-entered at (None for a fresh swarm).
+        self.resumed_from_round: Optional[int] = None
         #: Fault injection (None when no plan is attached).
         self.fault_injector: Optional[FaultInjector] = None
         if faults is not None:
@@ -359,6 +398,15 @@ class Swarm:
         ):
             self.engine.schedule_at(next_time, Event("round"))
 
+        # Snapshot AFTER scheduling the follow-up round, so the captured
+        # event queue already carries the continuation — a resumed run
+        # re-enters the loop exactly where the interrupted one would.
+        if (
+            self.checkpoint_every > 0
+            and self._rounds % self.checkpoint_every == 0
+        ):
+            self.write_checkpoint()
+
     def _depart_lingering_seeds(self, time: float) -> None:
         for peer in list(self.tracker.seeds()):
             if peer.seed_until is not None and time >= peer.seed_until:
@@ -494,7 +542,10 @@ class Swarm:
         config = self.config
         pairs: List[Tuple[Peer, Peer]] = []
         for peer in leechers:
-            for partner_id in peer.partners:
+            # Sorted partner order: pair order feeds the permutation
+            # draw below and must not depend on set memory layout
+            # (checkpoint restores rebuild these sets from scratch).
+            for partner_id in sorted(peer.partners):
                 if partner_id > peer.peer_id:
                     partner = self.tracker.get(partner_id)
                     if partner is not None and not partner.is_seed:
@@ -582,7 +633,9 @@ class Swarm:
             if self.rng.random() >= config.optimistic_unchoke_prob:
                 continue
             eligible = []
-            for nid in donor.neighbors:
+            # Sorted neighbor order: ``eligible`` is indexed by an RNG
+            # draw, so its order must survive checkpoint/restore.
+            for nid in sorted(donor.neighbors):
                 neighbor = self.tracker.get(nid)
                 if neighbor is None or neighbor.is_seed:
                     continue
@@ -673,6 +726,49 @@ class Swarm:
                 self.tracker.announce(peer)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full snapshot document (schema v1) of the current state.
+
+        Valid between engine events — in practice, at round boundaries;
+        the periodic ``checkpoint_every`` hook calls this at the end of
+        a round.  Imports are lazy to keep ``repro.sim`` importable
+        without the checkpoint package (and to avoid an import cycle).
+        """
+        from repro.checkpoint.schema import snapshot_swarm
+
+        return snapshot_swarm(self)
+
+    def write_checkpoint(self, path: Optional[str] = None) -> None:
+        """Atomically write the current snapshot to ``path``.
+
+        Defaults to the configured ``checkpoint_path``.
+        """
+        from repro.checkpoint.format import write_checkpoint
+
+        target = path if path is not None else self.checkpoint_path
+        if target is None:
+            raise ParameterError("no checkpoint path configured")
+        write_checkpoint(self.snapshot(), target)
+        self.checkpoints_written += 1
+
+    @classmethod
+    def resume(cls, snapshot: dict, **swarm_kwargs) -> "Swarm":
+        """Rebuild a swarm from a snapshot document, ready to :meth:`run`.
+
+        The continuation is bit-identical to the uninterrupted run: the
+        resulting :class:`SwarmResult` has the same
+        :meth:`~SwarmResult.fingerprint`.  ``swarm_kwargs`` carries
+        run-control options only (``profile``, ``checkpoint_path``,
+        ``checkpoint_every``); everything simulation-defining comes from
+        the snapshot.
+        """
+        from repro.checkpoint.schema import restore_swarm
+
+        return restore_swarm(snapshot, **swarm_kwargs)
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
     def run(self) -> SwarmResult:
@@ -700,6 +796,8 @@ class Swarm:
             round_profile=(
                 self.profiler.as_dict() if self.profiler is not None else None
             ),
+            resumed_from_round=self.resumed_from_round,
+            checkpoints_written=self.checkpoints_written,
         )
 
 

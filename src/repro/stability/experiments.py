@@ -12,7 +12,7 @@ drifts back to 1 and the population stabilises.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -115,6 +115,8 @@ def run_stability_experiment(
     divergence_factor: float = 2.0,
     recovery_level: float = 0.5,
     entropy_every: int = 2,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> StabilityRun:
     """Run one stability experiment and classify the outcome.
 
@@ -126,6 +128,11 @@ def run_stability_experiment(
             counts as recovered.
         entropy_every: entropy sampling stride in rounds (entropy costs
             O(N * B) per sample).
+        checkpoint_path / checkpoint_every: when set (the executor
+            injects them for checkpointable tasks), the swarm snapshots
+            every ``checkpoint_every`` rounds and resumes from an
+            existing snapshot instead of recomputing finished rounds —
+            with a bit-identical result either way.
     """
     if divergence_factor <= 1.0:
         raise ParameterError(
@@ -135,13 +142,28 @@ def run_stability_experiment(
         raise ParameterError(
             f"recovery_level must be in (0, 1], got {recovery_level}"
         )
-    metrics = MetricsCollector(
-        config.max_conns,
-        entropy_every=entropy_every,
-        entropy_includes_seeds=True,
-    )
-    swarm = Swarm(config, metrics=metrics)
-    result = swarm.run()
+    if checkpoint_path is not None:
+        from repro.checkpoint.store import run_swarm_with_checkpoints
+
+        result = run_swarm_with_checkpoints(
+            config,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            metrics=MetricsCollector(
+                config.max_conns,
+                entropy_every=entropy_every,
+                entropy_includes_seeds=True,
+            ),
+        )
+        metrics = result.metrics
+    else:
+        metrics = MetricsCollector(
+            config.max_conns,
+            entropy_every=entropy_every,
+            entropy_includes_seeds=True,
+        )
+        swarm = Swarm(config, metrics=metrics)
+        result = swarm.run()
 
     times, leech, seeds = metrics.population_arrays()
     population = leech + seeds
@@ -184,12 +206,19 @@ def run_stability_sweep(
     seed: int = 0,
     entropy_every: int = 2,
     workers: int = 1,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_every: int = 0,
 ) -> Tuple[Dict[int, StabilityRun], "object"]:
     """Run one stability experiment per ``B``, fanned over the executor.
 
     The CLI ``stability`` command and the B-sweep studies go through
     this helper; each per-``B`` run is an independent task, so a sweep
     parallelises across worker processes without changing results.
+
+    With a ``checkpoint_dir``, each per-``B`` task snapshots every
+    ``checkpoint_every`` rounds under a stable key (``stability-B{B}``),
+    and a relaunched sweep resumes every interrupted task from its
+    latest snapshot — bit-identical to the uninterrupted sweep.
 
     Returns:
         ``(runs, telemetry)`` — per-``B`` :class:`StabilityRun` plus the
@@ -209,13 +238,18 @@ def run_stability_sweep(
         )
         for offset, num_pieces in enumerate(piece_counts)
     ]
-    executor = ExperimentExecutor(workers=workers)
+    interval = checkpoint_every if checkpoint_dir is not None else 0
+    executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
     outcomes = executor.run(
         [
             TaskSpec(
-                run_stability_experiment, (config,), {"entropy_every": entropy_every}
+                run_stability_experiment,
+                (config,),
+                {"entropy_every": entropy_every},
+                checkpoint_interval=interval,
+                checkpoint_key=f"stability-B{num_pieces}",
             )
-            for config in configs
+            for config, num_pieces in zip(configs, piece_counts)
         ]
     )
     runs: Dict[int, StabilityRun] = {}

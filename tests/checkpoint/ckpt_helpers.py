@@ -1,0 +1,73 @@
+"""Shared helpers for the checkpoint test layer.
+
+The helpers build *mid-run* snapshots at exact round boundaries: a
+swarm is stepped until the requested round's handler has returned —
+the same program point the periodic ``checkpoint_every`` hook runs at —
+and :meth:`~repro.sim.swarm.Swarm.snapshot` is taken there.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan, OutageWindow
+from repro.sim.config import SimConfig
+from repro.sim.swarm import Swarm
+
+
+def replay_config(seed: int = 11, max_time: float = 30.0) -> SimConfig:
+    """A small swarm that exercises every checkpointed subsystem.
+
+    Shaking, connection churn, and seed departure are all enabled so a
+    snapshot carries non-trivial state for each component.
+    """
+    return SimConfig(
+        num_pieces=24,
+        max_conns=3,
+        ns_size=12,
+        arrival_process="poisson",
+        arrival_rate=1.5,
+        initial_leechers=18,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        optimistic_unchoke_prob=0.5,
+        connection_setup_prob=0.8,
+        connection_failure_prob=0.1,
+        shake_threshold=0.9,
+        max_time=max_time,
+        seed=seed,
+    )
+
+
+def replay_fault_plan() -> FaultPlan:
+    """A plan that touches every injector code path inside 30 sim-units."""
+    return FaultPlan(
+        churn_hazard=0.01,
+        connection_break_prob=0.05,
+        handshake_failure_prob=0.05,
+        shake_failure_prob=0.2,
+        outages=(
+            OutageWindow(8.0, 13.0, mode="stale"),
+            OutageWindow(18.0, 22.0, mode="empty"),
+        ),
+    )
+
+
+def run_to_round(config: SimConfig, round_number: int, *, faults=None) -> Swarm:
+    """Step a fresh swarm until ``round_number`` rounds have dispatched.
+
+    Stops early if the event queue drains first (short runs); the
+    caller's snapshot is then an end-of-run snapshot, which must still
+    resume to an identical (trivially complete) result.
+    """
+    swarm = Swarm(config, faults=faults)
+    swarm.setup()
+    while swarm._rounds < round_number:
+        if swarm.engine.step() is None:
+            break
+    return swarm
+
+
+def snapshot_at_round(config: SimConfig, round_number: int, *, faults=None) -> dict:
+    """Snapshot document of ``config``'s run at the given round boundary."""
+    return run_to_round(config, round_number, faults=faults).snapshot()

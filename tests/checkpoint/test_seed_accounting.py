@@ -1,0 +1,81 @@
+"""Seed accounting: a resumed run consumes *zero* extra RNG draws.
+
+The PR-2 runtime re-derives a task's seed per attempt so retried tasks
+explore fresh streams.  Checkpointable tasks must do the opposite —
+resume the *original* stream — or a resume would silently fork the
+trajectory.  Pinned here from both ends:
+
+* simulator end: the final ``bit_generator`` state of a resumed run
+  equals the uninterrupted run's, for the swarm stream *and* the fault
+  injector's isolated stream — the resume consumed exactly the draws
+  the uninterrupted run would have, no more, no fewer;
+* runtime end: ``TaskSpec.for_attempt`` leaves checkpointable tasks'
+  seeds untouched on retries, while non-checkpointable tasks still get
+  the PR-2 per-attempt re-derivation.
+"""
+
+import json
+
+import pytest
+
+from ckpt_helpers import replay_config, replay_fault_plan, run_to_round
+from repro.checkpoint.format import dumps_payload
+from repro.runtime.executor import _ATTEMPT_SALT, TaskSpec
+from repro.runtime.seeding import derive_seed
+from repro.sim.swarm import Swarm
+
+
+def _final_states(swarm: Swarm) -> tuple:
+    injector = swarm.fault_injector
+    return (
+        swarm.rng.bit_generator.state,
+        None if injector is None else injector.rng.bit_generator.state,
+    )
+
+
+@pytest.mark.parametrize("with_faults", [False, True])
+@pytest.mark.parametrize("snapshot_round", [1, 9, 20])
+def test_resumed_run_ends_on_identical_rng_states(with_faults, snapshot_round):
+    faults = replay_fault_plan() if with_faults else None
+    config = replay_config()
+
+    uninterrupted = Swarm(config, faults=faults)
+    uninterrupted.run()
+
+    partial = run_to_round(config, snapshot_round, faults=faults)
+    document = json.loads(dumps_payload(partial.snapshot()).decode("utf-8"))
+    resumed = Swarm.resume(document)
+    resumed.run()
+
+    assert _final_states(resumed) == _final_states(uninterrupted)
+
+
+def test_restore_does_not_advance_rng_before_run():
+    """Restoring alone must not draw: state out == state in."""
+    partial = run_to_round(replay_config(), 7)
+    state_at_snapshot = partial.rng.bit_generator.state
+    document = json.loads(dumps_payload(partial.snapshot()).decode("utf-8"))
+    resumed = Swarm.resume(document)
+    assert resumed.rng.bit_generator.state == state_at_snapshot
+
+
+class TestForAttemptExemption:
+    def test_checkpointable_task_keeps_seed_on_retry(self):
+        spec = TaskSpec(
+            divmod, (7, 3), seed_index=0, checkpoint_interval=5
+        )
+        assert spec.for_attempt(2) is spec
+        assert spec.for_attempt(5) is spec
+
+    def test_non_checkpointable_task_still_reseeds(self):
+        spec = TaskSpec(divmod, (7, 3), seed_index=0)
+        retried = spec.for_attempt(2)
+        assert retried is not spec
+        assert retried.args[0] == derive_seed(7, _ATTEMPT_SALT, 2)
+
+    def test_first_attempt_is_identity_either_way(self):
+        for interval in (0, 5):
+            spec = TaskSpec(
+                divmod, (7, 3), seed_index=0, checkpoint_interval=interval
+            )
+            assert spec.for_attempt(1) is spec
