@@ -3,7 +3,8 @@
 Examples::
 
     repro-bt list                     # enumerate reproducible figures
-    repro-bt run F1a                  # paper-scale Figure 1(a)
+    repro-bt run F1a                  # paper-scale Figure 1(a) (exact)
+    repro-bt run F1a --method batch   # vectorized Monte-Carlo cross-check
     repro-bt run F1a --workers 4      # fan replications over 4 processes
     repro-bt run F1b --timing         # print wall-time / cache telemetry
     repro-bt run F3bc --quick         # reduced-scale stability panels
@@ -69,6 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--timing",
         action="store_true",
         help="print wall-time and kernel-cache telemetry after the result",
+    )
+    run.add_argument(
+        "--method",
+        choices=("exact", "batch", "serial"),
+        default=None,
+        help=(
+            "estimator for experiments with a method switch: 'exact' "
+            "(sparse fundamental-matrix solve, noise-free), 'batch' "
+            "(vectorized Monte Carlo), or 'serial' (per-trajectory "
+            "Monte Carlo)"
+        ),
     )
     run.add_argument(
         "--checkpoint-dir",
@@ -222,7 +234,7 @@ def _command_run(
     experiment: str, quick: bool, seed: Optional[int],
     workers: int = 1, timing: bool = False,
     checkpoint_dir: Optional[str] = None, checkpoint_every: int = 25,
-    resume: bool = False,
+    resume: bool = False, method: Optional[str] = None,
 ) -> int:
     import inspect
 
@@ -232,6 +244,15 @@ def _command_run(
         kwargs["seed"] = seed
     kwargs["workers"] = workers
     params = inspect.signature(spec.runner).parameters
+    if method is not None:
+        if "method" in params:
+            kwargs["method"] = method
+        else:
+            print(
+                f"note: {experiment} has no method switch; "
+                f"ignoring --method",
+                file=sys.stderr,
+            )
     if timing and "profile" in params:
         # Swarm-backed runners bucket per-round wall time by stage when
         # telemetry was asked for; the buckets print with the timing.
@@ -421,6 +442,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(
             args.experiment, args.quick, args.seed, args.workers, args.timing,
             args.checkpoint_dir, args.checkpoint_every, args.resume,
+            args.method,
         )
     if args.command == "trace":
         return _command_trace(args.archetype, args.output, args.seed, args.count)

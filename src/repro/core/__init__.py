@@ -19,6 +19,7 @@ from repro.core.batch import BatchChainSampler, BatchTrajectories
 from repro.core.binomial import binomial_pmf, convolve_pmf
 from repro.core.chain import DownloadChain, State
 from repro.core.exact import (
+    PotentialRatioExact,
     TransientResult,
     exact_potential_ratio,
     propagate_distribution,
@@ -26,6 +27,13 @@ from repro.core.exact import (
 from repro.core.parameters import ModelParameters, alpha_from_swarm
 from repro.core.phases import Phase, classify_state, phase_durations
 from repro.core.piece_distribution import PieceCountDistribution
+from repro.core.sparse import (
+    FundamentalSolution,
+    SparseChainOperator,
+    compile_sparse_operator,
+    mean_hitting_time,
+    solve_fundamental,
+)
 from repro.core.trading_power import exchange_probability
 
 __all__ = [
@@ -43,6 +51,12 @@ __all__ = [
     "PieceCountDistribution",
     "exchange_probability",
     "TransientResult",
+    "PotentialRatioExact",
     "exact_potential_ratio",
     "propagate_distribution",
+    "SparseChainOperator",
+    "FundamentalSolution",
+    "compile_sparse_operator",
+    "solve_fundamental",
+    "mean_hitting_time",
 ]

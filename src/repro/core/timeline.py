@@ -13,10 +13,11 @@ By default they run on the vectorized
 all ``runs`` trajectories simultaneously; ``batch=False`` restores the
 serial per-trajectory loop (same distribution, different RNG order —
 the two paths produce statistically equivalent, not bit-identical,
-estimates).  For small state spaces,
-:func:`expected_download_time_exact` solves the absorbing-chain linear
-system instead and is used by the test suite to pin both Monte-Carlo
-paths down.
+estimates).  :func:`expected_download_time_exact` and
+``phase_duration_statistics(..., method="exact")`` bypass sampling
+entirely: they read the same quantities off the compiled sparse
+operator's fundamental-matrix solve (:mod:`repro.core.sparse`), which
+handles the paper-scale state space directly.
 """
 
 from __future__ import annotations
@@ -25,12 +26,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 import numpy as np
-import scipy.sparse
-import scipy.sparse.linalg
 
 from repro.core.batch import BatchChainSampler
-from repro.core.chain import DownloadChain, State
+from repro.core.chain import DownloadChain
 from repro.core.phases import Phase, phase_durations
+from repro.core.sparse import mean_hitting_time, solve_fundamental
 from repro.errors import ParameterError
 
 __all__ = [
@@ -180,7 +180,10 @@ class PhaseStatistics:
     Attributes:
         mean / std: expected rounds (and spread) per phase.
         occupancy: fraction of the total download spent per phase.
-        runs: trajectories averaged.
+        runs: trajectories averaged; 0 means the statistics came from
+            the exact fundamental-matrix solve (``method="exact"``), in
+            which case ``std`` entries are NaN (the solve yields the
+            exact means directly, not a sampling spread).
     """
 
     mean: Dict[Phase, float]
@@ -199,8 +202,9 @@ def phase_duration_statistics(
     runs: int = 64,
     seed: Optional[int] = None,
     batch: bool = True,
+    method: Optional[str] = None,
 ) -> PhaseStatistics:
-    """Expected rounds per phase over Monte-Carlo trajectories.
+    """Expected rounds per phase (paper Section 3.2).
 
     Quantifies the paper's Section-3.2 narrative: for realistic peer
     sets the efficient/trading phase dominates ("most of the pieces are
@@ -209,12 +213,36 @@ def phase_duration_statistics(
 
     Args:
         batch: use the vectorized batch sampler (default); ``False``
-            keeps the serial per-trajectory loop.
+            keeps the serial per-trajectory loop.  Ignored when
+            ``method`` is given explicitly.
+        method: ``"batch"`` / ``"serial"`` select the Monte-Carlo paths
+            (defaulting from ``batch``); ``"exact"`` reads the expected
+            phase occupancies off the sparse fundamental-matrix solve —
+            no sampling, ``runs``/``seed`` ignored, result has
+            ``runs == 0`` and NaN ``std``.
     """
+    phases = (Phase.BOOTSTRAP, Phase.EFFICIENT, Phase.LAST)
+    if method is None:
+        method = "batch" if batch else "serial"
+    if method not in ("batch", "serial", "exact"):
+        raise ParameterError(
+            f"method must be 'batch', 'serial' or 'exact', got {method!r}"
+        )
+    if method == "exact":
+        solution = solve_fundamental(chain)
+        mean = {
+            phase: float(solution.phase_rounds[phase]) for phase in phases
+        }
+        total = sum(mean.values()) or 1.0
+        return PhaseStatistics(
+            mean=mean,
+            std={phase: float("nan") for phase in phases},
+            occupancy={phase: mean[phase] / total for phase in phases},
+            runs=0,
+        )
     if runs < 1:
         raise ParameterError(f"runs must be >= 1, got {runs}")
-    phases = (Phase.BOOTSTRAP, Phase.EFFICIENT, Phase.LAST)
-    if batch:
+    if method == "batch":
         arrays = BatchChainSampler(chain).sample(runs, seed=seed).phase_durations()
     else:
         samples: Dict[Phase, list] = {phase: [] for phase in phases}
@@ -243,45 +271,10 @@ def phase_duration_statistics(
 def expected_download_time_exact(chain: DownloadChain) -> float:
     """Exact expected rounds to reach ``b == B`` from ``(0, 0, 0)``.
 
-    Enumerates the reachable transient states, assembles the absorbing-
-    chain system ``(I - Q) t = 1`` and solves it sparsely.  Intended for
-    small parameter sets (it raises once the reachable transient space
-    exceeds 200k states); the Monte-Carlo estimators cover the rest.
+    Delegates to the compiled sparse operator's fundamental-matrix solve
+    (:func:`repro.core.sparse.mean_hitting_time`), which handles the
+    paper-scale space in seconds.  Raises
+    :class:`~repro.errors.ParameterError` once the transient space
+    exceeds the operator's default cap (200k states).
     """
-    limit = 200_000
-    index: Dict[State, int] = {}
-    order: list[State] = []
-
-    def intern(state: State) -> int:
-        idx = index.get(state)
-        if idx is None:
-            idx = len(order)
-            if idx >= limit:
-                raise ParameterError(
-                    f"reachable transient state space exceeds {limit}; use "
-                    "mean_timeline (Monte Carlo) for this parameter set"
-                )
-            index[state] = idx
-            order.append(state)
-        return idx
-
-    start = chain.initial_state
-    intern(start)
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    frontier = 0
-    while frontier < len(order):
-        state = order[frontier]
-        frontier += 1
-        for succ, prob in chain.transition_distribution(state).items():
-            if chain.is_complete(succ):
-                continue  # absorbed: contributes nothing to Q
-            rows.append(index[state])
-            cols.append(intern(succ))
-            vals.append(prob)
-    size = len(order)
-    q = scipy.sparse.csr_matrix((vals, (rows, cols)), shape=(size, size))
-    system = scipy.sparse.identity(size, format="csr") - q
-    times = scipy.sparse.linalg.spsolve(system.tocsc(), np.ones(size))
-    return float(times[index[start]])
+    return mean_hitting_time(chain)

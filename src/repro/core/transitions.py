@@ -24,7 +24,7 @@ Monte-Carlo stepping.
 
 from __future__ import annotations
 
-from typing import Dict, NamedTuple, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from repro.core.binomial import binomial_pmf, convolve_pmf
 from repro.core.parameters import ModelParameters
 from repro.core.trading_power import exchange_probability_curve
 from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.sparse import SparseChainOperator
 
 __all__ = [
     "piece_successor",
@@ -199,6 +202,7 @@ class TransitionKernel:
         self._g_cum_cache: Dict[Tuple[int, int, int], np.ndarray] = {}
         self._h_cum_cache: Dict[Tuple[int, int], np.ndarray] = {}
         self._dense_tables: Optional[DenseKernelTables] = None
+        self._sparse_operators: Dict[Tuple[float, int], "SparseChainOperator"] = {}
 
     @property
     def p_curve(self) -> np.ndarray:
@@ -289,6 +293,41 @@ class TransitionKernel:
         h_cum.setflags(write=False)
         self._dense_tables = DenseKernelTables(g_cum=g_cum, h_cum=h_cum)
         return self._dense_tables
+
+    # -- sparse operator ---------------------------------------------------
+    def sparse_operator(
+        self,
+        *,
+        drop_tol: Optional[float] = None,
+        max_states: Optional[int] = None,
+    ) -> "SparseChainOperator":
+        """Compile (once per tolerance/cap pair) the CSR one-step operator.
+
+        The compiled :class:`~repro.core.sparse.SparseChainOperator` is
+        memoised on the kernel, so every exact-layer entry point — the
+        sparse propagation loop, the fundamental-matrix solve, the
+        figure runners' ``method="exact"`` paths — shares one compile
+        per parameter set.  ``None`` selects the module defaults
+        (:data:`~repro.core.sparse.DEFAULT_DROP_TOL` /
+        :data:`~repro.core.sparse.DEFAULT_MAX_STATES`).
+        """
+        from repro.core.sparse import (
+            DEFAULT_DROP_TOL,
+            DEFAULT_MAX_STATES,
+            compile_sparse_operator,
+        )
+
+        key = (
+            DEFAULT_DROP_TOL if drop_tol is None else drop_tol,
+            DEFAULT_MAX_STATES if max_states is None else max_states,
+        )
+        operator = self._sparse_operators.get(key)
+        if operator is None:
+            operator = compile_sparse_operator(
+                self.params, drop_tol=key[0], max_states=key[1]
+            )
+            self._sparse_operators[key] = operator
+        return operator
 
     # -- sampling --------------------------------------------------------
     def sample_i_next(self, n: int, b: int, i: int, rng: np.random.Generator) -> int:

@@ -7,10 +7,13 @@ downloaded pieces ``b``.  Paper setting: B = 200 pieces, PSS in
 near 1 around mid-download, a decline toward ~0.5 at the end; small PSS
 curves run lower/noisier and visit 0 (bootstrap/last phases occur).
 
-Monte-Carlo replications are independent tasks fanned out through the
-:class:`~repro.runtime.executor.ExperimentExecutor`; every replication
-derives its own seed, so ``workers=4`` reproduces ``workers=1``
-bit-for-bit.
+The default method is now ``"exact"``: the compiled sparse operator
+(:mod:`repro.core.sparse`) computes the noise-free curve directly at
+paper scale, one fundamental-matrix solve per PSS.  The Monte-Carlo
+methods remain for cross-validation; their replications are independent
+tasks fanned out through the
+:class:`~repro.runtime.executor.ExperimentExecutor`, each deriving its
+own seed, so ``workers=4`` reproduces ``workers=1`` bit-for-bit.
 """
 
 from __future__ import annotations
@@ -21,15 +24,17 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.analysis.reporting import format_table
-from repro.core.exact import exact_potential_ratio
 from repro.core.parameters import ModelParameters
 from repro.errors import ParameterError
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
-from repro.runtime.cache import shared_cache
 from repro.runtime.executor import ExperimentExecutor, TaskSpec
 from repro.runtime.seeding import derive_seed
-from repro.runtime.tasks import batch_potential_ratio_task, potential_ratio_task
+from repro.runtime.tasks import (
+    batch_potential_ratio_task,
+    exact_potential_ratio_task,
+    potential_ratio_task,
+)
 from repro.runtime.telemetry import Telemetry
 
 __all__ = ["Fig1aResult", "run_fig1a"]
@@ -44,12 +49,15 @@ class Fig1aResult:
         ratios: per PSS, the E[ i / s | b ] curve (NaN where ``b`` was
             skipped by parallel arrivals).
         params: per PSS, the model parameters used.
+        method: how the curves were computed (``"exact"``,
+            ``"monte-carlo"``, or ``"batch"``).
         timing: execution telemetry of the producing run.
     """
 
     pieces: np.ndarray
     ratios: Dict[int, np.ndarray]
     params: Dict[int, ModelParameters]
+    method: str = "exact"
     timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def format(self, *, max_rows: int = 21) -> str:
@@ -75,6 +83,7 @@ class Fig1aResult:
             "params": {
                 str(s): params.describe() for s, params in self.params.items()
             },
+            "method": self.method,
             "timing": self.timing.to_dict() if self.timing else None,
         }
 
@@ -94,7 +103,7 @@ def run_fig1a(
     seed: int = 0,
     alpha: float = 0.2,
     gamma: float = 0.2,
-    method: str = "monte-carlo",
+    method: str = "exact",
     workers: int = 1,
 ) -> Fig1aResult:
     """Reproduce the Figure 1(a) model curves.
@@ -104,29 +113,27 @@ def run_fig1a(
         num_pieces: ``B`` (paper: 200).
         max_conns: ``k`` (paper: 7 — "more than k = 7 other peers").
         runs: Monte-Carlo trajectories per PSS (``monte-carlo`` and
-            ``batch`` methods).
+            ``batch`` methods; ignored by ``exact``).
         alpha / gamma: bootstrap and last-phase escape probabilities.
-        method: ``"monte-carlo"`` (default; one trajectory per task),
-            ``"batch"`` (one vectorized
+        method: ``"exact"`` (default) reads the noise-free curve off the
+            compiled sparse operator's fundamental-matrix solve — one
+            deterministic task per PSS, paper scale included.
+            ``"monte-carlo"`` (alias ``"serial"``; one trajectory per
+            task) and ``"batch"`` (one vectorized
             :class:`~repro.core.batch.BatchChainSampler` task per PSS —
-            statistically equivalent to ``monte-carlo``, much faster,
-            but not bit-identical), or ``"exact"`` (full distribution
-            propagation — noise-free curves, small parameter sets only:
-            the reachable state space grows with ``B * k * s``).
+            statistically equivalent, not bit-identical) remain as
+            sampling cross-checks.
         workers: executor process count; results are identical for any
             value (replications are independently seeded).
     """
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
-    if method not in ("monte-carlo", "batch", "exact"):
+    if method == "serial":
+        method = "monte-carlo"
+    if method not in ("exact", "monte-carlo", "batch"):
         raise ParameterError(
-            f"method must be 'monte-carlo', 'batch', or 'exact', "
-            f"got {method!r}"
-        )
-    if method == "exact" and num_pieces > 64:
-        raise ParameterError(
-            "exact propagation is intended for small B (<= 64); "
-            "use method='monte-carlo' for paper-scale parameters"
+            f"method must be 'exact', 'monte-carlo' (alias 'serial'), "
+            f"or 'batch', got {method!r}"
         )
     executor = ExperimentExecutor(workers=workers)
     ratios: Dict[int, np.ndarray] = {}
@@ -142,11 +149,15 @@ def run_fig1a(
         )
 
     if method == "exact":
-        with executor.tracked():
-            for pss in pss_values:
-                ratios[pss] = exact_potential_ratio(
-                    shared_cache().chain(params[pss])
-                )
+        tasks = [
+            TaskSpec(exact_potential_ratio_task, (params[pss],))
+            for pss in pss_values
+        ]
+        outcomes = executor.run(tasks)
+        for offset, pss in enumerate(pss_values):
+            ratio, states = outcomes[offset]
+            executor.record_events(states)
+            ratios[pss] = ratio
     elif method == "batch":
         tasks = [
             TaskSpec(
@@ -187,5 +198,9 @@ def run_fig1a(
                     counts > 0, sums / np.maximum(counts, 1), np.nan
                 )
     return Fig1aResult(
-        pieces=pieces, ratios=ratios, params=params, timing=executor.telemetry
+        pieces=pieces,
+        ratios=ratios,
+        params=params,
+        method=method,
+        timing=executor.telemetry,
     )

@@ -27,7 +27,11 @@ from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
 from repro.runtime.executor import ExperimentExecutor, TaskSpec
 from repro.runtime.seeding import derive_seed
-from repro.runtime.tasks import batch_first_passage_task, first_passage_task
+from repro.runtime.tasks import (
+    batch_first_passage_task,
+    exact_first_passage_task,
+    first_passage_task,
+)
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.swarm import Swarm
@@ -45,6 +49,8 @@ class Fig1bResult:
         sim: per PSS, mean first-passage rounds from the simulator
             (NaN where no instrumented peer reached that count).
         sim_completed: per PSS, how many instrumented peers finished.
+        model_method: how the model curves were computed
+            (``"monte-carlo"``, ``"batch"``, or ``"exact"``).
         timing: execution telemetry of the producing run.
     """
 
@@ -52,6 +58,7 @@ class Fig1bResult:
     model: Dict[int, np.ndarray]
     sim: Dict[int, np.ndarray]
     sim_completed: Dict[int, int]
+    model_method: str = "monte-carlo"
     timing: Optional[Telemetry] = field(default=None, compare=False)
 
     def format(self, *, max_rows: int = 21) -> str:
@@ -77,6 +84,7 @@ class Fig1bResult:
             "model": to_jsonable(self.model),
             "sim": to_jsonable(self.sim),
             "sim_completed": to_jsonable(self.sim_completed),
+            "model_method": self.model_method,
             "timing": self.timing.to_dict() if self.timing else None,
         }
 
@@ -154,6 +162,7 @@ def run_fig1b(
     workers: int = 1,
     model_batch: bool = False,
     profile: bool = False,
+    method: Optional[str] = None,
 ) -> Fig1bResult:
     """Reproduce Figure 1(b): model and simulation timelines per PSS.
 
@@ -173,9 +182,24 @@ def run_fig1b(
         profile: run the swarms with a per-stage
             :class:`~repro.runtime.profiler.RoundProfiler` and fold the
             buckets into the returned telemetry (``--timing``).
+        method: model-curve method — ``"serial"``/``"monte-carlo"``
+            (per-trajectory fan, the default), ``"batch"`` (vectorized
+            sampler, defaulted to by ``model_batch=True``), or
+            ``"exact"`` (noise-free expected first-passage rounds from
+            the sparse fundamental-matrix solve; ``model_runs``
+            ignored).  The simulator side always samples.
     """
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
+    if method is None:
+        method = "batch" if model_batch else "monte-carlo"
+    elif method == "serial":
+        method = "monte-carlo"
+    if method not in ("exact", "monte-carlo", "batch"):
+        raise ParameterError(
+            f"method must be 'exact', 'monte-carlo' (alias 'serial'), "
+            f"or 'batch', got {method!r}"
+        )
     pieces = np.arange(num_pieces + 1)
     executor = ExperimentExecutor(workers=workers)
     model: Dict[int, np.ndarray] = {}
@@ -221,11 +245,16 @@ def run_fig1b(
             seed=seed + 1000 + offset,
         )
 
-    # One fan for everything: model replications per PSS (one batched
-    # task per PSS under ``model_batch``, else one per trajectory), then
-    # one simulator run per PSS; the executor interleaves them freely
-    # but returns results in task order.
-    if model_batch:
+    # One fan for everything: model tasks per PSS (one exact solve or
+    # one batched sampler task per PSS, else one task per trajectory),
+    # then one simulator run per PSS; the executor interleaves them
+    # freely but returns results in task order.
+    if method == "exact":
+        tasks = [
+            TaskSpec(exact_first_passage_task, (model_params[pss],))
+            for pss in pss_values
+        ]
+    elif method == "batch":
         tasks = [
             TaskSpec(
                 batch_first_passage_task,
@@ -254,15 +283,20 @@ def run_fig1b(
     outcomes = executor.run(tasks)
 
     for offset, pss in enumerate(pss_values):
-        if model_batch:
+        if method == "exact":
+            timeline, states = outcomes[offset]
+            executor.record_events(states)
+            model[pss] = timeline
+        elif method == "batch":
             hits, steps = outcomes[offset]
             executor.record_events(steps)
+            model[pss] = hits.mean(axis=0)
         else:
             runs = outcomes[offset * model_runs : (offset + 1) * model_runs]
             hits = np.stack([first for first, _steps in runs])
             for _first, steps in runs:
                 executor.record_events(steps)
-        model[pss] = hits.mean(axis=0)
+            model[pss] = hits.mean(axis=0)
         mean, completed, events, round_profile = outcomes[sim_task_base + offset]
         sim[pss] = mean
         sim_completed[pss] = completed
@@ -274,5 +308,6 @@ def run_fig1b(
         model=model,
         sim=sim,
         sim_completed=sim_completed,
+        model_method=method,
         timing=executor.telemetry,
     )

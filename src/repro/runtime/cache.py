@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.chain import DownloadChain
     from repro.core.parameters import ModelParameters
+    from repro.core.sparse import SparseChainOperator
     from repro.core.transitions import TransitionKernel
     from repro.efficiency.efficiency import EfficiencyPoint
 
@@ -34,11 +35,15 @@ class CacheStats:
     Attributes:
         hits: lookups served from the cache.
         misses: lookups that had to build the value.
+        sparse_hits: compiled sparse-operator lookups served from cache.
+        sparse_misses: sparse-operator lookups that had to compile.
         size: entries currently held.
     """
 
     hits: int = 0
     misses: int = 0
+    sparse_hits: int = 0
+    sparse_misses: int = 0
     size: int = 0
 
     def delta(self, since: "CacheStats") -> "CacheStats":
@@ -46,6 +51,8 @@ class CacheStats:
         return CacheStats(
             hits=self.hits - since.hits,
             misses=self.misses - since.misses,
+            sparse_hits=self.sparse_hits - since.sparse_hits,
+            sparse_misses=self.sparse_misses - since.sparse_misses,
             size=self.size,
         )
 
@@ -70,8 +77,11 @@ class KernelCache:
         self.max_entries = max_entries
         self._chains: "OrderedDict" = OrderedDict()
         self._efficiency: "OrderedDict" = OrderedDict()
+        self._operators: "OrderedDict" = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._sparse_hits = 0
+        self._sparse_misses = 0
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -102,6 +112,46 @@ class KernelCache:
     def kernel(self, params: "ModelParameters") -> "TransitionKernel":
         """The memoized :class:`TransitionKernel` for ``params``."""
         return self.chain(params).kernel
+
+    def sparse_operator(
+        self,
+        params: "ModelParameters",
+        *,
+        drop_tol: "float | None" = None,
+        max_states: "int | None" = None,
+    ) -> "SparseChainOperator":
+        """The compiled CSR one-step operator for ``params``.
+
+        Compilation enumerates the full transient state space and
+        multiplies the factored kernel into one CSR matrix — worth
+        memoizing at paper scale, where it dominates a single exact
+        solve.  Tracked by dedicated ``sparse_hits``/``sparse_misses``
+        counters so the ``--timing`` telemetry can report compilations
+        separately from the (much cheaper) kernel-table lookups.
+        """
+        from repro.core.sparse import DEFAULT_DROP_TOL, DEFAULT_MAX_STATES
+
+        key = (
+            params,
+            DEFAULT_DROP_TOL if drop_tol is None else drop_tol,
+            DEFAULT_MAX_STATES if max_states is None else max_states,
+        )
+        with self._lock:
+            operator = self._operators.get(key)
+            if operator is not None:
+                self._sparse_hits += 1
+                self._operators.move_to_end(key)
+                return operator
+            self._sparse_misses += 1
+        # Compile outside the lock; the kernel memoizes too, so a racing
+        # thread at worst stores the same object twice.
+        operator = self.chain(params).kernel.sparse_operator(
+            drop_tol=drop_tol, max_states=max_states
+        )
+        with self._lock:
+            self._operators[key] = operator
+            self._evict(self._operators)
+        return operator
 
     def efficiency_point(
         self, max_conns: int, p_reenc: float, *, tol: float = 1e-10
@@ -151,7 +201,11 @@ class KernelCache:
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
-                size=len(self._chains) + len(self._efficiency),
+                sparse_hits=self._sparse_hits,
+                sparse_misses=self._sparse_misses,
+                size=len(self._chains)
+                + len(self._efficiency)
+                + len(self._operators),
             )
 
     def clear(self) -> None:
@@ -159,12 +213,19 @@ class KernelCache:
         with self._lock:
             self._chains.clear()
             self._efficiency.clear()
+            self._operators.clear()
             self._hits = 0
             self._misses = 0
+            self._sparse_hits = 0
+            self._sparse_misses = 0
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._chains) + len(self._efficiency)
+            return (
+                len(self._chains)
+                + len(self._efficiency)
+                + len(self._operators)
+            )
 
 
 _SHARED = KernelCache()

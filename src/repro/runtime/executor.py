@@ -141,14 +141,15 @@ def _execute_task(task: TaskSpec) -> tuple:
     """Run one task and measure the kernel-cache traffic it caused.
 
     Runs in the worker process (or inline for ``workers=1``).  Returns
-    ``(result, hits_delta, misses_delta)``; deltas make the counters
-    exact even though forked workers inherit the parent's totals.
+    ``(result, stats_delta)``; the :class:`~repro.runtime.cache.CacheStats`
+    delta makes the counters (kernel lookups *and* sparse-operator
+    compilations) exact even though forked workers inherit the parent's
+    totals.
     """
     before = shared_cache().stats()
     result = task.fn(*task.args, **task.kwargs)
     after = shared_cache().stats()
-    delta = after.delta(before)
-    return result, delta.hits, delta.misses
+    return result, after.delta(before)
 
 
 class ExperimentExecutor:
@@ -253,17 +254,21 @@ class ExperimentExecutor:
             self.telemetry.merge(batch)
 
         results = []
-        hits = misses = 0
+        hits = misses = sparse_hits = sparse_misses = 0
         for outcome in outcomes:
             if outcome is None:
                 results.append(None)
                 continue
-            result, task_hits, task_misses = outcome
+            result, delta = outcome
             results.append(result)
-            hits += task_hits
-            misses += task_misses
+            hits += delta.hits
+            misses += delta.misses
+            sparse_hits += delta.sparse_hits
+            sparse_misses += delta.sparse_misses
         self.telemetry.cache_hits += hits
         self.telemetry.cache_misses += misses
+        self.telemetry.sparse_cache_hits += sparse_hits
+        self.telemetry.sparse_cache_misses += sparse_misses
         return results
 
     # -- checkpoint wiring -----------------------------------------------
@@ -492,5 +497,7 @@ class ExperimentExecutor:
                     workers=self.workers,
                     cache_hits=delta.hits,
                     cache_misses=delta.misses,
+                    sparse_cache_hits=delta.sparse_hits,
+                    sparse_cache_misses=delta.sparse_misses,
                 )
             )

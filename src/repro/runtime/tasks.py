@@ -27,6 +27,8 @@ __all__ = [
     "first_passage_task",
     "batch_potential_ratio_task",
     "batch_first_passage_task",
+    "exact_potential_ratio_task",
+    "exact_first_passage_task",
 ]
 
 
@@ -111,3 +113,41 @@ def batch_first_passage_task(
     chain = shared_cache().chain(params)
     batch = chain.batch_sampler().sample(runs, seed=seed)
     return batch.first_passage(), batch.total_steps
+
+
+def exact_potential_ratio_task(params: ModelParameters) -> tuple:
+    """Exact Figure-1(a) curve of one parameter set — no sampling.
+
+    Compiles (or reuses) the CSR operator through the shared cache and
+    reads ``E[i/s | b]`` off the fundamental-matrix expected-visits
+    solve.  Deterministic, so there is no seed and no replication fan:
+    one task per parameter set.
+
+    Returns:
+        ``(ratio, states)`` — the exact per-piece-count curve, plus the
+        number of transient states solved (the telemetry event count).
+    """
+    from repro.core.exact import exact_potential_ratio
+
+    chain = shared_cache().chain(params)
+    operator = shared_cache().sparse_operator(params)
+    result = exact_potential_ratio(chain, method="sparse")
+    return result.ratio, operator.num_states
+
+
+def exact_first_passage_task(params: ModelParameters) -> tuple:
+    """Exact Figure-1(b) timeline of one parameter set — no sampling.
+
+    ``timeline[b]`` is the exact expected first round holding at least
+    ``b`` pieces (expected rounds spent strictly below ``b``), from the
+    same fundamental-matrix solve as the mean download time.
+
+    Returns:
+        ``(timeline, states)`` — exact expected first-passage rounds,
+        plus the number of transient states solved.
+    """
+    from repro.core.sparse import solve_fundamental
+
+    operator = shared_cache().sparse_operator(params)
+    solution = solve_fundamental(operator)
+    return solution.timeline, operator.num_states

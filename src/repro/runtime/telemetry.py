@@ -56,6 +56,9 @@ class Telemetry:
             model tasks, processed simulator events for swarm tasks.
         cache_hits / cache_misses: kernel-cache lookups aggregated over
             all workers (hits grow with replications per parameter set).
+        sparse_cache_hits / sparse_cache_misses: compiled sparse-operator
+            lookups aggregated over all workers (a miss means a worker
+            compiled the CSR operator from scratch).
         task_failures: task attempts that raised or crashed a worker.
         retries: attempts re-submitted after a failure (on a re-derived
             attempt seed when the task declares one).
@@ -76,6 +79,8 @@ class Telemetry:
     events: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    sparse_cache_hits: int = 0
+    sparse_cache_misses: int = 0
     task_failures: int = 0
     retries: int = 0
     tasks_failed: int = 0
@@ -92,6 +97,8 @@ class Telemetry:
         self.events += other.events
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.sparse_cache_hits += other.sparse_cache_hits
+        self.sparse_cache_misses += other.sparse_cache_misses
         self.task_failures += other.task_failures
         self.retries += other.retries
         self.tasks_failed += other.tasks_failed
@@ -131,6 +138,8 @@ class Telemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
+            "sparse_cache_hits": self.sparse_cache_hits,
+            "sparse_cache_misses": self.sparse_cache_misses,
             "task_failures": self.task_failures,
             "retries": self.retries,
             "tasks_failed": self.tasks_failed,
@@ -147,6 +156,11 @@ class Telemetry:
             f"{self.events} event(s); kernel cache: {self.cache_hits} hit(s) / "
             f"{self.cache_misses} miss(es) ({100.0 * self.cache_hit_rate:.0f}% hit rate)"
         )
+        if self.sparse_cache_hits or self.sparse_cache_misses:
+            text += (
+                f"; sparse operators: {self.sparse_cache_hits} hit(s) / "
+                f"{self.sparse_cache_misses} miss(es)"
+            )
         if self.task_failures or self.tasks_failed:
             text += (
                 f"; faults: {self.task_failures} failed attempt(s), "

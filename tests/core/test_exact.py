@@ -67,17 +67,17 @@ class TestPropagation:
 
 class TestExactPotentialRatio:
     def test_matches_monte_carlo(self, tiny_chain):
-        exact = exact_potential_ratio(tiny_chain)
+        exact = exact_potential_ratio(tiny_chain).ratio
         mc = potential_ratio_by_pieces(tiny_chain, runs=2000, seed=2).ratio
         for b in range(1, 8):
             if np.isfinite(exact[b]) and np.isfinite(mc[b]):
                 assert exact[b] == pytest.approx(mc[b], abs=0.05), f"b={b}"
 
     def test_bounds(self, tiny_chain):
-        exact = exact_potential_ratio(tiny_chain)
+        exact = exact_potential_ratio(tiny_chain).ratio
         finite = exact[np.isfinite(exact)]
         assert (finite >= 0).all()
         assert (finite <= 1).all()
 
     def test_completion_entry_zero(self, tiny_chain):
-        assert exact_potential_ratio(tiny_chain)[-1] == 0.0
+        assert exact_potential_ratio(tiny_chain).ratio[-1] == 0.0

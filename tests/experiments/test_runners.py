@@ -49,18 +49,51 @@ class TestFig1a:
 
     def test_exact_mode_matches_monte_carlo(self):
         mc = run_fig1a(
-            pss_values=(6,), num_pieces=20, max_conns=3, runs=400, seed=1
+            pss_values=(6,), num_pieces=20, max_conns=3, runs=400, seed=1,
+            method="monte-carlo",
         )
         exact = run_fig1a(
             pss_values=(6,), num_pieces=20, max_conns=3, method="exact"
         )
+        assert mc.method == "monte-carlo" and exact.method == "exact"
         a, b = mc.ratios[6], exact.ratios[6]
         mask = np.isfinite(a) & np.isfinite(b)
         assert np.abs(a[mask] - b[mask]).max() < 0.08
 
-    def test_exact_mode_scale_guard(self):
-        with pytest.raises(ParameterError):
-            run_fig1a(num_pieces=200, method="exact")
+    def test_paper_scale_exact_within_mc_confidence_band(self):
+        # The acceptance check for the sparse engine: at the paper's
+        # B=200, k=7, the exact curve must sit inside the batch
+        # Monte-Carlo estimate's confidence band.
+        from repro.core.batch import BatchChainSampler
+        from repro.core.chain import DownloadChain
+
+        pss = 40
+        exact = run_fig1a(pss_values=(pss,), method="exact", seed=0)
+        chain = DownloadChain(exact.params[pss])
+        # Empirical confidence band: independent batch-MC replicates of
+        # the pooled ratio give a per-b standard error directly.
+        chunks = 8
+        sampler = BatchChainSampler(chain)
+        replicates = []
+        for chunk in range(chunks):
+            sums, counts = sampler.sample(
+                192, seed=100 + chunk
+            ).potential_accumulators()
+            with np.errstate(invalid="ignore", divide="ignore"):
+                replicates.append(
+                    np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+                )
+        replicates = np.stack(replicates)
+        observed = np.isfinite(replicates).all(axis=0)
+        mc_mean = np.where(observed, np.nanmean(replicates, axis=0), np.nan)
+        sem = np.where(
+            observed, np.nanstd(replicates, axis=0, ddof=1), np.nan
+        ) / np.sqrt(chunks)
+        curve = exact.ratios[pss]
+        both = np.isfinite(curve) & observed
+        assert both.sum() > 100
+        band = 5.0 * sem[both] + 0.01
+        assert np.all(np.abs(curve[both] - mc_mean[both]) <= band)
 
     def test_unknown_method_rejected(self):
         with pytest.raises(ParameterError):
