@@ -25,9 +25,8 @@ import numpy as np
 
 from benchmarks.perf_report import record_perf
 from repro.core.chain import DownloadChain
-from repro.core.exact import propagate_distribution
+from repro.core.exact import _propagate_distribution_impl
 from repro.core.parameters import DEFAULT_PARAMETERS, ModelParameters
-from repro.core.sparse import solve_fundamental
 
 #: Largest parameter set the dict reference propagates in sane time.
 EQUIV_PARAMS = ModelParameters(
@@ -43,11 +42,11 @@ MAX_PAPER_SECONDS = 30.0
 
 
 def propagate_dict(chain: DownloadChain):
-    return propagate_distribution(chain, EQUIV_HORIZON, method="dict")
+    return _propagate_distribution_impl(chain, EQUIV_HORIZON, method="dict")
 
 
 def propagate_sparse(chain: DownloadChain):
-    return propagate_distribution(chain, EQUIV_HORIZON, method="sparse")
+    return _propagate_distribution_impl(chain, EQUIV_HORIZON, method="sparse")
 
 
 def test_perf_exact_speedup(benchmark):
@@ -91,14 +90,14 @@ def test_perf_exact_speedup(benchmark):
     compile_seconds = time.perf_counter() - compile_start
 
     solve_start = time.perf_counter()
-    solution = solve_fundamental(paper_operator)
+    solution = paper_operator.solution()
     solve_seconds = time.perf_counter() - solve_start
     mean = solution.mean_download_time
     std = solution.std_download_time
 
     horizon = max(int(mean + 10.0 * std), int(2.0 * mean))
     propagate_start = time.perf_counter()
-    transient = propagate_distribution(paper_chain, horizon, method="sparse")
+    transient = _propagate_distribution_impl(paper_chain, horizon, method="sparse")
     propagate_seconds = time.perf_counter() - propagate_start
     paper_seconds = compile_seconds + solve_seconds + propagate_seconds
 

@@ -1,0 +1,110 @@
+"""Performance: the serve layer's cold/warm cost profile and coalescing.
+
+Drives :class:`~repro.service.SolverService` directly (no HTTP socket,
+so the numbers isolate the query layer: cache-key canonicalization,
+result cache, single-flight table, pool handoff).  Three measurements:
+
+* **cold** — distinct parameter sets against empty caches; every query
+  compiles an operator and factorizes.
+* **warm** — the same queries repeated; every one must be a result-cache
+  ``hit`` that never re-enters the solver.
+* **coalescing** — a concurrent burst of identical queries on a fresh
+  key; exactly one may reach the solver.
+
+The warm-throughput and warm/cold-speedup floors are the service's
+headline contract (see docs/SERVICE.md); the numbers land under the
+``service`` key of ``BENCH_perf.json``.
+"""
+
+import asyncio
+import time
+
+from benchmarks.perf_report import record_perf
+from repro.api import ModelParams, Query
+from repro.runtime.cache import KernelCache
+from repro.service import SolverService
+
+DISTINCT = 12
+WARM_REPEATS = 20
+BURST = 32
+
+WARM_QPS_FLOOR = 200.0
+SPEEDUP_FLOOR = 10.0
+
+
+def _queries():
+    base = dict(num_pieces=40, max_conns=3, ns_size=10)
+    return [
+        Query.make(
+            ModelParams(alpha=0.1 + 0.05 * i, **base), "download_time", "exact"
+        )
+        for i in range(DISTINCT)
+    ]
+
+
+async def _profile(service, queries):
+    start = time.perf_counter()
+    for query in queries:
+        _payload, outcome = await service.solve_async(query)
+        assert outcome == "miss"
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(WARM_REPEATS):
+        for query in queries:
+            _payload, outcome = await service.solve_async(query)
+            assert outcome == "hit"
+    warm_seconds = time.perf_counter() - start
+
+    burst_query = Query.make(
+        ModelParams(num_pieces=40, max_conns=3, ns_size=10, gamma=0.35),
+        "download_time", "exact",
+    )
+    burst = await asyncio.gather(
+        *(service.solve_async(burst_query) for _ in range(BURST))
+    )
+    return cold_seconds, warm_seconds, [outcome for _p, outcome in burst]
+
+
+def test_perf_service_cold_warm_coalescing():
+    service = SolverService(cache=KernelCache(), max_workers=2)
+    try:
+        cold_seconds, warm_seconds, burst_outcomes = asyncio.run(
+            _profile(service, _queries())
+        )
+    finally:
+        service.close()
+
+    cold_qps = DISTINCT / cold_seconds
+    warm_queries = DISTINCT * WARM_REPEATS
+    warm_qps = warm_queries / warm_seconds
+    speedup = warm_qps / cold_qps
+    coalescing_ratio = burst_outcomes.count("coalesced") / BURST
+
+    # Single-flight: the burst ran exactly one extra solve.
+    assert service.solve_count == DISTINCT + 1
+    assert burst_outcomes.count("miss") == 1
+    assert warm_qps >= WARM_QPS_FLOOR, (
+        f"warm throughput {warm_qps:.0f} q/s is below the "
+        f"{WARM_QPS_FLOOR:.0f} q/s floor"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm/cold speedup {speedup:.1f}x is below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+    record_perf("service", {
+        "distinct_queries": DISTINCT,
+        "cold_seconds": round(cold_seconds, 4),
+        "cold_queries_per_second": round(cold_qps, 1),
+        "warm_queries": warm_queries,
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_queries_per_second": round(warm_qps, 1),
+        "speedup": round(speedup, 1),
+        "burst": BURST,
+        "coalescing_ratio": round(coalescing_ratio, 4),
+    })
+    print(
+        f"\nservice: cold {cold_qps:.1f} q/s, warm {warm_qps:.1f} q/s "
+        f"({speedup:.1f}x), burst coalescing {coalescing_ratio:.2%}"
+    )

@@ -19,8 +19,7 @@ import numpy as np
 
 from repro.analysis.calibration import calibrate_parameters
 from repro.analysis.reporting import format_table
-from repro.core.chain import DownloadChain
-from repro.core.timeline import mean_timeline
+from repro.api import solve
 from repro.efficiency.measurement import calibrated_efficiency_curve
 from repro.sim.config import SimConfig
 from repro.traces.collector import collect_traces
@@ -76,8 +75,9 @@ def main() -> None:
 
     print("\n3. Predict with the fitted chain vs. observed durations")
     print("-" * 60)
-    chain = DownloadChain(params)
-    predicted = mean_timeline(chain, runs=48, seed=11).total_download_time()
+    predicted = solve(
+        params, "timeline", method="batch", runs=48, seed=11
+    ).payload.total_download_time()
     observed = np.mean([t.duration() for t in completed]) if completed else float("nan")
     print(f"fitted-model expected download time: {predicted:.1f} rounds")
     print(f"observed mean over complete traces:  {observed:.1f} rounds")

@@ -20,7 +20,7 @@ from repro import (
     phase_durations,
     run_swarm,
 )
-from repro.core.timeline import mean_timeline
+from repro.api import solve
 
 
 def model_walkthrough() -> None:
@@ -50,9 +50,9 @@ def model_walkthrough() -> None:
         print(f"  n={state.n}  b={state.b:3d}  i={state.i:2d}  "
               f"[{chain.phase(state)}]")
 
-    timeline = mean_timeline(chain, runs=32, seed=1)
+    timeline = solve(params, "timeline", method="batch", runs=32, seed=1)
     print(f"\nexpected download time over 32 runs: "
-          f"{timeline.total_download_time():.1f} rounds "
+          f"{timeline.payload.total_download_time():.1f} rounds "
           f"(parallelism bound: {params.num_pieces / params.max_conns:.1f})")
 
 

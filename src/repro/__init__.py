@@ -51,15 +51,34 @@ The package is organised around the paper's artifacts:
     efficiency solutions, and ``Telemetry`` carries wall-time, event,
     and cache-hit counters.  See ``docs/RUNTIME.md``.
 
-The one-call entry point is :func:`run_experiment`::
+``repro.api``
+    The unified query layer: canonical cache-keyed
+    :class:`~repro.api.ModelParams`, the :class:`~repro.api.Quantity` /
+    :class:`~repro.core.methods.Method` vocabularies, and one
+    :func:`~repro.api.solve` front door over every exact and
+    Monte-Carlo engine.  See ``docs/MODEL.md``.
+
+``repro.service``
+    Model-as-a-service: the ``repro-bt serve`` asyncio JSON/HTTP server
+    with request coalescing over the shared solver cache.  See
+    ``docs/SERVICE.md``.
+
+The one-call entry points are :func:`run_experiment` and
+:func:`repro.api.solve`::
 
     import repro
     result = repro.run_experiment("F1a", quick=True, workers=4)
     print(result.format())
+
+    from repro import ModelParams, solve
+    params = ModelParams(num_pieces=200, max_conns=7, ns_size=50)
+    print(solve(params, "download_time").payload.mean)
 """
 
 from repro._version import __version__
+from repro.api import ModelParams, Quantity, Query, SolveResult, solve
 from repro.core.chain import DownloadChain, State
+from repro.core.methods import Method
 from repro.core.parameters import ModelParameters, alpha_from_swarm
 from repro.core.phases import Phase, classify_state, phase_durations
 from repro.core.piece_distribution import PieceCountDistribution
@@ -109,6 +128,12 @@ __all__ = [
     "__version__",
     "DownloadChain",
     "State",
+    "ModelParams",
+    "Method",
+    "Quantity",
+    "Query",
+    "SolveResult",
+    "solve",
     "ModelParameters",
     "alpha_from_swarm",
     "Phase",

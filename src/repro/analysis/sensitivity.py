@@ -23,7 +23,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.reporting import format_table
 from repro.core.chain import DownloadChain
 from repro.core.parameters import ModelParameters
-from repro.core.timeline import mean_timeline
+from repro.core.timeline import _mean_timeline_impl
 from repro.errors import ParameterError
 
 __all__ = ["SensitivityPoint", "SensitivityReport", "sensitivity_analysis"]
@@ -103,7 +103,7 @@ def _vary(params: ModelParameters, name: str, factor: float) -> ModelParameters:
 
 def _expected_time(params: ModelParameters, runs: int, seed: int) -> float:
     chain = DownloadChain(params)
-    return mean_timeline(chain, runs=runs, seed=seed).total_download_time()
+    return _mean_timeline_impl(chain, runs=runs, seed=seed).total_download_time()
 
 
 def sensitivity_analysis(

@@ -18,6 +18,8 @@ Examples::
     repro-bt chaos 0 1 2 --workers 4  # chaos sweep with crash recovery
     repro-bt scenario                 # list curated swarm scenarios
     repro-bt scenario flash-crowd     # run one and summarise it
+    repro-bt serve                    # model-as-a-service query endpoint
+    repro-bt serve --port 9000 --max-bytes-mb 512
 """
 
 from __future__ import annotations
@@ -73,13 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--method",
-        choices=("exact", "batch", "serial"),
         default=None,
         help=(
             "estimator for experiments with a method switch: 'exact' "
-            "(sparse fundamental-matrix solve, noise-free), 'batch' "
-            "(vectorized Monte Carlo), or 'serial' (per-trajectory "
-            "Monte Carlo)"
+            "(alias 'sparse'; fundamental-matrix solve, noise-free), "
+            "'batch' (vectorized Monte Carlo), or 'serial' (alias "
+            "'monte-carlo'; per-trajectory Monte Carlo); unknown values "
+            "list the valid choices"
         ),
     )
     run.add_argument(
@@ -196,6 +198,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="print telemetry, including task-failure accounting",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve model queries over JSON/HTTP (solve, sweep, stats)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8750, help="TCP port (default 8750)"
+    )
+    serve.add_argument(
+        "--solver-threads", type=int, default=2,
+        help="threads running blocking solves (default 2)",
+    )
+    serve.add_argument(
+        "--max-entries", type=int, default=128,
+        help="kernel-cache entry bound (chains + compiled operators)",
+    )
+    serve.add_argument(
+        "--max-bytes-mb", type=int, default=256,
+        help="kernel-cache memory bound in MiB (0 = unbounded)",
+    )
+
     scenario = subparsers.add_parser(
         "scenario", help="run a curated swarm scenario and summarise it"
     )
@@ -246,7 +271,14 @@ def _command_run(
     params = inspect.signature(spec.runner).parameters
     if method is not None:
         if "method" in params:
-            kwargs["method"] = method
+            from repro.core.methods import Method
+
+            # Validate up front so a typo fails with the valid choices
+            # listed, before any experiment work starts.
+            kwargs["method"] = Method.parse(
+                method,
+                allowed=(Method.EXACT, Method.BATCH, Method.SERIAL),
+            ).value
         else:
             print(
                 f"note: {experiment} has no method switch; "
@@ -391,6 +423,29 @@ def _command_chaos(
     return 0
 
 
+def _command_serve(
+    host: str, port: int, solver_threads: int,
+    max_entries: int, max_bytes_mb: int,
+) -> int:
+    from repro.errors import ParameterError
+    from repro.runtime.cache import KernelCache
+    from repro.service import SolverService, run_server
+
+    if max_entries < 1:
+        raise ParameterError(f"--max-entries must be >= 1, got {max_entries}")
+    if max_bytes_mb < 0:
+        raise ParameterError(
+            f"--max-bytes-mb must be >= 0 (0 = unbounded), got {max_bytes_mb}"
+        )
+    cache = KernelCache(
+        max_entries=max_entries,
+        max_bytes=None if max_bytes_mb == 0 else max_bytes_mb * 1024 * 1024,
+    )
+    service = SolverService(cache=cache, max_workers=solver_threads)
+    run_server(host=host, port=port, service=service)
+    return 0
+
+
 def _command_scenario(name: Optional[str], seed: int,
                       horizon: Optional[float]) -> int:
     from repro.errors import ParameterError
@@ -460,6 +515,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_chaos(
             args.intensities, args.seed, args.replications, args.quick,
             args.workers, args.max_attempts, args.timing,
+        )
+    if args.command == "serve":
+        return _command_serve(
+            args.host, args.port, args.solver_threads,
+            args.max_entries, args.max_bytes_mb,
         )
     if args.command == "scenario":
         return _command_scenario(args.name, args.seed, args.horizon)

@@ -36,6 +36,7 @@ from typing import Dict
 import numpy as np
 
 from repro.core.chain import DownloadChain, State
+from repro.core.methods import Method
 from repro.errors import ParameterError
 
 __all__ = [
@@ -44,6 +45,11 @@ __all__ = [
     "propagate_distribution",
     "exact_potential_ratio",
 ]
+
+_DEPRECATION_TEMPLATE = (
+    "repro.core.exact.{name} is deprecated; use "
+    "repro.api.solve(params, {quantity!r}, method=...) instead"
+)
 
 #: Default threshold above which discarded probability mass triggers a
 #: :class:`RuntimeWarning` (both engines report it; the dict path can
@@ -139,12 +145,12 @@ def _warn_pruned(pruned_mass: float, warn_above: float, method: str) -> None:
         )
 
 
-def propagate_distribution(
+def _propagate_distribution_impl(
     chain: DownloadChain,
     horizon: int,
     *,
     prune: float = 1e-12,
-    method: str = "sparse",
+    method: "str | Method" = "sparse",
 ) -> TransientResult:
     """Propagate the exact state distribution for ``horizon`` rounds.
 
@@ -152,21 +158,44 @@ def propagate_distribution(
         prune: dict-path threshold below which per-state mass is
             dropped (tracked in ``pruned_mass``).  The sparse path keeps
             the full vector and ignores it.
-        method: ``"sparse"`` (default, CSR mat-vec loop) or ``"dict"``
-            (the per-state reference loop).  Both produce the same
+        method: ``Method.EXACT`` (alias ``"sparse"``; the CSR mat-vec
+            loop, the default) or ``Method.DICT`` (the per-state
+            reference loop).  Both produce the same
             :class:`TransientResult` to within pruning error.
     """
     if horizon < 1:
         raise ParameterError(f"horizon must be >= 1, got {horizon}")
     if not 0.0 <= prune < 1e-3:
         raise ParameterError(f"prune must be in [0, 1e-3), got {prune}")
-    if method not in ("sparse", "dict"):
-        raise ParameterError(
-            f"method must be 'sparse' or 'dict', got {method!r}"
-        )
-    if method == "sparse":
+    method = Method.parse(method, allowed=(Method.EXACT, Method.DICT))
+    if method is Method.EXACT:
         return _propagate_sparse(chain, horizon)
     return _propagate_dict(chain, horizon, prune)
+
+
+def propagate_distribution(
+    chain: DownloadChain,
+    horizon: int,
+    *,
+    prune: float = 1e-12,
+    method: str = "sparse",
+) -> TransientResult:
+    """Deprecated shim over :func:`repro.api.solve` (``"transient"``).
+
+    Same signature and bit-identical results as the historical entry
+    point; new code should call
+    ``solve(params, "transient", method=..., horizon=...)``.
+    """
+    warnings.warn(
+        _DEPRECATION_TEMPLATE.format(
+            name="propagate_distribution", quantity="transient"
+        ),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _propagate_distribution_impl(
+        chain, horizon, prune=prune, method=method
+    )
 
 
 def _propagate_sparse(chain: DownloadChain, horizon: int) -> TransientResult:
@@ -285,12 +314,12 @@ def _propagate_dict(
     )
 
 
-def exact_potential_ratio(
+def _exact_potential_ratio_impl(
     chain: DownloadChain,
     *,
     horizon: int | None = None,
     prune: float = 1e-12,
-    method: str = "sparse",
+    method: "str | Method" = "sparse",
     warn_above: float = PRUNED_MASS_WARN,
 ) -> PotentialRatioExact:
     """Exact ``E[i/s | b]`` over ``b = 0..B`` (Figure 1(a), exactly).
@@ -313,15 +342,13 @@ def exact_potential_ratio(
             multiple of the parallelism bound.  Ignored by the sparse
             path (which needs no horizon).
         prune: dict-path per-transition mass threshold.
-        method: ``"sparse"`` or ``"dict"``.
+        method: ``Method.EXACT`` (alias ``"sparse"``) or
+            ``Method.DICT``.
         warn_above: pruned-mass level above which to warn.
     """
-    if method not in ("sparse", "dict"):
-        raise ParameterError(
-            f"method must be 'sparse' or 'dict', got {method!r}"
-        )
+    method = Method.parse(method, allowed=(Method.EXACT, Method.DICT))
     params = chain.params
-    if method == "sparse":
+    if method is Method.EXACT:
         solution = chain.kernel.sparse_operator().solution()
         pruned = float(chain.kernel.sparse_operator().dropped_mass)
         _warn_pruned(pruned, warn_above, "sparse")
@@ -372,4 +399,34 @@ def exact_potential_ratio(
         occupancy=weights,
         pruned_mass=pruned_mass,
         method="dict",
+    )
+
+
+def exact_potential_ratio(
+    chain: DownloadChain,
+    *,
+    horizon: int | None = None,
+    prune: float = 1e-12,
+    method: str = "sparse",
+    warn_above: float = PRUNED_MASS_WARN,
+) -> PotentialRatioExact:
+    """Deprecated shim over :func:`repro.api.solve` (``"potential_ratio"``).
+
+    Same signature and bit-identical results as the historical entry
+    point; new code should call
+    ``solve(params, "potential_ratio", method=...)``.
+    """
+    warnings.warn(
+        _DEPRECATION_TEMPLATE.format(
+            name="exact_potential_ratio", quantity="potential_ratio"
+        ),
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _exact_potential_ratio_impl(
+        chain,
+        horizon=horizon,
+        prune=prune,
+        method=method,
+        warn_above=warn_above,
     )

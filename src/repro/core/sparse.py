@@ -505,7 +505,7 @@ def _solve_fundamental(operator: SparseChainOperator) -> FundamentalSolution:
     )
 
 
-def solve_fundamental(
+def _solve_fundamental_impl(
     source: "object",
     *,
     drop_tol: Optional[float] = None,
@@ -524,6 +524,34 @@ def solve_fundamental(
     ).solution()
 
 
+def solve_fundamental(
+    source: "object",
+    *,
+    drop_tol: Optional[float] = None,
+    max_states: Optional[int] = None,
+) -> FundamentalSolution:
+    """Deprecated shim over :func:`repro.api.solve`.
+
+    Same signature and bit-identical results as the historical entry
+    point; new code should call ``solve(params, "timeline",
+    method="exact")`` / ``solve(params, "download_time",
+    method="exact")`` (or keep a compiled operator and read
+    ``operator.solution()`` directly).
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.core.sparse.solve_fundamental is deprecated; use "
+        "repro.api.solve(params, 'timeline'|'download_time'|'phases', "
+        "method='exact') instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _solve_fundamental_impl(
+        source, drop_tol=drop_tol, max_states=max_states
+    )
+
+
 def mean_hitting_time(
     source: "object",
     *,
@@ -536,6 +564,6 @@ def mean_hitting_time(
     :meth:`repro.core.exact.TransientResult.mean_download_time` — no
     propagation horizon to pick and no truncated tail to bias the mean.
     """
-    return solve_fundamental(
+    return _solve_fundamental_impl(
         source, drop_tol=drop_tol, max_states=max_states
     ).mean_download_time

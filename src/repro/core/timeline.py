@@ -22,6 +22,7 @@ handles the paper-scale state space directly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -29,8 +30,9 @@ import numpy as np
 
 from repro.core.batch import BatchChainSampler
 from repro.core.chain import DownloadChain
+from repro.core.methods import Method
 from repro.core.phases import Phase, phase_durations
-from repro.core.sparse import mean_hitting_time, solve_fundamental
+from repro.core.sparse import _solve_fundamental_impl, mean_hitting_time
 from repro.errors import ParameterError
 
 __all__ = [
@@ -83,7 +85,7 @@ class PotentialRatioResult:
     observations: np.ndarray
 
 
-def mean_timeline(
+def _mean_timeline_impl(
     chain: DownloadChain,
     *,
     runs: int = 64,
@@ -129,6 +131,28 @@ def mean_timeline(
         std_steps=std,
         runs=runs,
     )
+
+
+def mean_timeline(
+    chain: DownloadChain,
+    *,
+    runs: int = 64,
+    seed: Optional[int] = None,
+    batch: bool = True,
+) -> TimelineResult:
+    """Deprecated shim over :func:`repro.api.solve` (``"timeline"``).
+
+    Same signature and bit-identical results as the historical entry
+    point; new code should call
+    ``solve(params, "timeline", method="batch"|"serial", runs=...)``.
+    """
+    warnings.warn(
+        "repro.core.timeline.mean_timeline is deprecated; use "
+        "repro.api.solve(params, 'timeline', method=...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _mean_timeline_impl(chain, runs=runs, seed=seed, batch=batch)
 
 
 def potential_ratio_by_pieces(
@@ -215,21 +239,21 @@ def phase_duration_statistics(
         batch: use the vectorized batch sampler (default); ``False``
             keeps the serial per-trajectory loop.  Ignored when
             ``method`` is given explicitly.
-        method: ``"batch"`` / ``"serial"`` select the Monte-Carlo paths
-            (defaulting from ``batch``); ``"exact"`` reads the expected
-            phase occupancies off the sparse fundamental-matrix solve —
-            no sampling, ``runs``/``seed`` ignored, result has
-            ``runs == 0`` and NaN ``std``.
+        method: ``"batch"`` / ``"serial"`` (alias ``"monte-carlo"``)
+            select the Monte-Carlo paths (defaulting from ``batch``);
+            ``"exact"`` reads the expected phase occupancies off the
+            sparse fundamental-matrix solve — no sampling,
+            ``runs``/``seed`` ignored, result has ``runs == 0`` and NaN
+            ``std``.
     """
     phases = (Phase.BOOTSTRAP, Phase.EFFICIENT, Phase.LAST)
-    if method is None:
-        method = "batch" if batch else "serial"
-    if method not in ("batch", "serial", "exact"):
-        raise ParameterError(
-            f"method must be 'batch', 'serial' or 'exact', got {method!r}"
-        )
-    if method == "exact":
-        solution = solve_fundamental(chain)
+    method = Method.parse(
+        method,
+        allowed=(Method.BATCH, Method.SERIAL, Method.EXACT),
+        default=Method.BATCH if batch else Method.SERIAL,
+    )
+    if method is Method.EXACT:
+        solution = _solve_fundamental_impl(chain)
         mean = {
             phase: float(solution.phase_rounds[phase]) for phase in phases
         }
@@ -242,7 +266,7 @@ def phase_duration_statistics(
         )
     if runs < 1:
         raise ParameterError(f"runs must be >= 1, got {runs}")
-    if method == "batch":
+    if method is Method.BATCH:
         arrays = BatchChainSampler(chain).sample(runs, seed=seed).phase_durations()
     else:
         samples: Dict[Phase, list] = {phase: [] for phase in phases}

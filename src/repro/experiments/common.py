@@ -1,0 +1,69 @@
+"""Shared plumbing for the figure runners.
+
+Every runner builds its parameters as canonical
+:class:`~repro.api.ModelParams`, resolves its ``method`` argument
+through the one :class:`~repro.core.methods.Method` vocabulary (with
+the historical aliases — ``"serial"``/``"monte-carlo"``,
+``"sparse"``/``"exact"`` — accepted everywhere), and constructs its
+executor through :func:`make_executor`, so checkpoint wiring and
+worker-count handling are identical across figures.
+
+The figure results keep their historical display labels
+(``"monte-carlo"``, not ``"serial"``) — :data:`MODEL_METHOD_LABELS`
+maps the canonical methods back to them, so goldens and downstream
+consumers see unchanged strings.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.methods import Method
+from repro.runtime.executor import ExperimentExecutor
+
+__all__ = [
+    "MODEL_METHOD_LABELS",
+    "resolve_model_method",
+    "make_executor",
+    "checkpoint_interval",
+]
+
+#: Canonical method -> the label figure results historically display.
+MODEL_METHOD_LABELS = {
+    Method.EXACT: "exact",
+    Method.BATCH: "batch",
+    Method.SERIAL: "monte-carlo",
+}
+
+
+def resolve_model_method(
+    method: Union[Method, str, None], *, default: Method
+) -> Method:
+    """Parse a runner's ``method`` argument into the unified vocabulary.
+
+    Accepts the canonical names (``exact``/``batch``/``serial``) plus
+    the historical aliases (``monte-carlo``, ``sparse``, ...); ``None``
+    resolves to ``default``.  Unknown values raise an actionable
+    :class:`~repro.errors.ParameterError` listing the valid choices.
+    """
+    return Method.parse(
+        method,
+        allowed=(Method.EXACT, Method.BATCH, Method.SERIAL),
+        default=default,
+    )
+
+
+def make_executor(
+    *,
+    workers: int = 1,
+    checkpoint_dir=None,
+) -> ExperimentExecutor:
+    """The executor a figure runner fans its tasks over."""
+    if checkpoint_dir is not None:
+        return ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
+    return ExperimentExecutor(workers=workers)
+
+
+def checkpoint_interval(checkpoint_dir, checkpoint_every: int) -> int:
+    """Effective checkpoint interval: 0 (disabled) without a directory."""
+    return checkpoint_every if checkpoint_dir is not None else 0

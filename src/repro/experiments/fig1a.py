@@ -24,11 +24,18 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.api import ModelParams
+from repro.core.methods import Method
 from repro.core.parameters import ModelParameters
 from repro.errors import ParameterError
+from repro.experiments.common import (
+    MODEL_METHOD_LABELS,
+    make_executor,
+    resolve_model_method,
+)
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
-from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.executor import TaskSpec
 from repro.runtime.seeding import derive_seed
 from repro.runtime.tasks import (
     batch_potential_ratio_task,
@@ -128,19 +135,13 @@ def run_fig1a(
     """
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
-    if method == "serial":
-        method = "monte-carlo"
-    if method not in ("exact", "monte-carlo", "batch"):
-        raise ParameterError(
-            f"method must be 'exact', 'monte-carlo' (alias 'serial'), "
-            f"or 'batch', got {method!r}"
-        )
-    executor = ExperimentExecutor(workers=workers)
+    method = resolve_model_method(method, default=Method.EXACT)
+    executor = make_executor(workers=workers)
     ratios: Dict[int, np.ndarray] = {}
     params: Dict[int, ModelParameters] = {}
     pieces = np.arange(num_pieces + 1)
     for pss in pss_values:
-        params[pss] = ModelParameters(
+        params[pss] = ModelParams(
             num_pieces=num_pieces,
             max_conns=max_conns,
             ns_size=pss,
@@ -148,7 +149,7 @@ def run_fig1a(
             gamma=gamma,
         )
 
-    if method == "exact":
+    if method is Method.EXACT:
         tasks = [
             TaskSpec(exact_potential_ratio_task, (params[pss],))
             for pss in pss_values
@@ -158,7 +159,7 @@ def run_fig1a(
             ratio, states = outcomes[offset]
             executor.record_events(states)
             ratios[pss] = ratio
-    elif method == "batch":
+    elif method is Method.BATCH:
         tasks = [
             TaskSpec(
                 batch_potential_ratio_task,
@@ -201,6 +202,6 @@ def run_fig1a(
         pieces=pieces,
         ratios=ratios,
         params=params,
-        method=method,
+        method=MODEL_METHOD_LABELS[method],
         timing=executor.telemetry,
     )

@@ -21,11 +21,18 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.analysis.reporting import format_table
+from repro.api import ModelParams
+from repro.core.methods import Method
 from repro.core.parameters import ModelParameters, alpha_from_swarm
 from repro.errors import ParameterError
+from repro.experiments.common import (
+    MODEL_METHOD_LABELS,
+    make_executor,
+    resolve_model_method,
+)
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
-from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.runtime.executor import TaskSpec
 from repro.runtime.seeding import derive_seed
 from repro.runtime.tasks import (
     batch_first_passage_task,
@@ -191,17 +198,11 @@ def run_fig1b(
     """
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
-    if method is None:
-        method = "batch" if model_batch else "monte-carlo"
-    elif method == "serial":
-        method = "monte-carlo"
-    if method not in ("exact", "monte-carlo", "batch"):
-        raise ParameterError(
-            f"method must be 'exact', 'monte-carlo' (alias 'serial'), "
-            f"or 'batch', got {method!r}"
-        )
+    method = resolve_model_method(
+        method, default=Method.BATCH if model_batch else Method.SERIAL
+    )
     pieces = np.arange(num_pieces + 1)
-    executor = ExperimentExecutor(workers=workers)
+    executor = make_executor(workers=workers)
     model: Dict[int, np.ndarray] = {}
     sim: Dict[int, np.ndarray] = {}
     sim_completed: Dict[int, int] = {}
@@ -216,7 +217,7 @@ def run_fig1b(
             pss,
             initial_leechers,
         )
-        model_params[pss] = ModelParameters(
+        model_params[pss] = ModelParams(
             num_pieces=num_pieces,
             max_conns=max_conns,
             ns_size=pss,
@@ -249,12 +250,12 @@ def run_fig1b(
     # one batched sampler task per PSS, else one task per trajectory),
     # then one simulator run per PSS; the executor interleaves them
     # freely but returns results in task order.
-    if method == "exact":
+    if method is Method.EXACT:
         tasks = [
             TaskSpec(exact_first_passage_task, (model_params[pss],))
             for pss in pss_values
         ]
-    elif method == "batch":
+    elif method is Method.BATCH:
         tasks = [
             TaskSpec(
                 batch_first_passage_task,
@@ -283,11 +284,11 @@ def run_fig1b(
     outcomes = executor.run(tasks)
 
     for offset, pss in enumerate(pss_values):
-        if method == "exact":
+        if method is Method.EXACT:
             timeline, states = outcomes[offset]
             executor.record_events(states)
             model[pss] = timeline
-        elif method == "batch":
+        elif method is Method.BATCH:
             hits, steps = outcomes[offset]
             executor.record_events(steps)
             model[pss] = hits.mean(axis=0)
@@ -308,6 +309,6 @@ def run_fig1b(
         model=model,
         sim=sim,
         sim_completed=sim_completed,
-        model_method=method,
+        model_method=MODEL_METHOD_LABELS[method],
         timing=executor.telemetry,
     )

@@ -20,7 +20,8 @@ from typing import Dict, Optional
 from repro.analysis.reporting import format_series
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
-from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.experiments.common import make_executor
+from repro.runtime.executor import TaskSpec
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.traces.analysis import classify_trace, phase_segments
@@ -113,7 +114,7 @@ def run_fig2(
     *, seed: int = 0, max_attempts: int = 8, workers: int = 1
 ) -> Fig2Result:
     """Generate all three Figure-2 archetypes."""
-    executor = ExperimentExecutor(workers=workers)
+    executor = make_executor(workers=workers)
     outcomes = executor.run(
         [TaskSpec(_archetype_task, (kind, seed, max_attempts)) for kind in _KINDS]
     )

@@ -27,7 +27,8 @@ from repro.efficiency.lifetime import ConnectionLifetimeModel
 from repro.errors import ParameterError
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
-from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.experiments.common import checkpoint_interval, make_executor
+from repro.runtime.executor import TaskSpec
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.metrics import MetricsCollector
@@ -166,12 +167,12 @@ def run_fig3a(
         raise ParameterError("k_values must be non-empty")
     if lifetime is None:
         lifetime = ConnectionLifetimeModel.for_file(num_pieces)
-    executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
+    executor = make_executor(workers=workers, checkpoint_dir=checkpoint_dir)
     with executor.tracked():
         model_points = efficiency_curve(list(k_values), lifetime=lifetime)
     sim_kwargs = dict(sim_kwargs or {})
     sim_kwargs.setdefault("num_pieces", num_pieces)
-    interval = checkpoint_every if checkpoint_dir is not None else 0
+    interval = checkpoint_interval(checkpoint_dir, checkpoint_every)
     outcomes = executor.run(
         [
             TaskSpec(

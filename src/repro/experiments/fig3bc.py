@@ -23,7 +23,8 @@ from repro.analysis.reporting import format_table
 from repro.errors import ParameterError
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
-from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.experiments.common import checkpoint_interval, make_executor
+from repro.runtime.executor import TaskSpec
 from repro.runtime.telemetry import Telemetry
 from repro.stability.experiments import (
     StabilityRun,
@@ -136,8 +137,8 @@ def run_fig3bc(
         )
         for offset, num_pieces in enumerate(piece_counts)
     ]
-    interval = checkpoint_every if checkpoint_dir is not None else 0
-    executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
+    interval = checkpoint_interval(checkpoint_dir, checkpoint_every)
+    executor = make_executor(workers=workers, checkpoint_dir=checkpoint_dir)
     outcomes = executor.run(
         [
             TaskSpec(

@@ -22,7 +22,8 @@ from repro.analysis.reporting import format_table
 from repro.errors import ParameterError
 from repro.experiments.registry import register_experiment
 from repro.experiments.result import to_jsonable
-from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.experiments.common import checkpoint_interval, make_executor
+from repro.runtime.executor import TaskSpec
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.swarm import run_swarm
@@ -175,8 +176,8 @@ def run_fig3d(
         "normal": base,
         "shake": base.with_changes(shake_threshold=shake_threshold),
     }
-    interval = checkpoint_every if checkpoint_dir is not None else 0
-    executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
+    interval = checkpoint_interval(checkpoint_dir, checkpoint_every)
+    executor = make_executor(workers=workers, checkpoint_dir=checkpoint_dir)
     outcomes = executor.run(
         [
             TaskSpec(

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 from typing import Optional, Protocol, runtime_checkable
 
-import numpy as np
-
 from repro.runtime.telemetry import Telemetry
+from repro.serialize import to_jsonable
 
 __all__ = ["ExperimentResult", "to_jsonable"]
 
@@ -38,26 +37,3 @@ class ExperimentResult(Protocol):
     def to_dict(self) -> dict:
         """JSON-ready dict of the result's series."""
         ...
-
-
-def to_jsonable(value):
-    """Recursively convert a result payload into JSON-ready builtins.
-
-    Handles numpy scalars and arrays (NaN becomes ``None``), mappings
-    (keys stringified), sequences, and objects exposing ``to_dict``.
-    """
-    if value is None or isinstance(value, (bool, int, str)):
-        return value
-    if isinstance(value, float):
-        return value if np.isfinite(value) else None
-    if isinstance(value, np.generic):
-        return to_jsonable(value.item())
-    if isinstance(value, np.ndarray):
-        return [to_jsonable(item) for item in value.tolist()]
-    if isinstance(value, dict):
-        return {str(key): to_jsonable(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [to_jsonable(item) for item in value]
-    if hasattr(value, "to_dict"):
-        return value.to_dict()
-    return repr(value)

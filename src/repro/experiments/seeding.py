@@ -25,7 +25,8 @@ import numpy as np
 from repro.analysis.reporting import format_table
 from repro.errors import ParameterError
 from repro.experiments.result import to_jsonable
-from repro.runtime.executor import ExperimentExecutor, TaskSpec
+from repro.experiments.common import make_executor
+from repro.runtime.executor import TaskSpec
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.swarm import run_swarm
@@ -205,7 +206,7 @@ def run_seeding_study(
                 ),
             )
         )
-    executor = ExperimentExecutor(workers=workers)
+    executor = make_executor(workers=workers)
     points: List[SeedingPoint] = []
     for point, events in executor.run(tasks):
         points.append(point)

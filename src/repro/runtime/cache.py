@@ -9,14 +9,25 @@ every replication and sweep point.  :class:`KernelCache` shares one
 instance per parameter set across all replications executed in a
 process; each worker of a process pool holds its own cache, and the
 executor aggregates their hit/miss counters into the run telemetry.
+
+The cache is bounded two ways: by entry count (``max_entries``) and by
+estimated resident bytes (``max_bytes``) — compiled sparse operators at
+paper scale run to hundreds of megabytes, so a long-lived ``repro-bt
+serve`` process needs byte-level accounting, not just a count.  Both
+bounds evict least-recently-used entries first, across all entry kinds
+in one recency order, and every eviction is counted (surfaced in the
+``--timing`` telemetry and the service ``/stats`` endpoint).
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.chain import DownloadChain
@@ -25,7 +36,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.transitions import TransitionKernel
     from repro.efficiency.efficiency import EfficiencyPoint
 
-__all__ = ["CacheStats", "KernelCache", "shared_cache", "reset_shared_cache"]
+__all__ = [
+    "CacheStats",
+    "KernelCache",
+    "DEFAULT_MAX_BYTES",
+    "shared_cache",
+    "reset_shared_cache",
+]
+
+#: Default byte budget for one cache (256 MiB) — roomy for dozens of
+#: modest operators, small enough that a paper-scale serve process stays
+#: well under typical container limits.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -38,6 +60,8 @@ class CacheStats:
         sparse_hits: compiled sparse-operator lookups served from cache.
         sparse_misses: sparse-operator lookups that had to compile.
         size: entries currently held.
+        evictions: entries dropped so far to respect the entry/byte
+            bounds (cumulative, not reset by eviction itself).
     """
 
     hits: int = 0
@@ -45,6 +69,7 @@ class CacheStats:
     sparse_hits: int = 0
     sparse_misses: int = 0
     size: int = 0
+    evictions: int = 0
 
     def delta(self, since: "CacheStats") -> "CacheStats":
         """Counters accumulated since an earlier snapshot."""
@@ -54,11 +79,48 @@ class CacheStats:
             sparse_hits=self.sparse_hits - since.sparse_hits,
             sparse_misses=self.sparse_misses - since.sparse_misses,
             size=self.size,
+            evictions=self.evictions - since.evictions,
         )
 
 
+def _estimate_bytes(value, _depth: int = 0, _seen=None) -> int:
+    """Best-effort resident-size estimate for a cached value.
+
+    Counts numpy array buffers exactly (they dominate: CSR matrices,
+    kernel tables) and walks containers and object ``__dict__``s a few
+    levels deep; everything else falls back to ``sys.getsizeof``.
+    """
+    if _seen is None:
+        _seen = set()
+    if id(value) in _seen:
+        return 0
+    _seen.add(id(value))
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (int, float, bool, str, bytes, type(None))):
+        return sys.getsizeof(value)
+    if _depth >= 4:
+        return sys.getsizeof(value)
+    if isinstance(value, dict):
+        return sum(
+            _estimate_bytes(k, _depth + 1, _seen)
+            + _estimate_bytes(v, _depth + 1, _seen)
+            for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(_estimate_bytes(item, _depth + 1, _seen) for item in value)
+    total = sys.getsizeof(value)
+    attrs = getattr(value, "__dict__", None)
+    if attrs:
+        total += sum(
+            _estimate_bytes(v, _depth + 1, _seen) for v in attrs.values()
+        )
+    return total
+
+
 class KernelCache:
-    """LRU-bounded memoizer for chains, kernels, and efficiency points.
+    """LRU- and byte-bounded memoizer for chains, kernels, operators,
+    and efficiency points.
 
     Keys are the frozen parameter values themselves —
     :class:`~repro.core.parameters.ModelParameters` is hashable
@@ -67,22 +129,96 @@ class KernelCache:
     different key and therefore a rebuild: invalidation is structural,
     not manual.
 
+    All entry kinds live in one recency order; when either bound
+    (``max_entries`` entries, ``max_bytes`` estimated bytes) is
+    exceeded, least-recently-used entries are dropped first.  The entry
+    just inserted is never evicted, so a single value larger than
+    ``max_bytes`` still caches (and evicts everything else).
+
     Thread-safe; within a worker process one instance is shared by all
     tasks (see :func:`shared_cache`).
     """
 
-    def __init__(self, max_entries: int = 128):
+    def __init__(
+        self,
+        max_entries: int = 128,
+        max_bytes: Optional[int] = DEFAULT_MAX_BYTES,
+    ):
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.max_entries = max_entries
-        self._chains: "OrderedDict" = OrderedDict()
-        self._efficiency: "OrderedDict" = OrderedDict()
-        self._operators: "OrderedDict" = OrderedDict()
+        self.max_bytes = max_bytes
+        # key -> (value, estimated_bytes); one LRU order for all kinds.
+        self._store: "OrderedDict[tuple, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
         self._hits = 0
         self._misses = 0
         self._sparse_hits = 0
         self._sparse_misses = 0
+        self._evictions = 0
         self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Core store operations
+    # ------------------------------------------------------------------
+    def _lookup(self, key: tuple, *, sparse: bool):
+        """Counted lookup; bumps recency on hit.  Returns None on miss."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is not None:
+                if sparse:
+                    self._sparse_hits += 1
+                else:
+                    self._hits += 1
+                self._store.move_to_end(key)
+                return entry[0]
+            if sparse:
+                self._sparse_misses += 1
+            else:
+                self._misses += 1
+            return None
+
+    def _insert(self, key: tuple, value) -> None:
+        nbytes = _estimate_bytes(value)
+        with self._lock:
+            if key in self._store:
+                # A racing thread built the same value first; keep its
+                # entry (the objects are interchangeable) and just bump
+                # recency.
+                self._store.move_to_end(key)
+                return
+            self._store[key] = (value, nbytes)
+            self._bytes += nbytes
+            self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        def over_budget() -> bool:
+            if len(self._store) > self.max_entries:
+                return True
+            return self.max_bytes is not None and self._bytes > self.max_bytes
+
+        # The just-inserted entry sits at the MRU end; never evict it.
+        while len(self._store) > 1 and over_budget():
+            _key, (_value, nbytes) = self._store.popitem(last=False)
+            self._bytes -= nbytes
+            self._evictions += 1
+
+    @staticmethod
+    def _operator_key(
+        params: "ModelParameters",
+        drop_tol: "float | None",
+        max_states: "int | None",
+    ) -> tuple:
+        from repro.core.sparse import DEFAULT_DROP_TOL, DEFAULT_MAX_STATES
+
+        return (
+            "operator",
+            params,
+            DEFAULT_DROP_TOL if drop_tol is None else drop_tol,
+            DEFAULT_MAX_STATES if max_states is None else max_states,
+        )
 
     # ------------------------------------------------------------------
     # Lookups
@@ -95,18 +231,13 @@ class KernelCache:
         """
         from repro.core.chain import DownloadChain
 
-        with self._lock:
-            chain = self._chains.get(params)
-            if chain is not None:
-                self._hits += 1
-                self._chains.move_to_end(params)
-                return chain
-            self._misses += 1
+        key = ("chain", params)
+        chain = self._lookup(key, sparse=False)
+        if chain is not None:
+            return chain
         # Build outside the lock: kernel construction is the slow part.
         chain = DownloadChain(params)
-        with self._lock:
-            self._chains[params] = chain
-            self._evict(self._chains)
+        self._insert(key, chain)
         return chain
 
     def kernel(self, params: "ModelParameters") -> "TransitionKernel":
@@ -129,28 +260,16 @@ class KernelCache:
         counters so the ``--timing`` telemetry can report compilations
         separately from the (much cheaper) kernel-table lookups.
         """
-        from repro.core.sparse import DEFAULT_DROP_TOL, DEFAULT_MAX_STATES
-
-        key = (
-            params,
-            DEFAULT_DROP_TOL if drop_tol is None else drop_tol,
-            DEFAULT_MAX_STATES if max_states is None else max_states,
-        )
-        with self._lock:
-            operator = self._operators.get(key)
-            if operator is not None:
-                self._sparse_hits += 1
-                self._operators.move_to_end(key)
-                return operator
-            self._sparse_misses += 1
+        key = self._operator_key(params, drop_tol, max_states)
+        operator = self._lookup(key, sparse=True)
+        if operator is not None:
+            return operator
         # Compile outside the lock; the kernel memoizes too, so a racing
-        # thread at worst stores the same object twice.
+        # thread at worst builds the same object twice and keeps one.
         operator = self.chain(params).kernel.sparse_operator(
             drop_tol=drop_tol, max_states=max_states
         )
-        with self._lock:
-            self._operators[key] = operator
-            self._evict(self._operators)
+        self._insert(key, operator)
         return operator
 
     def efficiency_point(
@@ -162,14 +281,10 @@ class KernelCache:
         birth-death cross-check for the given connection cap and
         survival probability.
         """
-        key = (max_conns, p_reenc, tol)
-        with self._lock:
-            point = self._efficiency.get(key)
-            if point is not None:
-                self._hits += 1
-                self._efficiency.move_to_end(key)
-                return point
-            self._misses += 1
+        key = ("efficiency", max_conns, p_reenc, tol)
+        point = self._lookup(key, sparse=False)
+        if point is not None:
+            return point
         from repro.efficiency.balance import iterate_balance
         from repro.efficiency.birth_death import birth_death_equilibrium
         from repro.efficiency.efficiency import EfficiencyPoint
@@ -183,49 +298,63 @@ class KernelCache:
             p_reenc=p_reenc,
             occupancy=balance.x,
         )
-        with self._lock:
-            self._efficiency[key] = point
-            self._evict(self._efficiency)
+        self._insert(key, point)
         return point
 
-    def _evict(self, store: "OrderedDict") -> None:
-        while len(store) > self.max_entries:
-            store.popitem(last=False)
+    # ------------------------------------------------------------------
+    # Non-counting probes (service hit/miss classification)
+    # ------------------------------------------------------------------
+    def has_chain(self, params: "ModelParameters") -> bool:
+        """Whether the chain for ``params`` is resident (no counters)."""
+        with self._lock:
+            return ("chain", params) in self._store
+
+    def has_operator(
+        self,
+        params: "ModelParameters",
+        *,
+        drop_tol: "float | None" = None,
+        max_states: "int | None" = None,
+    ) -> bool:
+        """Whether the compiled operator is resident (no counters)."""
+        key = self._operator_key(params, drop_tol, max_states)
+        with self._lock:
+            return key in self._store
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
-        """Snapshot of the hit/miss counters and current size."""
+        """Snapshot of the hit/miss/eviction counters and current size."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
                 sparse_hits=self._sparse_hits,
                 sparse_misses=self._sparse_misses,
-                size=len(self._chains)
-                + len(self._efficiency)
-                + len(self._operators),
+                size=len(self._store),
+                evictions=self._evictions,
             )
+
+    def current_bytes(self) -> int:
+        """Estimated resident bytes across all cached values."""
+        with self._lock:
+            return self._bytes
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:
-            self._chains.clear()
-            self._efficiency.clear()
-            self._operators.clear()
+            self._store.clear()
+            self._bytes = 0
             self._hits = 0
             self._misses = 0
             self._sparse_hits = 0
             self._sparse_misses = 0
+            self._evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
-            return (
-                len(self._chains)
-                + len(self._efficiency)
-                + len(self._operators)
-            )
+            return len(self._store)
 
 
 _SHARED = KernelCache()

@@ -254,7 +254,7 @@ class ExperimentExecutor:
             self.telemetry.merge(batch)
 
         results = []
-        hits = misses = sparse_hits = sparse_misses = 0
+        hits = misses = sparse_hits = sparse_misses = evictions = 0
         for outcome in outcomes:
             if outcome is None:
                 results.append(None)
@@ -265,10 +265,12 @@ class ExperimentExecutor:
             misses += delta.misses
             sparse_hits += delta.sparse_hits
             sparse_misses += delta.sparse_misses
+            evictions += delta.evictions
         self.telemetry.cache_hits += hits
         self.telemetry.cache_misses += misses
         self.telemetry.sparse_cache_hits += sparse_hits
         self.telemetry.sparse_cache_misses += sparse_misses
+        self.telemetry.cache_evictions += evictions
         return results
 
     # -- checkpoint wiring -----------------------------------------------
@@ -499,5 +501,6 @@ class ExperimentExecutor:
                     cache_misses=delta.misses,
                     sparse_cache_hits=delta.sparse_hits,
                     sparse_cache_misses=delta.sparse_misses,
+                    cache_evictions=delta.evictions,
                 )
             )

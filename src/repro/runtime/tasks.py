@@ -127,11 +127,11 @@ def exact_potential_ratio_task(params: ModelParameters) -> tuple:
         ``(ratio, states)`` — the exact per-piece-count curve, plus the
         number of transient states solved (the telemetry event count).
     """
-    from repro.core.exact import exact_potential_ratio
+    from repro.core.exact import _exact_potential_ratio_impl
 
     chain = shared_cache().chain(params)
     operator = shared_cache().sparse_operator(params)
-    result = exact_potential_ratio(chain, method="sparse")
+    result = _exact_potential_ratio_impl(chain, method="sparse")
     return result.ratio, operator.num_states
 
 
@@ -146,8 +146,6 @@ def exact_first_passage_task(params: ModelParameters) -> tuple:
         ``(timeline, states)`` — exact expected first-passage rounds,
         plus the number of transient states solved.
     """
-    from repro.core.sparse import solve_fundamental
-
     operator = shared_cache().sparse_operator(params)
-    solution = solve_fundamental(operator)
+    solution = operator.solution()
     return solution.timeline, operator.num_states

@@ -59,6 +59,8 @@ class Telemetry:
         sparse_cache_hits / sparse_cache_misses: compiled sparse-operator
             lookups aggregated over all workers (a miss means a worker
             compiled the CSR operator from scratch).
+        cache_evictions: kernel-cache entries dropped to respect the
+            cache's entry/byte bounds, aggregated over all workers.
         task_failures: task attempts that raised or crashed a worker.
         retries: attempts re-submitted after a failure (on a re-derived
             attempt seed when the task declares one).
@@ -81,6 +83,7 @@ class Telemetry:
     cache_misses: int = 0
     sparse_cache_hits: int = 0
     sparse_cache_misses: int = 0
+    cache_evictions: int = 0
     task_failures: int = 0
     retries: int = 0
     tasks_failed: int = 0
@@ -99,6 +102,7 @@ class Telemetry:
         self.cache_misses += other.cache_misses
         self.sparse_cache_hits += other.sparse_cache_hits
         self.sparse_cache_misses += other.sparse_cache_misses
+        self.cache_evictions += other.cache_evictions
         self.task_failures += other.task_failures
         self.retries += other.retries
         self.tasks_failed += other.tasks_failed
@@ -140,6 +144,7 @@ class Telemetry:
             "cache_hit_rate": self.cache_hit_rate,
             "sparse_cache_hits": self.sparse_cache_hits,
             "sparse_cache_misses": self.sparse_cache_misses,
+            "cache_evictions": self.cache_evictions,
             "task_failures": self.task_failures,
             "retries": self.retries,
             "tasks_failed": self.tasks_failed,
@@ -161,6 +166,8 @@ class Telemetry:
                 f"; sparse operators: {self.sparse_cache_hits} hit(s) / "
                 f"{self.sparse_cache_misses} miss(es)"
             )
+        if self.cache_evictions:
+            text += f"; cache evictions: {self.cache_evictions}"
         if self.task_failures or self.tasks_failed:
             text += (
                 f"; faults: {self.task_failures} failed attempt(s), "

@@ -1,0 +1,35 @@
+"""Shared JSON serialization helper.
+
+Lives in its own dependency-free module so both the experiment result
+layer (:mod:`repro.experiments.result`) and the query API
+(:mod:`repro.api`) / service can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["to_jsonable"]
+
+
+def to_jsonable(value):
+    """Recursively convert a result payload into JSON-ready builtins.
+
+    Handles numpy scalars and arrays (NaN becomes ``None``), mappings
+    (keys stringified), sequences, and objects exposing ``to_dict``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else None
+    if isinstance(value, np.generic):
+        return to_jsonable(value.item())
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    return repr(value)

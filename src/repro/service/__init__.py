@@ -1,0 +1,22 @@
+"""Model-as-a-service layer: the ``repro-bt serve`` query server.
+
+See :mod:`repro.service.server` for the protocol and
+:mod:`repro.service.telemetry` for the request-side counters.
+"""
+
+from repro.service.server import (
+    ServiceHandle,
+    SolverService,
+    run_server,
+    start_background_server,
+)
+from repro.service.telemetry import EndpointStats, ServiceTelemetry
+
+__all__ = [
+    "SolverService",
+    "ServiceHandle",
+    "run_server",
+    "start_background_server",
+    "ServiceTelemetry",
+    "EndpointStats",
+]

@@ -1,0 +1,523 @@
+"""The ``repro-bt serve`` asyncio query service.
+
+A stdlib-only model-as-a-service layer over :func:`repro.api.solve`:
+JSON over HTTP/1.1 on a handcoded :mod:`asyncio` protocol (no web
+framework — the container ships none, and the protocol surface is four
+endpoints).  Solves run on a small thread pool so the event loop stays
+responsive while SciPy factorizes; identical concurrent queries are
+**coalesced** onto one in-flight solve via their
+:meth:`~repro.api.Query.cache_key`, and completed results are kept in a
+bounded LRU so a warm query never re-enters the solver at all.
+
+Endpoints:
+
+========  ==========  =================================================
+``GET``   ``/health``  liveness + uptime.
+``GET``   ``/stats``   service telemetry (query hits/misses/coalesced,
+                       per-endpoint latency percentiles) + kernel-cache
+                       counters (entries, bytes, evictions).
+``POST``  ``/solve``   one :class:`~repro.api.Query`
+                       (``{"params": {...}, "quantity": "...",
+                       "method": "auto", "options": {...}}``).
+``POST``  ``/sweep``   a parameter grid planned as one blocked set of
+                       solves (``{"params": {...}, "quantity": ...,
+                       "grid": {"field": [values...]}}``); grid points
+                       that hash to the same query are solved once.
+========  ==========  =================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api import Query, solve_query
+from repro.errors import ParameterError
+from repro.runtime.cache import KernelCache, shared_cache
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = [
+    "SolverService",
+    "ServiceHandle",
+    "start_background_server",
+    "run_server",
+]
+
+#: Upper bound on request bodies (a phi pmf at B=200 is ~5 KB; 8 MiB is
+#: generous for any legitimate sweep grid).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Largest number of grid points one /sweep may plan.
+MAX_SWEEP_POINTS = 4096
+
+#: Completed query results kept for warm hits.
+DEFAULT_MAX_RESULTS = 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class SolverService:
+    """Query planner/executor behind the HTTP layer.
+
+    Owns a :class:`~repro.runtime.cache.KernelCache` (chains and
+    compiled operators), a bounded result cache keyed by
+    :meth:`Query.cache_key`, a single-flight table coalescing identical
+    concurrent queries, and a thread pool the blocking solves run on.
+    Usable directly (``await service.solve_async(query)``) without the
+    HTTP layer — the benchmark harness does exactly that.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[KernelCache] = None,
+        max_workers: int = 2,
+        max_results: int = DEFAULT_MAX_RESULTS,
+    ) -> None:
+        if max_workers < 1:
+            raise ParameterError(f"max_workers must be >= 1, got {max_workers}")
+        if max_results < 1:
+            raise ParameterError(f"max_results must be >= 1, got {max_results}")
+        self.cache = cache if cache is not None else shared_cache()
+        self.telemetry = ServiceTelemetry()
+        self.max_results = max_results
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-solve"
+        )
+        self._results: "Dict[str, dict]" = {}
+        self._results_order: list = []
+        self._inflight: "Dict[str, asyncio.Future]" = {}
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self.solve_count = 0  # executed solves (not hits/coalesced joins)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def _solve_blocking(self, query: Query) -> dict:
+        """Run one solve on the pool thread; returns the JSON view."""
+        before = self.cache.stats()
+        start = time.perf_counter()
+        result = solve_query(query, cache=self.cache)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.solve_count += 1
+        self.telemetry.record_solve(elapsed, self.cache.stats().delta(before))
+        return result.to_dict()
+
+    def _cache_result(self, key: str, payload: dict) -> None:
+        with self._lock:
+            if key not in self._results:
+                self._results[key] = payload
+                self._results_order.append(key)
+                while len(self._results_order) > self.max_results:
+                    evicted = self._results_order.pop(0)
+                    self._results.pop(evicted, None)
+
+    async def solve_async(self, query: Query) -> Tuple[dict, str]:
+        """Answer one query; returns ``(json_payload, outcome)``.
+
+        ``outcome`` is ``"hit"`` (result cache), ``"coalesced"`` (joined
+        an identical in-flight solve), or ``"miss"`` (ran the solver).
+        """
+        key = query.cache_key()
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            cached = self._results.get(key)
+            if cached is not None:
+                outcome = "hit"
+            else:
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    outcome = "coalesced"
+                else:
+                    outcome = "miss"
+                    inflight = loop.create_future()
+                    self._inflight[key] = inflight
+        self.telemetry.record_query(outcome)
+        if outcome == "hit":
+            return cached, outcome
+        if outcome == "coalesced":
+            return await asyncio.shield(inflight), outcome
+
+        try:
+            payload = await loop.run_in_executor(
+                self._pool, self._solve_blocking, query
+            )
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(key, None)
+            if not inflight.done():
+                inflight.set_exception(exc)
+                # A coalesced waiter may or may not exist; if none ever
+                # awaits, silence the "exception never retrieved" log.
+                inflight.exception()
+            raise
+        self._cache_result(key, payload)
+        with self._lock:
+            self._inflight.pop(key, None)
+        if not inflight.done():
+            inflight.set_result(payload)
+        return payload, outcome
+
+    # ------------------------------------------------------------------
+    # Sweep planning
+    # ------------------------------------------------------------------
+    def plan_sweep(self, body: Mapping[str, Any]) -> list:
+        """Expand a ``/sweep`` body into ``(grid_point, Query)`` pairs.
+
+        The ``grid`` maps parameter-field names to value lists; the
+        cartesian product over them is applied on top of the base
+        ``params``.  Validation errors raise
+        :class:`~repro.errors.ParameterError` (mapped to HTTP 400).
+        """
+        if not isinstance(body, Mapping):
+            raise ParameterError("sweep body must be a JSON object")
+        grid = body.get("grid")
+        if not isinstance(grid, Mapping) or not grid:
+            raise ParameterError(
+                "sweep body needs a non-empty 'grid' object mapping "
+                "parameter fields to value lists"
+            )
+        for name, values in grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ParameterError(
+                    f"grid field {name!r} must map to a non-empty list"
+                )
+        names = sorted(grid)
+        points = 1
+        for name in names:
+            points *= len(grid[name])
+        if points > MAX_SWEEP_POINTS:
+            raise ParameterError(
+                f"sweep grid has {points} points; the limit is "
+                f"{MAX_SWEEP_POINTS}"
+            )
+        base = dict(body.get("params") or {})
+        quantity = body.get("quantity")
+        if quantity is None:
+            raise ParameterError("sweep body must carry 'quantity'")
+        method = body.get("method") or "auto"
+        options = dict(body.get("options") or {})
+        plan = []
+        for combo in itertools.product(*(grid[name] for name in names)):
+            point = dict(zip(names, combo))
+            request = {
+                "params": {**base, **point},
+                "quantity": quantity,
+                "method": method,
+                "options": options,
+            }
+            plan.append((point, Query.from_request(request)))
+        return plan
+
+    async def sweep_async(self, body: Mapping[str, Any]) -> dict:
+        """Plan and execute one sweep as a blocked set of solves.
+
+        Grid points whose queries hash identically share one solve (and
+        every point past the first classifies as a hit or coalesced
+        join), so a sweep over a redundant grid costs its *distinct*
+        queries only.
+        """
+        plan = self.plan_sweep(body)
+        outcomes = await asyncio.gather(
+            *(self.solve_async(query) for _point, query in plan)
+        )
+        results = [
+            {"grid": point, "outcome": outcome, **payload}
+            for (point, _query), (payload, outcome) in zip(plan, outcomes)
+        ]
+        return {
+            "count": len(results),
+            "distinct": len({query.cache_key() for _p, query in plan}),
+            "results": results,
+        }
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        cache_stats = self.cache.stats()
+        payload = self.telemetry.to_dict()
+        payload["uptime_s"] = round(time.monotonic() - self._started, 3)
+        payload["kernel_cache"] = {
+            "entries": cache_stats.size,
+            "bytes": self.cache.current_bytes(),
+            "hits": cache_stats.hits,
+            "misses": cache_stats.misses,
+            "sparse_hits": cache_stats.sparse_hits,
+            "sparse_misses": cache_stats.sparse_misses,
+            "evictions": cache_stats.evictions,
+            "max_entries": self.cache.max_entries,
+            "max_bytes": self.cache.max_bytes,
+        }
+        payload["result_cache"] = {
+            "entries": len(self._results),
+            "max_entries": self.max_results,
+        }
+        payload["solves"] = self.solve_count
+        return payload
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request; ``None`` when the peer hung up."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ParameterError(f"malformed request line: {parts}")
+    method, path, version = parts
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    if length > MAX_BODY_BYTES:
+        raise ParameterError(
+            f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, version, headers, body
+
+
+def _encode_response(status: int, payload: dict, *, keep_alive: bool) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+def _parse_json(body: bytes) -> Any:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ParameterError(f"request body is not valid JSON: {exc}") from exc
+
+
+class _HttpServer:
+    """Connection handling + routing around one :class:`SolverService`."""
+
+    def __init__(self, service: SolverService) -> None:
+        self.service = service
+
+    async def dispatch(self, method: str, path: str, body: bytes):
+        service = self.service
+        if path == "/health":
+            if method != "GET":
+                return 405, {"error": "use GET /health"}
+            return 200, {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - service._started, 3),
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET /stats"}
+            return 200, service.stats()
+        if path == "/solve":
+            if method != "POST":
+                return 405, {"error": "use POST /solve"}
+            query = Query.from_request(_parse_json(body))
+            start = time.perf_counter()
+            payload, outcome = await service.solve_async(query)
+            elapsed_ms = 1000.0 * (time.perf_counter() - start)
+            return 200, {
+                **payload,
+                "outcome": outcome,
+                "elapsed_ms": round(elapsed_ms, 3),
+            }
+        if path == "/sweep":
+            if method != "POST":
+                return 405, {"error": "use POST /sweep"}
+            return 200, await service.sweep_async(_parse_json(body))
+        return 404, {
+            "error": f"unknown path {path!r}; endpoints: GET /health, "
+            "GET /stats, POST /solve, POST /sweep"
+        }
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except ParameterError as exc:
+                    writer.write(
+                        _encode_response(
+                            400, {"error": str(exc)}, keep_alive=False
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, path, version, headers, body = request
+                keep_alive = (
+                    version != "HTTP/1.0"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                endpoint = f"{method} {path}"
+                start = time.perf_counter()
+                try:
+                    status, payload = await self.dispatch(method, path, body)
+                except ParameterError as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:  # noqa: BLE001 - boundary
+                    status, payload = 500, {
+                        "error": f"{type(exc).__name__}: {exc}"
+                    }
+                latency_ms = 1000.0 * (time.perf_counter() - start)
+                self.service.telemetry.record_request(
+                    endpoint, latency_ms, error=status >= 400
+                )
+                writer.write(
+                    _encode_response(status, payload, keep_alive=keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+
+class ServiceHandle:
+    """A running server on a background thread (tests and benches).
+
+    Attributes:
+        service: the underlying :class:`SolverService`.
+        host / port: the bound address (``port`` is the real one even
+            when started with port 0).
+    """
+
+    def __init__(self, service: SolverService, host: str) -> None:
+        self.service = service
+        self.host = host
+        self.port: Optional[int] = None
+        self._started = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    async def _amain(self, port: int) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        http = _HttpServer(self.service)
+        server = await asyncio.start_server(
+            http.handle_connection, self.host, port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    def _run(self, port: int) -> None:
+        try:
+            asyncio.run(self._amain(port))
+        except BaseException as exc:  # pragma: no cover - startup failure
+            self._error = exc
+            self._started.set()
+
+    def start(self, port: int = 0) -> "ServiceHandle":
+        self._thread = threading.Thread(
+            target=self._run, args=(port,), daemon=True,
+            name="repro-serve",
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("service failed to start within 30s")
+        if self._error is not None:
+            raise RuntimeError(f"service failed to start: {self._error}")
+        return self
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self.service.close()
+
+
+def start_background_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[SolverService] = None,
+    **service_kwargs: Any,
+) -> ServiceHandle:
+    """Start a server on a daemon thread; returns its handle.
+
+    ``port=0`` binds an ephemeral port (read it off ``handle.port``).
+    """
+    if service is None:
+        service = SolverService(**service_kwargs)
+    return ServiceHandle(service, host).start(port)
+
+
+def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    service: Optional[SolverService] = None,
+    **service_kwargs: Any,
+) -> None:
+    """Run the service in the foreground (the ``repro-bt serve`` path)."""
+    if service is None:
+        service = SolverService(**service_kwargs)
+
+    async def _main() -> None:
+        http = _HttpServer(service)
+        server = await asyncio.start_server(http.handle_connection, host, port)
+        bound = server.sockets[0].getsockname()
+        print(f"repro-bt serve: listening on http://{bound[0]}:{bound[1]}")
+        print(
+            "endpoints: GET /health, GET /stats, POST /solve, POST /sweep"
+        )
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("repro-bt serve: shutting down")
+    finally:
+        service.close()

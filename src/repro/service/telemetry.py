@@ -1,0 +1,136 @@
+"""Per-endpoint request telemetry for the query service.
+
+Builds on the runtime's :class:`~repro.runtime.telemetry.Telemetry`
+(one record accumulates the solver-side counters: solves executed,
+wall seconds inside the solver pool, kernel-cache hits/misses/
+evictions) and adds the HTTP-side view: per-endpoint request counts,
+error counts, and latency percentiles over a bounded sliding window.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict
+
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["EndpointStats", "ServiceTelemetry"]
+
+#: Latency samples kept per endpoint (sliding window).
+LATENCY_WINDOW = 2048
+
+
+def _percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of a sorted sample list."""
+    if not samples:
+        return 0.0
+    index = min(int(fraction * len(samples)), len(samples) - 1)
+    return samples[index]
+
+
+@dataclass
+class EndpointStats:
+    """Counters for one HTTP endpoint.
+
+    Attributes:
+        requests: requests routed to the endpoint.
+        errors: requests that produced a 4xx/5xx response.
+        latencies_ms: sliding window of recent request latencies.
+    """
+
+    requests: int = 0
+    errors: int = 0
+    latencies_ms: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=LATENCY_WINDOW), repr=False
+    )
+
+    def record(self, latency_ms: float, *, error: bool = False) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.latencies_ms.append(latency_ms)
+
+    def to_dict(self) -> dict:
+        ordered = sorted(self.latencies_ms)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "latency_ms": {
+                "p50": round(_percentile(ordered, 0.50), 3),
+                "p90": round(_percentile(ordered, 0.90), 3),
+                "p99": round(_percentile(ordered, 0.99), 3),
+                "max": round(ordered[-1], 3) if ordered else 0.0,
+            },
+        }
+
+
+class ServiceTelemetry:
+    """Thread-safe telemetry for one :class:`SolverService`.
+
+    The query-level counters classify every ``/solve`` (and each solve a
+    ``/sweep`` plans) as a result-cache *hit*, a *coalesced* join onto
+    an identical in-flight solve, or a *miss* that ran the solver; the
+    embedded :class:`~repro.runtime.telemetry.Telemetry` record carries
+    the solver-side accounting in the same shape the ``--timing`` CLI
+    path uses.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.runtime = Telemetry(workers=1)
+        self.query_hits = 0
+        self.query_misses = 0
+        self.query_coalesced = 0
+        self.endpoints: Dict[str, EndpointStats] = {}
+
+    def record_query(self, outcome: str) -> None:
+        """Count one planned query: ``hit``/``miss``/``coalesced``."""
+        with self._lock:
+            if outcome == "hit":
+                self.query_hits += 1
+            elif outcome == "coalesced":
+                self.query_coalesced += 1
+            else:
+                self.query_misses += 1
+
+    def record_solve(self, wall_seconds: float, cache_delta) -> None:
+        """Fold one executed solve into the runtime record."""
+        with self._lock:
+            self.runtime.tasks += 1
+            self.runtime.wall_time += wall_seconds
+            self.runtime.cache_hits += cache_delta.hits
+            self.runtime.cache_misses += cache_delta.misses
+            self.runtime.sparse_cache_hits += cache_delta.sparse_hits
+            self.runtime.sparse_cache_misses += cache_delta.sparse_misses
+            self.runtime.cache_evictions += cache_delta.evictions
+
+    def record_request(
+        self, endpoint: str, latency_ms: float, *, error: bool = False
+    ) -> None:
+        with self._lock:
+            stats = self.endpoints.get(endpoint)
+            if stats is None:
+                stats = self.endpoints[endpoint] = EndpointStats()
+            stats.record(latency_ms, error=error)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            total = self.query_hits + self.query_misses + self.query_coalesced
+            return {
+                "queries": {
+                    "total": total,
+                    "hits": self.query_hits,
+                    "misses": self.query_misses,
+                    "coalesced": self.query_coalesced,
+                    "hit_rate": (
+                        self.query_hits / total if total else 0.0
+                    ),
+                },
+                "solver": self.runtime.to_dict(),
+                "endpoints": {
+                    name: stats.to_dict()
+                    for name, stats in sorted(self.endpoints.items())
+                },
+            }

@@ -1,0 +1,179 @@
+"""Canonicalization and cache-key tests for `repro.api.ModelParams`."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.api import ModelParams
+from repro.core.parameters import ModelParameters
+from repro.core.piece_distribution import PieceCountDistribution
+from repro.errors import ParameterError
+
+
+def make(**overrides):
+    kwargs = dict(num_pieces=10, max_conns=3, ns_size=6)
+    kwargs.update(overrides)
+    return ModelParams(**kwargs)
+
+
+class TestCanonicalization:
+    def test_numpy_ints_become_builtin_int(self):
+        p = ModelParams(
+            num_pieces=np.int64(10), max_conns=np.int32(3), ns_size=np.int64(6)
+        )
+        assert type(p.num_pieces) is int
+        assert type(p.max_conns) is int
+        assert type(p.ns_size) is int
+        assert p == make()
+
+    def test_numpy_floats_become_builtin_float(self):
+        p = make(alpha=np.float64(0.25), p_reenc=np.float32(0.5))
+        assert type(p.alpha) is float
+        assert type(p.p_reenc) is float
+        assert p.alpha == 0.25
+
+    def test_integer_valued_float_accepted(self):
+        assert make(num_pieces=10.0).num_pieces == 10
+
+    def test_fractional_int_rejected(self):
+        with pytest.raises(ParameterError, match="num_pieces must be an integer"):
+            make(num_pieces=10.5)
+
+    def test_non_numeric_int_rejected(self):
+        with pytest.raises(ParameterError, match="max_conns must be an integer"):
+            make(max_conns="three")
+
+    def test_non_numeric_float_rejected(self):
+        with pytest.raises(ParameterError, match="alpha must be a number"):
+            make(alpha="often")
+
+    def test_negative_zero_folds_to_zero(self):
+        p = make(alpha=-0.0)
+        assert str(p.alpha) == "0.0"
+        assert p.cache_key() == make(alpha=0.0).cache_key()
+
+    def test_parent_validation_still_applies(self):
+        with pytest.raises(ParameterError):
+            make(num_pieces=0)
+
+
+class TestOf:
+    def test_wraps_plain_parameters(self):
+        plain = ModelParameters(num_pieces=10, max_conns=3, ns_size=6)
+        p = ModelParams.of(plain)
+        assert isinstance(p, ModelParams)
+        assert p == make()
+
+    def test_identity_on_already_canonical(self):
+        p = make()
+        assert ModelParams.of(p) is p
+
+    def test_overrides(self):
+        p = ModelParams.of(make(), alpha=0.9)
+        assert p.alpha == 0.9
+        assert p.num_pieces == 10
+
+    def test_rejects_non_parameters(self):
+        with pytest.raises(ParameterError, match="expected ModelParameters"):
+            ModelParams.of({"num_pieces": 10})
+
+
+class TestJsonRoundTrip:
+    def test_uniform_phi_serializes_none(self):
+        assert make().to_dict()["phi"] is None
+
+    def test_round_trip_uniform(self):
+        p = make(alpha=0.3, gamma=0.4, p_reenc=0.6, p_new=0.8)
+        assert ModelParams.from_dict(p.to_dict()) == p
+
+    def test_round_trip_nonuniform_phi(self):
+        pmf = np.zeros(10)
+        pmf[2] = 0.5
+        pmf[7] = 0.5
+        p = make(phi=PieceCountDistribution(10, pmf))
+        payload = p.to_dict()
+        assert payload["phi"] == pmf.tolist()
+        back = ModelParams.from_dict(payload)
+        assert back == p
+        assert back.cache_key() == p.cache_key()
+
+    def test_from_dict_unknown_field(self):
+        with pytest.raises(ParameterError, match="unknown parameter field"):
+            ModelParams.from_dict(
+                {"num_pieces": 10, "max_conns": 3, "ns_size": 6, "pieces": 9}
+            )
+
+    def test_from_dict_missing_required(self):
+        with pytest.raises(
+            ParameterError, match=r"missing required parameter field"
+        ) as excinfo:
+            ModelParams.from_dict({"num_pieces": 10})
+        assert "max_conns" in str(excinfo.value)
+        assert "ns_size" in str(excinfo.value)
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ParameterError, match="params must be a mapping"):
+            ModelParams.from_dict([10, 3, 6])
+
+
+class TestCacheKey:
+    # Pinned digest: the key is a documented stable identifier — if this
+    # changes, every persisted cache and service client key rolls over.
+    PINNED = "796dbdb4cd162edfeb590a49e54c43393a8660734aeb04f04f8719f082e28a6f"
+
+    def test_pinned_value(self):
+        assert make().cache_key() == self.PINNED
+
+    def test_equal_params_equal_keys(self):
+        assert make().cache_key() == make().cache_key()
+
+    def test_numpy_and_literal_agree(self):
+        numpy_built = ModelParams(
+            num_pieces=np.int64(10), max_conns=np.int64(3),
+            ns_size=np.int64(6), alpha=np.float64(0.2),
+        )
+        assert numpy_built.cache_key() == make(alpha=0.2).cache_key()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"num_pieces": 11},
+            {"max_conns": 4},
+            {"ns_size": 7},
+            {"p_init": 0.3},
+            {"alpha": 0.21},
+            {"gamma": 0.5},
+            {"p_reenc": 0.71},
+            {"p_new": 0.69},
+        ],
+    )
+    def test_any_field_changes_key(self, change):
+        assert make(**change).cache_key() != make().cache_key()
+
+    def test_phi_changes_key(self):
+        pmf = np.zeros(10)
+        pmf[4] = 1.0
+        assert (
+            make(phi=PieceCountDistribution(10, pmf)).cache_key()
+            != make().cache_key()
+        )
+
+    def test_independent_of_pythonhashseed(self):
+        script = (
+            "from repro.api import ModelParams; "
+            "print(ModelParams(num_pieces=10, max_conns=3, "
+            "ns_size=6).cache_key())"
+        )
+        keys = set()
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env.setdefault("PYTHONPATH", "src")
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            keys.add(out.stdout.strip())
+        assert keys == {self.PINNED}

@@ -99,11 +99,79 @@ class TestKernelCache:
             KernelCache(max_entries=0)
 
 
+class TestBoundedCache:
+    def test_entry_eviction_counts(self):
+        cache = KernelCache(max_entries=2)
+        cache.chain(params(ns_size=5))
+        cache.chain(params(ns_size=6))
+        cache.chain(params(ns_size=7))
+        stats = cache.stats()
+        assert stats.size == 2
+        assert stats.evictions == 1
+
+    def test_byte_bound_evicts_lru(self):
+        cache = KernelCache(max_bytes=1)
+        cache.chain(params(ns_size=5))
+        cache.chain(params(ns_size=6))
+        assert len(cache) == 1  # the older chain was dropped
+        assert cache.stats().evictions == 1
+        # The survivor is the most recent insert.
+        assert cache.has_chain(params(ns_size=6))
+        assert not cache.has_chain(params(ns_size=5))
+
+    def test_sole_entry_never_evicted(self):
+        cache = KernelCache(max_bytes=1)
+        chain = cache.chain(params())
+        assert len(cache) == 1
+        assert cache.chain(params()) is chain
+        assert cache.stats().evictions == 0
+
+    def test_recency_spans_entry_kinds(self):
+        cache = KernelCache(max_entries=2)
+        cache.chain(params(ns_size=5))
+        cache.efficiency_point(4, 0.7)
+        cache.chain(params(ns_size=5))  # bump the chain to MRU
+        cache.efficiency_point(5, 0.7)  # evicts the efficiency point
+        assert cache.has_chain(params(ns_size=5))
+        assert cache.stats().evictions == 1
+
+    def test_current_bytes_tracks_inserts(self):
+        cache = KernelCache()
+        assert cache.current_bytes() == 0
+        cache.chain(params())
+        assert cache.current_bytes() > 0
+        cache.clear()
+        assert cache.current_bytes() == 0
+        assert cache.stats() == CacheStats()
+
+    def test_probes_do_not_touch_counters(self):
+        cache = KernelCache()
+        assert not cache.has_chain(params())
+        assert not cache.has_operator(params())
+        assert cache.stats() == CacheStats()
+        cache.chain(params())
+        cache.sparse_operator(params())
+        before = cache.stats()
+        assert cache.has_chain(params())
+        assert cache.has_operator(params())
+        assert cache.stats() == before
+
+    def test_rejects_bad_byte_budget(self):
+        with pytest.raises(ValueError):
+            KernelCache(max_bytes=0)
+        assert KernelCache(max_bytes=None).max_bytes is None
+
+
 class TestCacheStats:
     def test_delta(self):
         before = CacheStats(hits=3, misses=2, size=2)
         after = CacheStats(hits=10, misses=4, size=4)
         assert after.delta(before) == CacheStats(hits=7, misses=2, size=4)
+
+    def test_delta_includes_evictions(self):
+        before = CacheStats(evictions=2)
+        after = CacheStats(evictions=5, size=1)
+        assert after.delta(before) == CacheStats(evictions=3, size=1)
 
 
 class TestSharedCache:

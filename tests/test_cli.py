@@ -59,6 +59,30 @@ class TestParser:
         assert args.quick is True
         assert args.max_attempts == 3
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8750
+        assert args.solver_threads == 2
+        assert args.max_entries == 128
+        assert args.max_bytes_mb == 256
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9000", "--max-bytes-mb", "0",
+             "--solver-threads", "4"]
+        )
+        assert args.port == 9000
+        assert args.max_bytes_mb == 0
+        assert args.solver_threads == 4
+
+    def test_run_method_is_free_form(self):
+        args = build_parser().parse_args(
+            ["run", "F1a", "--method", "monte-carlo"]
+        )
+        assert args.method == "monte-carlo"
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -103,6 +127,34 @@ class TestMain:
 
         with pytest.raises(ParameterError):
             main(["run", "F99"])
+
+    def test_run_method_alias_accepted(self, capsys):
+        assert main([
+            "run", "F1a", "--quick", "--seed", "1",
+            "--method", "monte-carlo",
+        ]) == 0
+        assert "Figure 1(a)" in capsys.readouterr().out
+
+    def test_run_unknown_method_lists_choices(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError) as excinfo:
+            main(["run", "F1a", "--quick", "--method", "bogus"])
+        message = str(excinfo.value)
+        assert "unknown method 'bogus'" in message
+        assert "'exact'" in message and "'batch'" in message
+
+    def test_run_method_on_methodless_runner_warns(self, capsys):
+        assert main(["run", "F2", "--quick", "--method", "exact"]) == 0
+        assert "no method switch" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_bounds(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["serve", "--max-entries", "0"])
+        with pytest.raises(ParameterError):
+            main(["serve", "--max-bytes-mb", "-1"])
 
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
