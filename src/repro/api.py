@@ -53,8 +53,11 @@ from repro.core.exact import (
 )
 from repro.core.methods import Method
 from repro.core.parameters import ModelParameters
+from repro.core.phases import Phase
 from repro.core.piece_distribution import PieceCountDistribution
 from repro.core.timeline import (
+    PhaseStatistics,
+    PotentialRatioResult,
     TimelineResult,
     _mean_timeline_impl,
     phase_duration_statistics,
@@ -70,6 +73,7 @@ __all__ = [
     "Query",
     "SolveResult",
     "DownloadTimeResult",
+    "MEANFIELD_STATE_FACTOR",
     "solve",
     "solve_query",
 ]
@@ -271,10 +275,17 @@ _QUANTITY_ALIASES = {
 _ALLOWED_METHODS = {
     Quantity.POTENTIAL_RATIO: (
         Method.EXACT, Method.BATCH, Method.SERIAL, Method.DICT,
+        Method.MEANFIELD,
     ),
-    Quantity.TIMELINE: (Method.EXACT, Method.BATCH, Method.SERIAL),
-    Quantity.DOWNLOAD_TIME: (Method.EXACT, Method.BATCH, Method.SERIAL),
-    Quantity.PHASES: (Method.EXACT, Method.BATCH, Method.SERIAL),
+    Quantity.TIMELINE: (
+        Method.EXACT, Method.BATCH, Method.SERIAL, Method.MEANFIELD,
+    ),
+    Quantity.DOWNLOAD_TIME: (
+        Method.EXACT, Method.BATCH, Method.SERIAL, Method.MEANFIELD,
+    ),
+    Quantity.PHASES: (
+        Method.EXACT, Method.BATCH, Method.SERIAL, Method.MEANFIELD,
+    ),
     Quantity.TRANSIENT: (Method.EXACT, Method.DICT),
 }
 
@@ -333,9 +344,10 @@ class Query:
         )
         if method is Method.AUTO:
             method = _resolve_auto(params, quantity, options)
-            if method in (Method.BATCH, Method.SERIAL):
-                # max_states steered the auto cutoff; the samplers have
-                # no use for it, so it leaves the canonical query.
+            if method in (Method.BATCH, Method.SERIAL, Method.MEANFIELD):
+                # max_states steered the auto cutoff; the non-exact
+                # engines have no use for it, so it leaves the
+                # canonical query.
                 options = {
                     k: v for k, v in options.items() if k != "max_states"
                 }
@@ -401,23 +413,44 @@ def _transient_state_count(params: ModelParameters) -> int:
     return params.num_pieces * (params.max_conns + 1) * (params.ns_size + 1)
 
 
+#: AUTO's mean-field threshold, as a multiple of the exact-engine state
+#: cap: up to ``factor * cap`` transient states the batch sampler is
+#: still cheap and carries error bars; beyond it the state space is so
+#: large that the deterministic large-swarm limit is both faster and
+#: more accurate than affordable sampling.
+MEANFIELD_STATE_FACTOR = 8
+
+
 def _resolve_auto(
     params: ModelParams, quantity: Quantity, options: Mapping[str, Any]
 ) -> Method:
-    """``auto``: exact when the operator fits its state cap, else MC.
+    """``auto``: exact / batch / mean-field by transient-space size.
 
-    ``TRANSIENT`` has no Monte-Carlo estimator, so auto always means the
-    sparse engine there (the dict engine is the slow reference path and
-    never a sensible automatic choice).
+    Three tiers against the exact-engine state cap (``max_states``
+    option, defaulting to the sparse engine's
+    :data:`~repro.core.sparse.DEFAULT_MAX_STATES`):
+
+    * ``states <= cap`` — the sparse exact engine;
+    * ``cap < states <= MEANFIELD_STATE_FACTOR * cap`` — batched Monte
+      Carlo (error bars, still affordable);
+    * above — the mean-field ODE limit, whose accuracy *improves* as
+      the state space (and swarm) grows while its cost stays flat.
+
+    ``TRANSIENT`` has no Monte-Carlo or mean-field estimator, so auto
+    always means the sparse engine there (the dict engine is the slow
+    reference path and never a sensible automatic choice).
     """
     if quantity is Quantity.TRANSIENT:
         return Method.EXACT
     from repro.core.sparse import DEFAULT_MAX_STATES
 
     cap = options.get("max_states") or DEFAULT_MAX_STATES
-    if _transient_state_count(params) <= cap:
+    states = _transient_state_count(params)
+    if states <= cap:
         return Method.EXACT
-    return Method.BATCH
+    if states <= MEANFIELD_STATE_FACTOR * cap:
+        return Method.BATCH
+    return Method.MEANFIELD
 
 
 #: Options each (quantity, method) cell accepts.
@@ -425,6 +458,9 @@ _EXACT_OPTIONS = frozenset({"drop_tol", "max_states", "warn_above"})
 _MC_OPTIONS = frozenset({"runs", "seed"})
 _DICT_RATIO_OPTIONS = frozenset({"horizon", "prune", "warn_above"})
 _TRANSIENT_OPTIONS = frozenset({"horizon", "prune"})
+_MEANFIELD_OPTIONS = frozenset(
+    {"rtol", "atol", "drain_tol", "max_rounds", "swarm_size"}
+)
 
 
 def _option_names(quantity: Quantity, method: Method) -> frozenset:
@@ -434,6 +470,8 @@ def _option_names(quantity: Quantity, method: Method) -> frozenset:
         return _MC_OPTIONS
     if method is Method.DICT:
         return _DICT_RATIO_OPTIONS
+    if method is Method.MEANFIELD:
+        return _MEANFIELD_OPTIONS
     return _EXACT_OPTIONS
 
 
@@ -650,6 +688,82 @@ def _phases(method: Method):
     return handler
 
 
+def _meanfield_solution(params: ModelParams, cache: KernelCache, opts: dict):
+    """Resolve the (memoized) mean-field solve plus its shared stats.
+
+    ``swarm_size`` is metadata: the per-peer quantities of the
+    mean-field limit are independent of ``N`` (the swarm enters only
+    through the escape rates, via
+    :meth:`ModelParameters.alpha_from_swarm`), so it is validated,
+    echoed in the stats, and otherwise inert — the reason a 10**7-peer
+    query costs the same milliseconds as a 10**3-peer one.
+    """
+    swarm_size = opts.get("swarm_size")
+    if swarm_size is not None:
+        swarm_size = _as_int(swarm_size, "swarm_size")
+        if swarm_size < 1:
+            raise ParameterError(f"swarm_size must be >= 1, got {swarm_size}")
+    solution = cache.meanfield_solution(
+        params,
+        rtol=opts.get("rtol"),
+        atol=opts.get("atol"),
+        drain_tol=opts.get("drain_tol"),
+        max_rounds=opts.get("max_rounds"),
+    )
+    stats: Dict[str, Any] = dict(solution.stats)
+    if swarm_size is not None:
+        stats["swarm_size"] = swarm_size
+    return solution, stats
+
+
+def _ratio_meanfield(params: ModelParams, cache: KernelCache, opts: dict):
+    solution, stats = _meanfield_solution(params, cache, opts)
+    payload = PotentialRatioResult(
+        pieces=np.arange(params.num_pieces + 1),
+        ratio=solution.potential_ratio,
+        observations=solution.occupancy,
+    )
+    return payload, stats
+
+
+def _timeline_meanfield(params: ModelParams, cache: KernelCache, opts: dict):
+    solution, stats = _meanfield_solution(params, cache, opts)
+    payload = TimelineResult(
+        pieces=np.arange(params.num_pieces + 1),
+        mean_steps=solution.timeline,
+        std_steps=np.full(params.num_pieces + 1, np.nan),
+        runs=0,
+    )
+    return payload, stats
+
+
+def _download_time_meanfield(
+    params: ModelParams, cache: KernelCache, opts: dict
+):
+    solution, stats = _meanfield_solution(params, cache, opts)
+    payload = DownloadTimeResult(
+        mean=solution.download_time,
+        std=float("nan"),
+        variance=float("nan"),
+        runs=0,
+        method="meanfield",
+    )
+    return payload, stats
+
+
+def _phases_meanfield(params: ModelParams, cache: KernelCache, opts: dict):
+    solution, stats = _meanfield_solution(params, cache, opts)
+    mean = dict(solution.phase_rounds)
+    total = sum(mean.values()) or 1.0
+    payload = PhaseStatistics(
+        mean=mean,
+        std={phase: float("nan") for phase in mean},
+        occupancy={phase: value / total for phase, value in mean.items()},
+        runs=0,
+    )
+    return payload, stats
+
+
 def _transient(method: Method):
     def handler(params: ModelParams, cache: KernelCache, opts: dict):
         if "horizon" not in opts:
@@ -674,15 +788,19 @@ _DISPATCH = {
     (Quantity.POTENTIAL_RATIO, Method.DICT): _ratio_dict,
     (Quantity.POTENTIAL_RATIO, Method.BATCH): _ratio_mc(batch=True),
     (Quantity.POTENTIAL_RATIO, Method.SERIAL): _ratio_mc(batch=False),
+    (Quantity.POTENTIAL_RATIO, Method.MEANFIELD): _ratio_meanfield,
     (Quantity.TIMELINE, Method.EXACT): _timeline_exact,
     (Quantity.TIMELINE, Method.BATCH): _timeline_mc(batch=True),
     (Quantity.TIMELINE, Method.SERIAL): _timeline_mc(batch=False),
+    (Quantity.TIMELINE, Method.MEANFIELD): _timeline_meanfield,
     (Quantity.DOWNLOAD_TIME, Method.EXACT): _download_time_exact,
     (Quantity.DOWNLOAD_TIME, Method.BATCH): _download_time_mc(True, "batch"),
     (Quantity.DOWNLOAD_TIME, Method.SERIAL): _download_time_mc(False, "serial"),
+    (Quantity.DOWNLOAD_TIME, Method.MEANFIELD): _download_time_meanfield,
     (Quantity.PHASES, Method.EXACT): _phases(Method.EXACT),
     (Quantity.PHASES, Method.BATCH): _phases(Method.BATCH),
     (Quantity.PHASES, Method.SERIAL): _phases(Method.SERIAL),
+    (Quantity.PHASES, Method.MEANFIELD): _phases_meanfield,
     (Quantity.TRANSIENT, Method.EXACT): _transient(Method.EXACT),
     (Quantity.TRANSIENT, Method.DICT): _transient(Method.DICT),
 }
@@ -743,13 +861,18 @@ def solve(
         quantity: a :class:`Quantity` or its name/alias.
         method: a :class:`Method` or its name/alias; ``"auto"``
             (default) picks the exact engine whenever the transient
-            space fits the operator cap, batched Monte Carlo otherwise.
+            space fits the operator cap, batched Monte Carlo up to
+            :data:`MEANFIELD_STATE_FACTOR` times the cap, and the
+            mean-field ODE limit (``"meanfield"``) beyond — see
+            :func:`_resolve_auto`.
         cache: the :class:`~repro.runtime.cache.KernelCache` to resolve
             chains/operators through (default: the process-shared one).
         **options: per-engine knobs — ``runs``/``seed`` for the
             Monte-Carlo methods, ``drop_tol``/``max_states`` for the
             sparse engine, ``horizon``/``prune`` for the propagation
-            paths.  Unknown options raise an actionable error.
+            paths, ``rtol``/``atol``/``drain_tol``/``max_rounds``/
+            ``swarm_size`` for the mean-field ODE backend.  Unknown
+            options raise an actionable error.
 
     Returns:
         A :class:`SolveResult`; ``payload`` is the quantity's native

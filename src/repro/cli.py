@@ -79,9 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "estimator for experiments with a method switch: 'exact' "
             "(alias 'sparse'; fundamental-matrix solve, noise-free), "
-            "'batch' (vectorized Monte Carlo), or 'serial' (alias "
-            "'monte-carlo'; per-trajectory Monte Carlo); unknown values "
-            "list the valid choices"
+            "'batch' (vectorized Monte Carlo), 'serial' (alias "
+            "'monte-carlo'; per-trajectory Monte Carlo), or 'meanfield' "
+            "(alias 'mean-field', 'ode'; deterministic large-swarm ODE "
+            "limit); unknown values list the valid choices"
         ),
     )
     run.add_argument(
@@ -277,7 +278,10 @@ def _command_run(
             # listed, before any experiment work starts.
             kwargs["method"] = Method.parse(
                 method,
-                allowed=(Method.EXACT, Method.BATCH, Method.SERIAL),
+                allowed=(
+                    Method.EXACT, Method.BATCH, Method.SERIAL,
+                    Method.MEANFIELD,
+                ),
             ).value
         else:
             print(

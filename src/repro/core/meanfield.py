@@ -1,0 +1,701 @@
+"""Mean-field ODE backend: the deterministic large-swarm limit.
+
+The exact sparse engine answers every quantity by enumerating the
+``(n, b, i)`` transient space — ``B (k+1)(s+1)`` states — and the
+Monte-Carlo samplers trade that enumeration for noise.  This module
+adds the third regime: the *mean-field* (fluid / epidemiological)
+limit, exact as the swarm size ``N`` grows, whose cost is independent
+of ``N`` and polynomial only in the tiny ``(k, s)`` margins.
+
+Peer layer — closure of the (n, b, i) chain
+-------------------------------------------
+Every peer follows the paper's synchronous round chain.  In a large
+swarm the piece count concentrates: we replace each peer's random ``b``
+by the deterministic mean path ``b̄(t)`` while propagating the *full
+joint law* ``rho(n, i)`` of the connection count and potential-set size
+under the exact ``g``/``h`` kernels of Eq. (2)-(3) evaluated at
+``c = min(b̄ + n, B - 1)`` (a trading peer never sees ``c = B``: in the
+chain ``b + n >= B`` means the round completes the download).  The
+round map is continuized into the coupled ODE system::
+
+    d rho / dt = rho K(b̄) - rho          (master equation, rate 1/round)
+    d b̄  / dt = E_rho[ n ]               (one piece per connection-round)
+
+solved with :func:`scipy.integrate.solve_ivp`.  Peers reaching
+``b̄ + n >= B`` are absorbed (download complete); the survivor mass
+``S(t)`` and absorbed mass close to 1 exactly when the kernel rows are
+stochastic — the mass-conservation invariant the conformance suite
+checks.
+
+Three boundary details keep the continuization faithful to the
+synchronous chain:
+
+* **Exact first two rounds.** From ``(0, 0, 0)`` the chain is
+  deterministic in ``b`` through round 2 (``b' = 1`` with ``n' = 0``,
+  then ``b`` holds at 1 while connections form), so the ODE starts at
+  ``t = 2`` from one *discrete* application of the kernel — no
+  continuization error where round boundaries matter most.
+* **Round-boundary correction.** A synchronous peer realises a level
+  crossing only at the next integer round: for a dispersed crossing
+  time ``tau``, ``E[ceil(tau)] ~= E[tau] + 1/2``.  Every first-passage
+  readout (timeline levels, download time) therefore adds
+  :data:`ROUND_CORRECTION`.
+* **Trading-power cap.** ``p(c)`` is interpolated on ``c in [0, B-1]``
+  and held constant beyond: the ``p(B) = 0`` cell of Eq. (1) belongs to
+  completed peers, which the absorption term already removes.
+
+Against the exact fundamental-matrix solve this closure lands within
+~1% on the mean download time across the calibration grid (see
+``tests/conformance/``), degrading gracefully only in the
+stall-dominated small-``s`` regime where no large-``N`` limit helps.
+
+Swarm layer — per-piece population transport
+--------------------------------------------
+:class:`SwarmMeanField` lifts the peer velocity field to swarm scale:
+``x_l(t)`` counts leechers holding ``l`` pieces, transported along the
+levels at the peer-layer velocity and throttled by the swarm's shared
+upload capacity; completions feed a seed population ``y(t)`` with
+departures at rate ``gamma_s``.  With a single level the system is
+*identically* the Qiu-Srikant fluid model (`repro.baselines.fluid`) —
+``dx/dt = lambda - theta x - min(c x, mu(eta x + y))`` — which the
+conformance suite asserts trajectory-for-trajectory.
+
+Swarm size enters the peer layer only through the escape probabilities
+(``alpha = lambda w s / N``, :meth:`ModelParameters.alpha_from_swarm`),
+so one peer-layer solve covers any ``N`` — that is what makes
+10**5..10**7-peer swarms answerable in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, NamedTuple, Optional
+
+import numpy as np
+import scipy.integrate
+
+from repro.core.binomial import binomial_pmf, convolve_pmf
+from repro.core.parameters import ModelParameters
+from repro.core.phases import Phase
+from repro.core.trading_power import exchange_probability_curve
+from repro.errors import ConvergenceError, ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+__all__ = [
+    "ROUND_CORRECTION",
+    "DEFAULT_RTOL",
+    "DEFAULT_ATOL",
+    "DEFAULT_DRAIN_TOL",
+    "MeanFieldTables",
+    "MeanFieldTrajectory",
+    "MeanFieldSolution",
+    "build_tables",
+    "solve_mean_field",
+    "SwarmMeanField",
+    "SwarmTrajectory",
+]
+
+#: Half-round added to every first-passage readout: a synchronous peer
+#: realises a crossing at the next integer round, and for a dispersed
+#: continuous crossing time ``tau``, ``E[ceil(tau)] ~= E[tau] + 1/2``.
+ROUND_CORRECTION = 0.5
+
+#: Default `solve_ivp` tolerances.  The closure error (~1% of the mean
+#: download time) dominates far above this integration error, so the
+#: defaults favour speed; tighten per-call for invariant checks.
+DEFAULT_RTOL = 1e-4
+DEFAULT_ATOL = 1e-7
+
+#: Survivor mass below which the integration stops: the neglected tail
+#: contributes at most ``drain_tol / min(alpha, gamma)`` rounds.
+DEFAULT_DRAIN_TOL = 1e-7
+
+#: Escape-branch switch: ``c == 1`` escapes a stall with ``alpha``
+#: (bootstrap), ``c > 1`` with ``gamma`` (last phase).  On the
+#: continuous ``c`` axis the branch flips at 1.5.
+_ESCAPE_SWITCH = 1.5
+
+
+class MeanFieldTables(NamedTuple):
+    """Precomputed kernel tables driving the mean-field right-hand side.
+
+    Attributes:
+        p_curve: trading power ``p(c)`` for integer ``c = 0..B``
+            (Eq. 1; shared with :class:`~repro.core.transitions.TransitionKernel`).
+        trade_pmf: shape ``(B, s + 1)``; row ``c`` is the trading-branch
+            pmf ``Bin(s, p(c))`` of the ``g`` kernel for integer
+            ``c = 0..B-1`` (``c = B`` belongs to completed peers).
+        conn_map: shape ``(k + 1, s + 1, k + 1)``;
+            ``conn_map[n, i']`` is the ``h`` kernel pmf of ``n'`` —
+            ``Bin(n, p_r) (+) Bin(max(min(i', k) - n, 0), p_n)``.
+    """
+
+    p_curve: np.ndarray
+    trade_pmf: np.ndarray
+    conn_map: np.ndarray
+
+
+def build_tables(
+    params: ModelParameters, *, p_curve: Optional[np.ndarray] = None
+) -> MeanFieldTables:
+    """Build the kernel tables for ``params``.
+
+    Args:
+        p_curve: optional precomputed trading-power curve (index ``c``),
+            e.g. ``cache.kernel(params).p_curve`` — Eq. (1) is O(B^3)
+            and by far the dominant cold-start cost at paper scale.
+    """
+    B, k, s = params.num_pieces, params.max_conns, params.ns_size
+    if p_curve is None:
+        p_curve = exchange_probability_curve(B, params.phi)
+    p_curve = np.asarray(p_curve, dtype=float)
+    if p_curve.shape != (B + 1,):
+        raise ParameterError(
+            f"p_curve must have shape ({B + 1},), got {p_curve.shape}"
+        )
+
+    # Trading-branch pmf rows Bin(s, p(c)), all c at once: the stable
+    # multiplicative recurrence of repro.core.binomial vectorized over
+    # rows (with the p > 1/2 symmetry flip to avoid underflow).
+    ps = p_curve[:B]
+    q = np.minimum(ps, 1.0 - ps)
+    trade_pmf = np.zeros((B, s + 1))
+    trade_pmf[:, 0] = (1.0 - q) ** s
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(q < 1.0, q / (1.0 - q), 0.0)
+    for m in range(s):
+        trade_pmf[:, m + 1] = trade_pmf[:, m] * ((s - m) / (m + 1)) * ratio
+    flip = ps > 0.5
+    trade_pmf[flip] = trade_pmf[flip, ::-1]
+    trade_pmf /= trade_pmf.sum(axis=1, keepdims=True)
+
+    # h kernel: n' ~ Bin(n, p_r) (+) Bin(free, p_n), free = min(i',k)-n.
+    conv = np.zeros((k + 1, k + 1, k + 1))
+    for n in range(k + 1):
+        survivors = binomial_pmf(n, params.p_reenc)
+        for free in range(k + 1 - n):
+            pmf = convolve_pmf(survivors, binomial_pmf(free, params.p_new))
+            conv[n, free, : n + free + 1] = pmf
+    conn_map = np.zeros((k + 1, s + 1, k + 1))
+    for n in range(k + 1):
+        for i_next in range(s + 1):
+            conn_map[n, i_next] = conv[n, max(min(i_next, k) - n, 0)]
+    return MeanFieldTables(
+        p_curve=p_curve, trade_pmf=trade_pmf, conn_map=conn_map
+    )
+
+
+@dataclass(frozen=True)
+class MeanFieldTrajectory:
+    """The integrated mean-field path on the solver's time grid.
+
+    Attributes:
+        times: round axis (starts at 2 — rounds 0..2 are exact).
+        pieces_mean: deterministic piece count ``b̄(t)``, capped at B.
+        survivor_mass: mass of peers still downloading, ``S(t)``.
+        completed_mass: absorbed (finished) mass; ``S + completed = 1``
+            up to integration error — the conservation invariant.
+        potential_mean: survivor-average normalised potential set
+            ``E[i]/s`` (NaN once the survivors have drained).
+    """
+
+    times: np.ndarray
+    pieces_mean: np.ndarray
+    survivor_mass: np.ndarray
+    completed_mass: np.ndarray
+    potential_mean: np.ndarray
+
+
+@dataclass(frozen=True)
+class MeanFieldSolution:
+    """Everything one peer-layer mean-field solve answers.
+
+    Attributes:
+        params: the model parameters solved.
+        download_time: expected rounds to ``b == B`` (round-boundary
+            corrected).
+        timeline: ``timeline[x]`` — expected first round holding at
+            least ``x`` pieces, ``x = 0..B`` (``timeline[B]`` equals
+            ``download_time``).
+        potential_ratio: ``E[i]/s`` among peers crossing each piece
+            level (NaN at level 0, mirroring the exact engine).
+        occupancy: expected rounds spent per piece level (the
+            level-crossing gaps; the mean-field analogue of the sampler
+            observation counts).
+        phase_rounds: expected rounds per download phase
+            (:class:`~repro.core.phases.Phase` keys; COMPLETE is the
+            absorbing phase and spends 0 rounds).
+        trajectory: the integrated path (golden-test surface).
+        stats: solver counters — ``nfev``, ``steps``, ``t_final``,
+            ``drained_mass``.
+    """
+
+    params: ModelParameters
+    download_time: float
+    timeline: np.ndarray
+    potential_ratio: np.ndarray
+    occupancy: np.ndarray
+    phase_rounds: Dict[Phase, float]
+    trajectory: MeanFieldTrajectory
+    stats: Dict[str, float]
+
+
+def _gh_round(
+    rho: np.ndarray,
+    pieces: float,
+    params: ModelParameters,
+    tables: MeanFieldTables,
+    nvec: np.ndarray,
+) -> np.ndarray:
+    """One ``g`` then ``h`` kernel application at common piece count.
+
+    ``rho`` has shape ``(k + 1, s + 1)``; the trading power input
+    ``c = pieces + n`` is capped at ``B - 1`` (see module docstring) and
+    the pmf row is interpolated linearly between the integer-``c``
+    rows, so at integer ``b`` this reproduces the chain kernels exactly.
+    """
+    B = params.num_pieces
+    c = np.minimum(pieces + nvec, float(B) - 1.0)
+    low = np.floor(c).astype(int)
+    frac = c - low
+    high = np.minimum(low + 1, B - 1)
+    trade = (
+        (1.0 - frac)[:, None] * tables.trade_pmf[low]
+        + frac[:, None] * tables.trade_pmf[high]
+    )
+    escape = np.where(
+        pieces + nvec < _ESCAPE_SWITCH, params.alpha, params.gamma
+    )
+    mid = rho[:, 1:].sum(axis=1)[:, None] * trade
+    mid[:, 0] += rho[:, 0] * (1.0 - escape)
+    mid[:, 1] += rho[:, 0] * escape
+    return np.einsum("ni,nim->mi", mid, tables.conn_map)
+
+
+def solve_mean_field(
+    params: ModelParameters,
+    *,
+    rtol: float = DEFAULT_RTOL,
+    atol: float = DEFAULT_ATOL,
+    drain_tol: float = DEFAULT_DRAIN_TOL,
+    max_rounds: Optional[float] = None,
+    tables: Optional[MeanFieldTables] = None,
+) -> MeanFieldSolution:
+    """Solve the peer-layer mean-field ODE system for ``params``.
+
+    Args:
+        rtol / atol: `solve_ivp` tolerances (defaults favour speed; the
+            closure error dominates far above them).
+        drain_tol: survivor mass at which the integration terminates.
+        max_rounds: hard time horizon; the default scales with ``B``
+            and the slowest escape rate.  Exceeding it raises
+            :class:`~repro.errors.ConvergenceError`.
+        tables: precomputed :class:`MeanFieldTables` (e.g. via
+            :meth:`repro.runtime.cache.KernelCache.meanfield_tables`);
+            built on the fly when omitted.
+
+    Returns:
+        A :class:`MeanFieldSolution`; cost is independent of swarm size
+        (see module docstring) and ``O((k s)``-sized linear algebra per
+        right-hand-side evaluation.
+    """
+    if rtol <= 0 or atol <= 0:
+        raise ParameterError(f"rtol/atol must be > 0, got {rtol}/{atol}")
+    if not 0 < drain_tol < 1:
+        raise ParameterError(f"drain_tol must be in (0, 1), got {drain_tol}")
+    B, k, s = params.num_pieces, params.max_conns, params.ns_size
+    if tables is None:
+        tables = build_tables(params)
+    nvec = np.arange(k + 1, dtype=float)
+    ivec = np.arange(s + 1, dtype=float)
+    size = (k + 1) * (s + 1)
+    levels = np.arange(B + 1, dtype=float)
+
+    # Rounds 0..2 are exact: b' = 1 deterministically from (0, 0, 0)
+    # with n' = 0 (c = 0), and b holds at 1 through round 2 while the
+    # first connections form.  State (0,0,0) and (0,1,i) are both
+    # bootstrap rounds (b + n <= 1).
+    rho_round1 = np.zeros((k + 1, s + 1))
+    rho_round1[0] = binomial_pmf(s, params.p_init)
+    if B == 1:
+        # b' = 1 == B: the first round completes the download.
+        return _degenerate_single_piece(params, rho_round1)
+    rho_round2 = _gh_round(rho_round1, 1.0, params, tables, nvec)
+
+    # ODE state: [rho (flattened), b̄, absorbed, ∫S, ∫boot, ∫last].
+    absorbed_at = float(B) - 1e-12
+
+    def rhs(_t: float, y: np.ndarray) -> np.ndarray:
+        rho = np.maximum(y[:size], 0.0).reshape(k + 1, s + 1)
+        pieces = min(y[size], float(B))
+        rho_next = _gh_round(rho, pieces, params, tables, nvec)
+        completing = (pieces + nvec) >= absorbed_at
+        flux = rho_next[completing, :].sum()
+        d_rho = rho_next - rho
+        d_rho[completing, :] -= rho_next[completing, :]
+        survivors = rho.sum()
+        row_mass = rho.sum(axis=1)
+        mean_conns = (
+            float(nvec @ row_mass) / survivors if survivors > 1e-14 else 0.0
+        )
+        bootstrap = pieces + nvec <= _ESCAPE_SWITCH
+        return np.concatenate([
+            d_rho.ravel(),
+            [
+                mean_conns,
+                flux,
+                survivors,
+                rho[bootstrap, :].sum(),
+                rho[~bootstrap, 0].sum(),
+            ],
+        ])
+
+    def drained(_t: float, y: np.ndarray) -> float:
+        return float(np.maximum(y[:size], 0.0).sum()) - drain_tol
+
+    drained.terminal = True
+    drained.direction = -1
+
+    horizon = max_rounds if max_rounds is not None else (
+        400.0 * B + 100.0 / min(params.alpha, params.gamma)
+    )
+    if horizon <= 2.0:
+        raise ParameterError(f"max_rounds must be > 2, got {horizon}")
+    y0 = np.concatenate([rho_round2.ravel(), [1.0, 0.0, 0.0, 0.0, 0.0]])
+    sol = scipy.integrate.solve_ivp(
+        rhs,
+        (2.0, horizon),
+        y0,
+        method="RK45",
+        rtol=rtol,
+        atol=atol,
+        events=drained,
+        dense_output=True,
+    )
+    if sol.status < 0 or (sol.status == 0 and drained(0.0, sol.y[:, -1]) > 0):
+        raise ConvergenceError(
+            f"mean-field integration did not drain by t={horizon}: "
+            f"{sol.message} (survivor mass "
+            f"{np.maximum(sol.y[:size, -1], 0.0).sum():.3e})"
+        )
+
+    times = sol.t
+    pieces_mean = np.minimum(sol.y[size], float(B))
+    survivor_mass = np.maximum(sol.y[:size], 0.0).sum(axis=0)
+    completed_mass = sol.y[size + 1]
+    # Expected rounds: 2 exact rounds + survivor-mass integral, plus
+    # the round-boundary correction (see ROUND_CORRECTION).
+    download_time = 2.0 + float(sol.y[size + 2, -1]) + ROUND_CORRECTION
+
+    # Timeline: invert the monotone b̄(t).  Levels the deterministic
+    # path never reaches (the last fraction of a piece is supplied by
+    # the completing jump b + n >= B) are filled with the mean
+    # download time, as is level B itself.
+    crossing = np.interp(levels, pieces_mean, times, right=np.nan)
+    timeline = crossing + ROUND_CORRECTION
+    timeline[0] = 0.0
+    timeline[1] = 1.0
+    timeline = np.where(np.isnan(timeline), download_time, timeline)
+    timeline = np.minimum(timeline, download_time)
+    np.maximum.accumulate(timeline, out=timeline)
+    occupancy = np.diff(timeline, append=download_time)
+    occupancy[B] = 0.0
+
+    # Potential ratio per level: survivor-average E[i]/s evaluated at
+    # the middle of the level's occupancy window (crossing + 1/2).
+    potential_ratio = np.full(B + 1, np.nan)
+    potential_ratio[1] = float(rho_round1[0] @ ivec) / s
+    t_end = float(times[-1])
+    for level in range(2, B + 1):
+        probe = crossing[level - 1] if level < B else t_end - 1e-9
+        if np.isnan(probe):
+            probe = t_end - 1e-9
+        probe = min(max(probe + ROUND_CORRECTION, 2.0), t_end)
+        rho = np.maximum(sol.sol(probe)[:size], 0.0).reshape(k + 1, s + 1)
+        mass = rho.sum()
+        if mass > 1e-13:
+            potential_ratio[level] = float(rho.sum(axis=0) @ ivec) / (s * mass)
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        potential_mean = np.where(
+            survivor_mass > 1e-13,
+            (ivec @ np.maximum(sol.y[:size], 0.0).reshape(k + 1, s + 1, -1)
+             .sum(axis=0)) / (s * np.maximum(survivor_mass, 1e-300)),
+            np.nan,
+        )
+
+    # Phases: rounds 0 and 1 are bootstrap by construction; the ODE
+    # integrals split the remainder, and the round-boundary correction
+    # belongs to the efficient bulk.
+    boot = 2.0 + float(sol.y[size + 3, -1])
+    last = float(sol.y[size + 4, -1])
+    phase_rounds = {
+        Phase.BOOTSTRAP: boot,
+        Phase.EFFICIENT: max(download_time - boot - last, 0.0),
+        Phase.LAST: last,
+    }
+
+    return MeanFieldSolution(
+        params=params,
+        download_time=download_time,
+        timeline=timeline,
+        potential_ratio=potential_ratio,
+        occupancy=occupancy,
+        phase_rounds=phase_rounds,
+        trajectory=MeanFieldTrajectory(
+            times=times,
+            pieces_mean=pieces_mean,
+            survivor_mass=survivor_mass,
+            completed_mass=completed_mass,
+            potential_mean=potential_mean,
+        ),
+        stats={
+            "nfev": int(sol.nfev),
+            "steps": int(times.size),
+            "t_final": t_end,
+            "drained_mass": float(survivor_mass[-1]),
+        },
+    )
+
+
+def _degenerate_single_piece(
+    params: ModelParameters, rho_round1: np.ndarray
+) -> MeanFieldSolution:
+    """``B == 1``: round 0 delivers the only piece — no ODE needed."""
+    s = params.ns_size
+    ivec = np.arange(s + 1, dtype=float)
+    timeline = np.array([0.0, 1.0])
+    times = np.array([0.0, 1.0])
+    return MeanFieldSolution(
+        params=params,
+        download_time=1.0,
+        timeline=timeline,
+        potential_ratio=np.array([np.nan, float(rho_round1[0] @ ivec) / s]),
+        occupancy=np.array([1.0, 0.0]),
+        phase_rounds={
+            Phase.BOOTSTRAP: 1.0,
+            Phase.EFFICIENT: 0.0,
+            Phase.LAST: 0.0,
+        },
+        trajectory=MeanFieldTrajectory(
+            times=times,
+            pieces_mean=np.array([0.0, 1.0]),
+            survivor_mass=np.array([1.0, 0.0]),
+            completed_mass=np.array([0.0, 1.0]),
+            potential_mean=np.array([np.nan, np.nan]),
+        ),
+        stats={"nfev": 0, "steps": 2, "t_final": 1.0, "drained_mass": 0.0},
+    )
+
+
+# ----------------------------------------------------------------------
+# Swarm layer: per-piece population transport over the peer velocities
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SwarmTrajectory:
+    """Integrated swarm populations.
+
+    Attributes:
+        times: swarm time axis (rounds).
+        leechers: shape ``(levels, points)`` — population per piece
+            level.
+        seeds: seed population ``y(t)``.
+        completed: cumulative completed downloads.
+    """
+
+    times: np.ndarray
+    leechers: np.ndarray
+    seeds: np.ndarray
+    completed: np.ndarray
+
+    def total_leechers(self) -> np.ndarray:
+        """``x(t)`` summed over the piece levels."""
+        return self.leechers.sum(axis=0)
+
+
+@dataclass(frozen=True)
+class SwarmMeanField:
+    """Population transport over piece levels with shared upload capacity.
+
+    Leechers at level ``l`` (holding ``l/L`` of the file) advance at
+    the peer-layer velocity ``level_velocity[l]`` (levels/round),
+    throttled by the swarm-wide factor
+    ``phi = min(1, capacity / demand)`` with capacity
+    ``mu (eta X + y)`` files/round — exactly the Qiu-Srikant service
+    term.  With ``levels == 1`` the system *is* the Qiu-Srikant fluid
+    model with download rate ``c = level_velocity[0]``
+    (:class:`repro.baselines.fluid.FluidModel`), reproduced
+    trajectory-for-trajectory (to round-off) by the conformance suite.
+
+    Attributes:
+        level_velocity: downlink velocity per piece level
+            (levels/round); length defines the level count ``L``.
+        arrival_rate: ``lambda``, new leechers per round (into level 0).
+        upload_rate: ``mu``, files per peer per round uploaded.
+        efficiency: ``eta``, sharing effectiveness (the quantity the
+            multiphased model *derives*; see
+            :meth:`repro.runtime.cache.KernelCache.efficiency_point`).
+        abort_rate: ``theta``, per-leecher abandonment rate.
+        seed_departure_rate: ``gamma_s`` > 0.
+    """
+
+    level_velocity: np.ndarray
+    arrival_rate: float
+    upload_rate: float = 1.0
+    efficiency: float = 1.0
+    abort_rate: float = 0.0
+    seed_departure_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        velocity = np.atleast_1d(
+            np.asarray(self.level_velocity, dtype=float)
+        )
+        if velocity.ndim != 1 or velocity.size == 0:
+            raise ParameterError("level_velocity must be a non-empty 1-D array")
+        if (velocity <= 0).any():
+            raise ParameterError("level_velocity entries must be > 0")
+        object.__setattr__(self, "level_velocity", velocity)
+        if self.arrival_rate < 0:
+            raise ParameterError(
+                f"arrival_rate must be >= 0, got {self.arrival_rate}"
+            )
+        if self.upload_rate <= 0:
+            raise ParameterError(
+                f"upload_rate must be > 0, got {self.upload_rate}"
+            )
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ParameterError(
+                f"efficiency must be in (0, 1], got {self.efficiency}"
+            )
+        if self.abort_rate < 0:
+            raise ParameterError(
+                f"abort_rate must be >= 0, got {self.abort_rate}"
+            )
+        if self.seed_departure_rate <= 0:
+            raise ParameterError(
+                f"seed_departure_rate must be > 0, "
+                f"got {self.seed_departure_rate}"
+            )
+
+    @property
+    def levels(self) -> int:
+        return int(self.level_velocity.size)
+
+    @classmethod
+    def from_peer_solution(
+        cls,
+        solution: MeanFieldSolution,
+        *,
+        arrival_rate: float,
+        upload_rate: float = 1.0,
+        efficiency: float = 1.0,
+        abort_rate: float = 0.0,
+        seed_departure_rate: float = 1.0,
+        floor: float = 1e-3,
+    ) -> "SwarmMeanField":
+        """Lift a peer-layer solve into the swarm transport system.
+
+        The level velocity is the reciprocal of the peer layer's
+        expected occupancy per level (rounds spent holding ``l``
+        pieces), floored at ``floor`` levels/round so the transport
+        operator stays well-posed at the slow boundary levels.
+        """
+        occupancy = solution.occupancy[:-1]
+        with np.errstate(divide="ignore"):
+            velocity = np.where(occupancy > 0, 1.0 / occupancy, np.inf)
+        velocity = np.clip(velocity, floor, 1.0 / max(floor, 1e-12))
+        return cls(
+            level_velocity=velocity,
+            arrival_rate=arrival_rate,
+            upload_rate=upload_rate,
+            efficiency=efficiency,
+            abort_rate=abort_rate,
+            seed_departure_rate=seed_departure_rate,
+        )
+
+    def completion_rate(self, state: np.ndarray) -> float:
+        """Downloads completing per round at ``state = (x_0.., y)``."""
+        flux = self._level_flux(np.maximum(state[: self.levels], 0.0),
+                                max(float(state[self.levels]), 0.0))
+        return float(flux[-1])
+
+    def _level_flux(self, x: np.ndarray, y: float) -> np.ndarray:
+        desired = self.level_velocity * x
+        # Demand in file units: crossing all L levels moves one file.
+        demand = float(desired.sum()) / self.levels
+        capacity = self.upload_rate * (
+            self.efficiency * float(x.sum()) + y
+        )
+        if demand <= capacity:
+            return desired
+        return desired * (capacity / demand) if demand > 0.0 else desired
+
+    def derivatives(self, state: np.ndarray) -> np.ndarray:
+        """Right-hand side at ``state = (x_0..x_{L-1}, y)``."""
+        L = self.levels
+        x = np.maximum(state[:L], 0.0)
+        y = max(float(state[L]), 0.0)
+        flux = self._level_flux(x, y)
+        inflow = np.concatenate([[self.arrival_rate], flux[:-1]])
+        dx = inflow - self.abort_rate * x - flux
+        dy = flux[-1] - self.seed_departure_rate * y
+        return np.concatenate([dx, [dy]])
+
+    def integrate(
+        self,
+        horizon: float,
+        *,
+        x0: Optional[np.ndarray] = None,
+        y0: float = 1.0,
+        points: int = 200,
+    ) -> SwarmTrajectory:
+        """Integrate the transport ODEs from ``(x0, y0)`` to ``horizon``.
+
+        Mirrors :meth:`repro.baselines.fluid.FluidModel.integrate`
+        (RK45, ``max_step = horizon / points``) so the single-level
+        reduction reproduces the Qiu-Srikant trajectories exactly.
+        """
+        if horizon <= 0:
+            raise ParameterError(f"horizon must be > 0, got {horizon}")
+        if points < 2:
+            raise ParameterError(f"points must be >= 2, got {points}")
+        L = self.levels
+        if x0 is None:
+            x0 = np.zeros(L)
+        x0 = np.asarray(x0, dtype=float)
+        if x0.shape != (L,):
+            raise ParameterError(
+                f"x0 must have shape ({L},), got {x0.shape}"
+            )
+        times = np.linspace(0.0, horizon, points)
+        solution = scipy.integrate.solve_ivp(
+            lambda _t, state: self.derivatives(state),
+            (0.0, horizon),
+            np.concatenate([x0, [y0]]),
+            t_eval=times,
+            method="RK45",
+            max_step=horizon / points,
+        )
+        if not solution.success:
+            raise ConvergenceError(
+                f"swarm mean-field integration failed: {solution.message}"
+            )
+        # Completions by quadrature of the completion flux on the output
+        # grid — kept out of the ODE state so the single-level system is
+        # *identically* the Qiu-Srikant one (same error norm, same
+        # steps, same trajectory).
+        rate = np.array([
+            self.completion_rate(solution.y[:, j])
+            for j in range(times.size)
+        ])
+        completed = np.concatenate(
+            [[0.0], np.cumsum(np.diff(times) * (rate[:-1] + rate[1:]) / 2.0)]
+        )
+        return SwarmTrajectory(
+            times=times,
+            leechers=np.clip(solution.y[:L], 0.0, None),
+            seeds=np.clip(solution.y[L], 0.0, None),
+            completed=completed,
+        )

@@ -10,7 +10,8 @@ historical call keeps working.
 
 ================  ====================================================
 ``AUTO``          pick for the caller: exact when the transient space
-                  fits the operator cap, batched Monte Carlo otherwise
+                  fits the operator cap, batched Monte Carlo in the
+                  mid band, mean-field far above it
 ``EXACT``         sparse fundamental-matrix / CSR propagation engine
                   (aliases: ``sparse``, ``fundamental``)
 ``BATCH``         vectorized Monte Carlo on the batch sampler
@@ -18,6 +19,8 @@ historical call keeps working.
                   (aliases: ``monte-carlo``, ``montecarlo``)
 ``DICT``          the per-state ``Dict[State, float]`` reference engine
                   (alias: ``reference``)
+``MEANFIELD``     deterministic large-swarm ODE limit
+                  (aliases: ``mean-field``, ``ode``)
 ================  ====================================================
 
 This module is deliberately dependency-free (only ``repro.errors``) so
@@ -48,6 +51,7 @@ class Method(str, enum.Enum):
     BATCH = "batch"
     SERIAL = "serial"
     DICT = "dict"
+    MEANFIELD = "meanfield"
 
     def __str__(self) -> str:  # "exact", not "Method.EXACT"
         return self.value
@@ -136,4 +140,6 @@ METHOD_ALIASES = {
     "monte-carlo": Method.SERIAL,
     "montecarlo": Method.SERIAL,
     "reference": Method.DICT,
+    "mean-field": Method.MEANFIELD,
+    "ode": Method.MEANFIELD,
 }

@@ -33,6 +33,7 @@ MODEL_METHOD_LABELS = {
     Method.EXACT: "exact",
     Method.BATCH: "batch",
     Method.SERIAL: "monte-carlo",
+    Method.MEANFIELD: "meanfield",
 }
 
 
@@ -41,14 +42,16 @@ def resolve_model_method(
 ) -> Method:
     """Parse a runner's ``method`` argument into the unified vocabulary.
 
-    Accepts the canonical names (``exact``/``batch``/``serial``) plus
-    the historical aliases (``monte-carlo``, ``sparse``, ...); ``None``
-    resolves to ``default``.  Unknown values raise an actionable
-    :class:`~repro.errors.ParameterError` listing the valid choices.
+    Accepts the canonical names
+    (``exact``/``batch``/``serial``/``meanfield``) plus the historical
+    aliases (``monte-carlo``, ``sparse``, ``mean-field``, ...);
+    ``None`` resolves to ``default``.  Unknown values raise an
+    actionable :class:`~repro.errors.ParameterError` listing the valid
+    choices.
     """
     return Method.parse(
         method,
-        allowed=(Method.EXACT, Method.BATCH, Method.SERIAL),
+        allowed=(Method.EXACT, Method.BATCH, Method.SERIAL, Method.MEANFIELD),
         default=default,
     )
 

@@ -40,6 +40,7 @@ from repro.runtime.seeding import derive_seed
 from repro.runtime.tasks import (
     batch_potential_ratio_task,
     exact_potential_ratio_task,
+    meanfield_potential_ratio_task,
     potential_ratio_task,
 )
 from repro.runtime.telemetry import Telemetry
@@ -125,8 +126,10 @@ def run_fig1a(
         method: ``"exact"`` (default) reads the noise-free curve off the
             compiled sparse operator's fundamental-matrix solve — one
             deterministic task per PSS, paper scale included.
-            ``"monte-carlo"`` (alias ``"serial"``; one trajectory per
-            task) and ``"batch"`` (one vectorized
+            ``"meanfield"`` reads it off the large-swarm ODE limit
+            (also one deterministic task per PSS, milliseconds at any
+            scale).  ``"monte-carlo"`` (alias ``"serial"``; one
+            trajectory per task) and ``"batch"`` (one vectorized
             :class:`~repro.core.batch.BatchChainSampler` task per PSS —
             statistically equivalent, not bit-identical) remain as
             sampling cross-checks.
@@ -158,6 +161,16 @@ def run_fig1a(
         for offset, pss in enumerate(pss_values):
             ratio, states = outcomes[offset]
             executor.record_events(states)
+            ratios[pss] = ratio
+    elif method is Method.MEANFIELD:
+        tasks = [
+            TaskSpec(meanfield_potential_ratio_task, (params[pss],))
+            for pss in pss_values
+        ]
+        outcomes = executor.run(tasks)
+        for offset, pss in enumerate(pss_values):
+            ratio, evals = outcomes[offset]
+            executor.record_events(evals)
             ratios[pss] = ratio
     elif method is Method.BATCH:
         tasks = [

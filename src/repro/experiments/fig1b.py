@@ -38,6 +38,7 @@ from repro.runtime.tasks import (
     batch_first_passage_task,
     exact_first_passage_task,
     first_passage_task,
+    meanfield_first_passage_task,
 )
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
@@ -191,10 +192,11 @@ def run_fig1b(
             buckets into the returned telemetry (``--timing``).
         method: model-curve method — ``"serial"``/``"monte-carlo"``
             (per-trajectory fan, the default), ``"batch"`` (vectorized
-            sampler, defaulted to by ``model_batch=True``), or
-            ``"exact"`` (noise-free expected first-passage rounds from
-            the sparse fundamental-matrix solve; ``model_runs``
-            ignored).  The simulator side always samples.
+            sampler, defaulted to by ``model_batch=True``), ``"exact"``
+            (noise-free expected first-passage rounds from the sparse
+            fundamental-matrix solve; ``model_runs`` ignored), or
+            ``"meanfield"`` (deterministic large-swarm ODE limit, also
+            ``model_runs``-free).  The simulator side always samples.
     """
     if not pss_values:
         raise ParameterError("pss_values must be non-empty")
@@ -255,6 +257,11 @@ def run_fig1b(
             TaskSpec(exact_first_passage_task, (model_params[pss],))
             for pss in pss_values
         ]
+    elif method is Method.MEANFIELD:
+        tasks = [
+            TaskSpec(meanfield_first_passage_task, (model_params[pss],))
+            for pss in pss_values
+        ]
     elif method is Method.BATCH:
         tasks = [
             TaskSpec(
@@ -284,7 +291,7 @@ def run_fig1b(
     outcomes = executor.run(tasks)
 
     for offset, pss in enumerate(pss_values):
-        if method is Method.EXACT:
+        if method in (Method.EXACT, Method.MEANFIELD):
             timeline, states = outcomes[offset]
             executor.record_events(states)
             model[pss] = timeline

@@ -31,6 +31,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.chain import DownloadChain
+    from repro.core.meanfield import MeanFieldSolution, MeanFieldTables
     from repro.core.parameters import ModelParameters
     from repro.core.sparse import SparseChainOperator
     from repro.core.transitions import TransitionKernel
@@ -271,6 +272,69 @@ class KernelCache:
         )
         self._insert(key, operator)
         return operator
+
+    def meanfield_tables(self, params: "ModelParameters") -> "MeanFieldTables":
+        """Memoized mean-field kernel tables for ``params``.
+
+        Shares the kernel's trading-power curve (Eq. 1 is O(B^3) and
+        dominates a cold mean-field solve at paper scale), so a warm
+        chain makes the table build nearly free.
+        """
+        key = ("meanfield_tables", params)
+        tables = self._lookup(key, sparse=False)
+        if tables is not None:
+            return tables
+        from repro.core.meanfield import build_tables
+
+        # Build outside the lock; the kernel supplies the p-curve.
+        tables = build_tables(params, p_curve=self.kernel(params).p_curve)
+        self._insert(key, tables)
+        return tables
+
+    def meanfield_solution(
+        self,
+        params: "ModelParameters",
+        *,
+        rtol: "float | None" = None,
+        atol: "float | None" = None,
+        drain_tol: "float | None" = None,
+        max_rounds: "float | None" = None,
+    ) -> "MeanFieldSolution":
+        """Memoized mean-field ODE solution for ``params``.
+
+        One solve answers every quantity (timeline, download time,
+        phases, potential ratio), so the four ``solve()`` dispatch
+        cells share a single cached integration per parameter set and
+        tolerance choice.
+        """
+        from repro.core.meanfield import (
+            DEFAULT_ATOL,
+            DEFAULT_DRAIN_TOL,
+            DEFAULT_RTOL,
+            solve_mean_field,
+        )
+
+        key = (
+            "meanfield",
+            params,
+            DEFAULT_RTOL if rtol is None else rtol,
+            DEFAULT_ATOL if atol is None else atol,
+            DEFAULT_DRAIN_TOL if drain_tol is None else drain_tol,
+            max_rounds,
+        )
+        solution = self._lookup(key, sparse=False)
+        if solution is not None:
+            return solution
+        solution = solve_mean_field(
+            params,
+            rtol=key[2],
+            atol=key[3],
+            drain_tol=key[4],
+            max_rounds=max_rounds,
+            tables=self.meanfield_tables(params),
+        )
+        self._insert(key, solution)
+        return solution
 
     def efficiency_point(
         self, max_conns: int, p_reenc: float, *, tol: float = 1e-10

@@ -29,6 +29,8 @@ __all__ = [
     "batch_first_passage_task",
     "exact_potential_ratio_task",
     "exact_first_passage_task",
+    "meanfield_potential_ratio_task",
+    "meanfield_first_passage_task",
 ]
 
 
@@ -133,6 +135,37 @@ def exact_potential_ratio_task(params: ModelParameters) -> tuple:
     operator = shared_cache().sparse_operator(params)
     result = _exact_potential_ratio_impl(chain, method="sparse")
     return result.ratio, operator.num_states
+
+
+def meanfield_potential_ratio_task(params: ModelParameters) -> tuple:
+    """Mean-field Figure-1(a) curve of one parameter set — no sampling.
+
+    Solves (or reuses) the large-swarm ODE limit through the shared
+    cache and reads the survivor-average ``E[i/s]`` at each piece-level
+    crossing.  Deterministic: one task per parameter set.
+
+    Returns:
+        ``(ratio, evals)`` — the mean-field per-piece-count curve, plus
+        the number of right-hand-side evaluations the integrator spent
+        (the telemetry event count).
+    """
+    solution = shared_cache().meanfield_solution(params)
+    return solution.potential_ratio, int(solution.stats["nfev"])
+
+
+def meanfield_first_passage_task(params: ModelParameters) -> tuple:
+    """Mean-field Figure-1(b) timeline of one parameter set.
+
+    ``timeline[b]`` is the deterministic-limit expected first round
+    holding at least ``b`` pieces, from the same cached ODE solve as
+    the mean download time.
+
+    Returns:
+        ``(timeline, evals)`` — mean-field first-passage rounds, plus
+        the integrator's right-hand-side evaluation count.
+    """
+    solution = shared_cache().meanfield_solution(params)
+    return solution.timeline, int(solution.stats["nfev"])
 
 
 def exact_first_passage_task(params: ModelParameters) -> tuple:

@@ -1,0 +1,120 @@
+"""Regression lock on the ``method="auto"`` selection boundaries.
+
+The three-tier selector is documented in
+:func:`repro.api._resolve_auto`: with ``cap`` the exact-engine state
+budget (the ``max_states`` option, defaulting to the sparse engine's
+:data:`~repro.core.sparse.DEFAULT_MAX_STATES`) and ``states`` the
+transient-space size ``B (k+1)(s+1)``,
+
+* ``states <= cap``                            → ``exact``
+* ``cap < states <= MEANFIELD_STATE_FACTOR*cap`` → ``batch``
+* above                                          → ``meanfield``
+
+These tests pin the thresholds *exactly* — both comparisons are
+inclusive on the left tier — so a future off-by-one in the selector
+fails here rather than silently shifting which engine answers
+production queries.
+"""
+
+import pytest
+
+from repro.api import (
+    MEANFIELD_STATE_FACTOR,
+    ModelParams,
+    Query,
+    solve,
+)
+from repro.core.methods import Method
+from repro.core.sparse import DEFAULT_MAX_STATES
+
+#: 10 * 4 * 7 = 280 transient states.
+PARAMS = ModelParams(num_pieces=10, max_conns=3, ns_size=6)
+STATES = 280
+
+
+class TestDocumentedThresholds:
+    @pytest.mark.parametrize(
+        ("max_states", "expected"),
+        [
+            # Exact exactly up to the cap (inclusive).
+            (STATES, Method.EXACT),
+            (STATES + 1, Method.EXACT),
+            # One below the cap tips into the batch band.
+            (STATES - 1, Method.BATCH),
+            # Batch exactly up to factor * cap (inclusive)...
+            (STATES // MEANFIELD_STATE_FACTOR, Method.BATCH),
+            # ...and one below that boundary tips into mean-field.
+            (STATES // MEANFIELD_STATE_FACTOR - 1, Method.MEANFIELD),
+            (1, Method.MEANFIELD),
+        ],
+        ids=[
+            "cap-equals-states",
+            "cap-above-states",
+            "cap-one-below",
+            "factor-boundary",
+            "factor-one-below",
+            "cap-minimal",
+        ],
+    )
+    def test_max_states_boundaries(self, max_states, expected):
+        query = Query.make(PARAMS, "download_time", max_states=max_states)
+        assert query.method is expected
+
+    def test_factor_boundary_is_the_documented_multiple(self):
+        # The table above relies on 280 dividing evenly by the factor;
+        # keep that assumption explicit so a factor change re-derives it.
+        assert STATES % MEANFIELD_STATE_FACTOR == 0
+
+    def test_default_cap_small_space_is_exact(self):
+        assert STATES <= DEFAULT_MAX_STATES
+        assert Query.make(PARAMS, "download_time").method is Method.EXACT
+
+    def test_default_cap_mid_band_is_batch(self):
+        mid = ModelParams(num_pieces=500, max_conns=20, ns_size=50)
+        states = 500 * 21 * 51
+        assert DEFAULT_MAX_STATES < states
+        assert states <= MEANFIELD_STATE_FACTOR * DEFAULT_MAX_STATES
+        assert Query.make(mid, "download_time").method is Method.BATCH
+
+    def test_default_cap_large_space_is_meanfield(self):
+        big = ModelParams(num_pieces=2000, max_conns=30, ns_size=60)
+        states = 2000 * 31 * 61
+        assert states > MEANFIELD_STATE_FACTOR * DEFAULT_MAX_STATES
+        assert Query.make(big, "download_time").method is Method.MEANFIELD
+
+    @pytest.mark.parametrize(
+        "quantity", ["timeline", "download_time", "phases", "potential_ratio"]
+    )
+    def test_every_meanfield_quantity_uses_the_selector(self, quantity):
+        query = Query.make(PARAMS, quantity, max_states=1)
+        assert query.method is Method.MEANFIELD
+
+    def test_transient_stays_exact_at_any_scale(self):
+        big = ModelParams(num_pieces=2000, max_conns=30, ns_size=60)
+        assert Query.make(big, "transient", horizon=5).method is Method.EXACT
+
+
+class TestResolvedMethodReporting:
+    def test_max_states_leaves_the_resolved_query(self):
+        # The steering option must not leak into engines that cannot
+        # consume it (it would fail option validation there).
+        for max_states, resolved in (
+            (100, Method.BATCH),
+            (1, Method.MEANFIELD),
+        ):
+            query = Query.make(
+                PARAMS, "download_time", max_states=max_states
+            )
+            assert query.method is resolved
+            assert dict(query.options) == {}
+
+    def test_result_reports_meanfield_resolution(self):
+        result = solve(PARAMS, "download_time", "auto", max_states=1)
+        assert result.method is Method.MEANFIELD
+        assert result.payload.method == "meanfield"
+        assert result.to_dict()["method"] == "meanfield"
+
+    def test_result_reports_exact_resolution(self):
+        result = solve(PARAMS, "download_time", "auto")
+        assert result.method is Method.EXACT
+        assert result.payload.method == "exact"

@@ -1,0 +1,133 @@
+"""One parametrized lock on the whole deprecated-shim layer.
+
+Each historical entry point retired by the unified ``solve()`` front
+door survives as a thin forwarding shim.  The shim contract has two
+halves, and this test pins both for every shim in one table:
+
+* exactly **one** ``DeprecationWarning`` per call — a refactor that
+  routes a shim through another shim would double-warn, and one that
+  drops the warning would silently un-deprecate it;
+* **bit-identical** payloads against the equivalent ``solve()`` call —
+  the promise that let historical callers migrate without re-validating
+  their numbers, which future backend edits must not erode.
+"""
+
+import dataclasses
+import warnings
+from typing import Callable
+
+import numpy as np
+import pytest
+
+from repro.api import ModelParams, solve
+from repro.core.exact import exact_potential_ratio, propagate_distribution
+from repro.core.sparse import solve_fundamental
+from repro.core.timeline import mean_timeline
+
+
+@pytest.fixture
+def params():
+    return ModelParams(num_pieces=10, max_conns=3, ns_size=6)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShimCase:
+    """One deprecated entry point and its ``solve()`` replacement.
+
+    Attributes:
+        name: the shim's public name (also the expected substring of
+            its warning message).
+        call_shim: invokes the deprecated entry point.
+        call_solve: invokes the equivalent ``solve()`` query.
+        pairs: maps ``(old, new)`` results to the value pairs that must
+            match bit-for-bit.
+    """
+
+    name: str
+    call_shim: Callable
+    call_solve: Callable
+    pairs: Callable
+
+
+SHIMS = (
+    ShimCase(
+        name="exact_potential_ratio",
+        call_shim=lambda chain, params: exact_potential_ratio(chain),
+        call_solve=lambda params: solve(
+            params, "potential_ratio", "exact"
+        ).payload,
+        pairs=lambda old, new: [
+            (old.ratio, new.ratio),
+            (old.occupancy, new.occupancy),
+            (old.pruned_mass, new.pruned_mass),
+        ],
+    ),
+    ShimCase(
+        name="propagate_distribution",
+        call_shim=lambda chain, params: propagate_distribution(chain, 6),
+        call_solve=lambda params: solve(
+            params, "transient", horizon=6
+        ).payload,
+        pairs=lambda old, new: [
+            (old.completion_pmf, new.completion_pmf),
+            (old.completion_cdf, new.completion_cdf),
+            (old.expected_pieces, new.expected_pieces),
+            (old.expected_potential, new.expected_potential),
+            (old.pruned_mass, new.pruned_mass),
+        ],
+    ),
+    ShimCase(
+        name="solve_fundamental",
+        call_shim=lambda chain, params: solve_fundamental(chain),
+        call_solve=lambda params: solve(
+            params, "download_time", "exact"
+        ).payload,
+        pairs=lambda old, new: [
+            (old.mean_download_time, new.mean),
+            (old.std_download_time, new.std),
+            (old.variance_download_time, new.variance),
+        ],
+    ),
+    ShimCase(
+        name="mean_timeline",
+        call_shim=lambda chain, params: mean_timeline(
+            chain, runs=8, seed=3, batch=True
+        ),
+        call_solve=lambda params: solve(
+            params, "timeline", "batch", runs=8, seed=3
+        ).payload,
+        pairs=lambda old, new: [
+            (old.mean_steps, new.mean_steps),
+            (old.std_steps, new.std_steps),
+            (old.runs, new.runs),
+        ],
+    ),
+)
+
+
+@pytest.mark.parametrize("case", SHIMS, ids=[case.name for case in SHIMS])
+def test_shim_warns_once_and_matches_solve(case, params):
+    from repro.runtime.cache import shared_cache
+
+    chain = shared_cache().chain(params)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        old = case.call_shim(chain, params)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        f"{case.name} emitted {len(deprecations)} DeprecationWarnings, "
+        f"expected exactly 1"
+    )
+    assert case.name in str(deprecations[0].message)
+    assert "repro.api.solve" in str(deprecations[0].message)
+
+    new = case.call_solve(params)
+    for index, (old_value, new_value) in enumerate(case.pairs(old, new)):
+        if isinstance(old_value, np.ndarray):
+            assert np.array_equal(old_value, new_value, equal_nan=True), (
+                f"{case.name} pair {index} differs"
+            )
+        else:
+            assert old_value == new_value, f"{case.name} pair {index} differs"

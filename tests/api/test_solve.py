@@ -93,7 +93,9 @@ class TestAutoResolution:
         assert Query.make(big, "timeline").method is Method.BATCH
 
     def test_max_states_option_steers_auto(self, params):
-        query = Query.make(params, "download_time", max_states=10)
+        # params has 280 transient states: over a cap of 100 but within
+        # the 8x batch band, so auto lands on the sampler.
+        query = Query.make(params, "download_time", max_states=100)
         assert query.method is Method.BATCH
 
     def test_transient_auto_is_exact(self):

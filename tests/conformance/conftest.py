@@ -1,0 +1,16 @@
+"""Shared fixtures for the cross-backend conformance suite."""
+
+import pytest
+
+from repro.runtime.cache import KernelCache
+
+
+@pytest.fixture(scope="session")
+def cache():
+    """One kernel cache for the whole suite.
+
+    The exact operator and the mean-field ODE solution of each
+    conformance cell are both memoized here, so every per-quantity test
+    reads from the same single solve per backend.
+    """
+    return KernelCache(max_entries=256)

@@ -1,0 +1,133 @@
+"""Edge and error behaviour of the mean-field backend.
+
+The table, property, and golden suites exercise the happy path; this
+file pins the boundaries — degenerate parameter sets, validation
+rejections with actionable messages, and the convergence failure mode —
+so the backend fails loudly and identically everywhere it is wired
+(``solve()``, the cache, the service).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ModelParams
+from repro.core.meanfield import (
+    SwarmMeanField,
+    build_tables,
+    solve_mean_field,
+)
+from repro.core.phases import Phase
+from repro.errors import ConvergenceError, ParameterError
+
+
+class TestSinglePieceDegenerate:
+    """``B == 1``: the first round delivers the only piece, no ODE."""
+
+    def test_solution_shape(self):
+        solution = solve_mean_field(ModelParams(1, 2, 4))
+        assert solution.download_time == 1.0
+        assert solution.timeline.tolist() == [0.0, 1.0]
+        assert solution.occupancy.tolist() == [1.0, 0.0]
+        assert solution.phase_rounds == {
+            Phase.BOOTSTRAP: 1.0,
+            Phase.EFFICIENT: 0.0,
+            Phase.LAST: 0.0,
+        }
+        assert solution.stats["nfev"] == 0
+        assert solution.trajectory.completed_mass[-1] == 1.0
+
+    def test_potential_probe_is_the_initial_draw(self):
+        params = ModelParams(1, 2, 4, p_init=0.5)
+        solution = solve_mean_field(params)
+        assert np.isnan(solution.potential_ratio[0])
+        # Bin(s, p_init) mean over s.
+        assert solution.potential_ratio[1] == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_bad_tolerances(self):
+        params = ModelParams(6, 2, 4)
+        with pytest.raises(ParameterError, match="rtol/atol"):
+            solve_mean_field(params, rtol=0.0)
+        with pytest.raises(ParameterError, match="rtol/atol"):
+            solve_mean_field(params, atol=-1e-9)
+        with pytest.raises(ParameterError, match="drain_tol"):
+            solve_mean_field(params, drain_tol=1.5)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ParameterError, match="max_rounds"):
+            solve_mean_field(ModelParams(6, 2, 4), max_rounds=1.0)
+
+    def test_bad_p_curve_shape(self):
+        with pytest.raises(ParameterError, match="p_curve"):
+            build_tables(ModelParams(6, 2, 4), p_curve=np.zeros(3))
+
+    def test_horizon_too_short_to_drain(self):
+        with pytest.raises(ConvergenceError, match="did not drain"):
+            solve_mean_field(ModelParams(30, 3, 12), max_rounds=5.0)
+
+
+class TestSwarmValidation:
+    def test_level_velocity(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            SwarmMeanField(level_velocity=np.zeros((0,)), arrival_rate=1.0)
+        with pytest.raises(ParameterError, match="> 0"):
+            SwarmMeanField(
+                level_velocity=np.array([1.0, 0.0]), arrival_rate=1.0
+            )
+
+    @pytest.mark.parametrize(
+        ("field", "value", "match"),
+        [
+            ("arrival_rate", -1.0, "arrival_rate"),
+            ("upload_rate", 0.0, "upload_rate"),
+            ("efficiency", 1.5, "efficiency"),
+            ("abort_rate", -0.1, "abort_rate"),
+            ("seed_departure_rate", 0.0, "seed_departure_rate"),
+        ],
+    )
+    def test_rates(self, field, value, match):
+        kwargs = {"level_velocity": np.ones(2), "arrival_rate": 1.0}
+        kwargs[field] = value
+        with pytest.raises(ParameterError, match=match):
+            SwarmMeanField(**kwargs)
+
+    def test_integrate_rejects_bad_grid(self):
+        swarm = SwarmMeanField(level_velocity=np.ones(2), arrival_rate=1.0)
+        with pytest.raises(ParameterError, match="horizon"):
+            swarm.integrate(0.0)
+        with pytest.raises(ParameterError, match="points"):
+            swarm.integrate(10.0, points=1)
+        with pytest.raises(ParameterError, match="x0"):
+            swarm.integrate(10.0, x0=np.ones(3))
+
+
+class TestSwarmFromPeerSolution:
+    def test_velocities_are_reciprocal_occupancy(self, cache):
+        params = ModelParams(12, 3, 6)
+        solution = cache.meanfield_solution(params)
+        swarm = SwarmMeanField.from_peer_solution(
+            solution, arrival_rate=2.0
+        )
+        assert swarm.levels == params.num_pieces
+        occupancy = solution.occupancy[:-1]
+        positive = occupancy > 0
+        np.testing.assert_allclose(
+            swarm.level_velocity[positive],
+            np.clip(1.0 / occupancy[positive], 1e-3, 1e3),
+        )
+
+    def test_trajectory_reaches_the_seed_balance(self, cache):
+        params = ModelParams(12, 3, 6)
+        swarm = SwarmMeanField.from_peer_solution(
+            cache.meanfield_solution(params),
+            arrival_rate=2.0,
+            seed_departure_rate=1.0,
+        )
+        trajectory = swarm.integrate(300.0, points=300)
+        assert trajectory.total_leechers().shape == trajectory.seeds.shape
+        assert np.all(trajectory.total_leechers() >= -1e-9)
+        # Aborts are zero: every arrival eventually seeds, so the seed
+        # population settles at arrival_rate / seed_departure_rate.
+        assert trajectory.seeds[-1] == pytest.approx(2.0, rel=5e-3)
+        assert trajectory.completed[-1] > 0.0

@@ -1,0 +1,149 @@
+"""Property tests for the mean-field ODE invariants.
+
+The conformance table checks accuracy against the other backends at
+hand-picked cells; these properties check *structure* across randomly
+drawn parameter sets:
+
+* mass conservation — survivor + absorbed mass is identically 1 along
+  the whole trajectory (the kernel rows are stochastic and the
+  absorption term moves mass, never creates it);
+* monotonicity — the deterministic piece count, the completed-mass
+  fraction, and the first-passage timeline are all non-decreasing;
+* the swarm layer's limiting seed count — with no aborts the seed
+  population converges to ``arrival_rate / seed_departure_rate``
+  regardless of the level structure (every arriving leecher eventually
+  seeds, Little's-law style);
+* the Qiu-Srikant reduction — a single-level swarm system integrates
+  to the *same* trajectory as the fluid baseline.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ModelParams
+from repro.baselines.fluid import FluidModel
+from repro.core.meanfield import SwarmMeanField, solve_mean_field
+
+SETTINGS = dict(max_examples=15, deadline=None)
+
+peer_params = st.builds(
+    ModelParams,
+    num_pieces=st.integers(4, 14),
+    max_conns=st.integers(1, 3),
+    ns_size=st.integers(2, 6),
+    p_init=st.floats(0.2, 0.8),
+    alpha=st.floats(0.05, 0.5),
+    gamma=st.floats(0.05, 0.5),
+    p_reenc=st.floats(0.3, 0.9),
+    p_new=st.floats(0.3, 0.9),
+)
+
+
+@given(params=peer_params)
+@settings(**SETTINGS)
+def test_mass_is_conserved(params):
+    solution = solve_mean_field(params, rtol=1e-7, atol=1e-10)
+    total = (
+        solution.trajectory.survivor_mass
+        + solution.trajectory.completed_mass
+    )
+    np.testing.assert_allclose(total, 1.0, atol=1e-5)
+
+
+@given(params=peer_params)
+@settings(**SETTINGS)
+def test_completion_and_timeline_are_monotone(params):
+    solution = solve_mean_field(params)
+    trajectory = solution.trajectory
+    # Local integration error per component is bounded by the solver's
+    # default atol (1e-7); dips within an order of magnitude of that
+    # are integrator noise, not a real decrease.
+    step_tol = 1e-6
+    assert np.all(np.diff(trajectory.pieces_mean) >= -step_tol)
+    assert np.all(np.diff(trajectory.completed_mass) >= -step_tol)
+    assert np.all(np.diff(solution.timeline) >= 0.0)
+    assert solution.timeline[0] == 0.0
+    assert solution.timeline[-1] == solution.download_time
+    assert solution.download_time > 0.0
+
+
+@given(params=peer_params)
+@settings(**SETTINGS)
+def test_phase_rounds_partition_the_download(params):
+    solution = solve_mean_field(params)
+    assert all(v >= 0.0 for v in solution.phase_rounds.values())
+    np.testing.assert_allclose(
+        sum(solution.phase_rounds.values()),
+        solution.download_time,
+        rtol=1e-9,
+    )
+
+
+@given(
+    arrival_rate=st.floats(0.5, 20.0),
+    seed_departure_rate=st.floats(0.2, 3.0),
+    levels=st.integers(1, 5),
+    velocity=st.floats(0.5, 4.0),
+)
+@settings(**SETTINGS)
+def test_limiting_seed_count(arrival_rate, seed_departure_rate, levels,
+                             velocity):
+    swarm = SwarmMeanField(
+        level_velocity=np.full(levels, velocity),
+        arrival_rate=arrival_rate,
+        seed_departure_rate=seed_departure_rate,
+    )
+    horizon = 200.0 + 100.0 / seed_departure_rate
+    trajectory = swarm.integrate(horizon, points=400)
+    np.testing.assert_allclose(
+        trajectory.seeds[-1],
+        arrival_rate / seed_departure_rate,
+        rtol=5e-3,
+    )
+
+
+@given(
+    arrival_rate=st.floats(0.5, 10.0),
+    upload_rate=st.floats(0.5, 2.0),
+    download_rate=st.floats(0.5, 3.0),
+    efficiency=st.floats(0.5, 1.0),
+    abort_rate=st.floats(0.0, 0.3),
+    seed_departure_rate=st.floats(0.3, 2.0),
+    x0=st.floats(0.0, 10.0),
+    y0=st.floats(0.0, 5.0),
+)
+@settings(**SETTINGS)
+def test_single_level_swarm_is_qiu_srikant(
+    arrival_rate, upload_rate, download_rate, efficiency, abort_rate,
+    seed_departure_rate, x0, y0,
+):
+    fluid = FluidModel(
+        arrival_rate=arrival_rate,
+        upload_rate=upload_rate,
+        download_rate=download_rate,
+        efficiency=efficiency,
+        abort_rate=abort_rate,
+        seed_departure_rate=seed_departure_rate,
+    )
+    swarm = SwarmMeanField(
+        level_velocity=np.array([download_rate]),
+        arrival_rate=arrival_rate,
+        upload_rate=upload_rate,
+        efficiency=efficiency,
+        abort_rate=abort_rate,
+        seed_departure_rate=seed_departure_rate,
+    )
+    reference = fluid.integrate(50.0, x0=x0, y0=y0, points=120)
+    reduced = swarm.integrate(50.0, x0=np.array([x0]), y0=y0, points=120)
+    # Same state vector, same solver settings, same right-hand side up
+    # to round-off: in capacity-limited states the per-level scaling
+    # multiplies (``desired * cap/demand``) where the fluid model's
+    # min() substitutes ``cap``, an ulp-level difference — so equality
+    # holds to round-off, not bitwise.
+    np.testing.assert_allclose(
+        reduced.leechers[0], reference.leechers, rtol=1e-12, atol=1e-13,
+    )
+    np.testing.assert_allclose(
+        reduced.seeds, reference.seeds, rtol=1e-12, atol=1e-13,
+    )

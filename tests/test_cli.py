@@ -135,6 +135,13 @@ class TestMain:
         ]) == 0
         assert "Figure 1(a)" in capsys.readouterr().out
 
+    def test_run_method_meanfield_end_to_end(self, capsys):
+        assert main([
+            "run", "F1a", "--quick", "--seed", "1",
+            "--method", "meanfield",
+        ]) == 0
+        assert "Figure 1(a)" in capsys.readouterr().out
+
     def test_run_unknown_method_lists_choices(self):
         from repro.errors import ParameterError
 
@@ -143,6 +150,7 @@ class TestMain:
         message = str(excinfo.value)
         assert "unknown method 'bogus'" in message
         assert "'exact'" in message and "'batch'" in message
+        assert "'meanfield'" in message and "'mean-field'" in message
 
     def test_run_method_on_methodless_runner_warns(self, capsys):
         assert main(["run", "F2", "--quick", "--method", "exact"]) == 0
