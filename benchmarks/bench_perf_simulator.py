@@ -53,7 +53,11 @@ def test_perf_simulator_throughput(benchmark):
     rounds_per_second = ROUNDS / mean_seconds
     print(f"\nthroughput: {rounds_per_second:.0f} protocol rounds/s "
           f"(~100-peer swarm)")
-    record_perf("simulator", {
+    # The ``simulator`` section is the soa scaling curve (see
+    # bench_perf_soa.py); this small-swarm object-backend smoke keeps
+    # its own section as the regression floor for the reference engine.
+    record_perf("simulator_smoke", {
+        "backend": "object",
         "rounds": ROUNDS,
         "seconds": round(mean_seconds, 4),
         "rounds_per_second": round(rounds_per_second, 1),

@@ -1,0 +1,106 @@
+"""Performance: soa swarm backend — speedup floor and scaling curve.
+
+Two benches:
+
+* **speedup** — the same 5000-peer workload on both backends; the soa
+  engine must be at least 10x faster (CI's perf-smoke enforces this
+  floor; the measured ratio is recorded for the trajectory).
+* **scaling curve** — soa round throughput at 1k/5k/20k/100k peers,
+  recorded to ``BENCH_perf.json`` as the ``simulator`` section
+  (``{peers: rounds_per_second}`` plus the backend label, replacing the
+  old flat single-size entry — see ``docs/RUNTIME.md`` for the schema).
+
+Rounds-per-second includes setup, so the numbers are honest end-to-end
+throughput for short runs, not steady-state marketing numbers.
+"""
+
+import time
+
+from benchmarks.perf_report import record_perf
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.sim.swarm import run_swarm
+
+#: Peer counts on the scaling curve (the 1e5 point is the tentpole's
+#: flash-crowd scale).
+CURVE = (1_000, 5_000, 20_000, 100_000)
+
+#: Rounds simulated per curve point (shorter at larger scales so the
+#: whole curve stays CI-friendly).
+CURVE_ROUNDS = {1_000: 30, 5_000: 20, 20_000: 10, 100_000: 5}
+
+SPEEDUP_PEERS = 5_000
+SPEEDUP_ROUNDS = 20
+SPEEDUP_FLOOR = 10.0
+
+
+def swarm_config(peers: int, rounds: int) -> SimConfig:
+    """The throughput workload, scaled to ``peers`` concurrent leechers."""
+    return SimConfig(
+        num_pieces=60,
+        max_conns=4,
+        ns_size=25,
+        arrival_process="poisson",
+        arrival_rate=3.0 * peers / 100.0,
+        initial_leechers=peers,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=max(peers // 100, 1),
+        seed_upload_slots=2,
+        piece_selection="rarest",
+        max_time=float(rounds),
+        seed=9,
+    )
+
+
+def rounds_per_second(peers: int, rounds: int, backend: str) -> float:
+    config = swarm_config(peers, rounds)
+    metrics = MetricsCollector(config.max_conns, entropy_every=10)
+    start = time.perf_counter()
+    result = run_swarm(config, metrics=metrics, backend=backend)
+    elapsed = time.perf_counter() - start
+    assert result.total_rounds == rounds
+    assert result.backend == backend
+    return rounds / elapsed
+
+
+def test_perf_soa_speedup_over_object_backend():
+    """The CI floor: soa must stay >= 10x the object engine at 5k peers."""
+    soa = rounds_per_second(SPEEDUP_PEERS, SPEEDUP_ROUNDS, "soa")
+    obj = rounds_per_second(SPEEDUP_PEERS, SPEEDUP_ROUNDS, "object")
+    speedup = soa / obj
+    print(
+        f"\n{SPEEDUP_PEERS} peers: soa {soa:.1f} rounds/s, "
+        f"object {obj:.2f} rounds/s -> {speedup:.1f}x"
+    )
+    record_perf("simulator_speedup", {
+        "peers": SPEEDUP_PEERS,
+        "rounds": SPEEDUP_ROUNDS,
+        "object_rounds_per_second": round(obj, 2),
+        "soa_rounds_per_second": round(soa, 1),
+        "speedup": round(speedup, 1),
+        "floor": SPEEDUP_FLOOR,
+    })
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"soa backend is only {speedup:.1f}x the object backend at "
+        f"{SPEEDUP_PEERS} peers (floor: {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_perf_soa_scaling_curve():
+    """Record the peers-vs-throughput curve, 1k through the 1e5 point."""
+    curve = {}
+    for peers in CURVE:
+        rounds = CURVE_ROUNDS[peers]
+        curve[str(peers)] = round(rounds_per_second(peers, rounds, "soa"), 2)
+        print(f"\nsoa {peers} peers: {curve[str(peers)]} rounds/s "
+              f"({rounds} rounds)")
+    record_perf("simulator", {
+        "backend": "soa",
+        "num_pieces": 60,
+        "rounds": {str(p): CURVE_ROUNDS[p] for p in CURVE},
+        "rounds_per_second": curve,
+    })
+    # Generous floors: catch order-of-magnitude regressions, not noise.
+    assert curve["1000"] > 5.0
+    assert curve["100000"] > 0.05

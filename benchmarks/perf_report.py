@@ -24,7 +24,11 @@ __all__ = ["record_perf", "REPORT_PATH"]
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
 
 #: Current report schema version (bump on breaking layout changes).
-SCHEMA_VERSION = 1
+#: v2: ``simulator`` became the soa backend's peers-vs-rounds/s scaling
+#: curve; the object backend's flat small-swarm entry moved to
+#: ``simulator_smoke`` and the backend-vs-backend ratio lives in
+#: ``simulator_speedup``.
+SCHEMA_VERSION = 2
 
 
 def record_perf(section: str, payload: Dict) -> None:

@@ -28,6 +28,14 @@ uninterrupted one — same RNG draws, same iteration orders, same
 Order-sensitive state is stored in JSON arrays, never in object key
 order, which lets the container serialize with ``sort_keys=True``.
 
+The soa backend (:mod:`repro.sim.soa`) writes a second document flavor
+under the same schema version, marked with a top-level
+``"backend": "soa"``: per-slot arrays for every alive slot plus the
+free-list order, which together rebuild the slot layout exactly (slot
+indices feed the backend's RNG-consuming shuffles, so layout is part of
+the deterministic state).  :func:`restore_swarm` dispatches on the
+marker; documents without it are object-backend snapshots.
+
 Schema changes MUST bump :data:`SCHEMA_VERSION`; the golden-format test
 (`tests/checkpoint/test_golden_format.py`) fails loudly when the
 emitted document drifts from the committed v1 fixture.
@@ -48,7 +56,12 @@ from repro.sim.peer import Peer, PeerStats
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.sim.swarm import Swarm
 
-__all__ = ["SCHEMA_VERSION", "snapshot_swarm", "restore_swarm"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "snapshot_swarm",
+    "snapshot_soa_swarm",
+    "restore_swarm",
+]
 
 #: Version of the snapshot document layout (independent of the on-disk
 #: container version in ``repro.checkpoint.format``).
@@ -307,6 +320,185 @@ def snapshot_swarm(swarm: "Swarm") -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# SoA swarm (array backend)
+# ----------------------------------------------------------------------
+def _opt(value):
+    """NaN → None (the container's canonical JSON forbids NaN)."""
+    value = float(value)
+    return None if np.isnan(value) else value
+
+
+def _nan_column(values) -> np.ndarray:
+    return np.array(
+        [np.nan if v is None else float(v) for v in values], dtype=np.float64
+    )
+
+
+def snapshot_soa_swarm(swarm) -> dict:
+    """Snapshot document for a :class:`~repro.sim.soa.SoaSwarm`.
+
+    Same container and schema version as the object document, marked
+    with a top-level ``"backend": "soa"`` for :func:`restore_swarm`'s
+    dispatch.  Peer state is stored for alive slots only (ascending
+    slot order); free slots are fully reset on allocation, so alive
+    rows plus the free-list order reconstruct the store exactly.
+    """
+    store = swarm.store
+    slots = np.flatnonzero(store.alive)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "backend": "soa",
+        "config": swarm.config.to_dict(),
+        "swarm": {
+            "rng": _sanitize_rng_state(swarm.rng.bit_generator.state),
+            "rounds": swarm._rounds,
+            "setup_done": swarm._setup_done,
+            "seed_upload_count": swarm.seed_upload_count,
+            "checkpoints_written": swarm.checkpoints_written,
+            "piece_counts": [int(c) for c in swarm.piece_counts],
+            "connection_stats": {
+                "survived": swarm.connection_stats.survived,
+                "dropped": swarm.connection_stats.dropped,
+                "attempts": swarm.connection_stats.attempts,
+                "formed": swarm.connection_stats.formed,
+            },
+            "instrumented_start_empty": swarm.instrumented_start_empty,
+            "rarity_view": swarm.rarity_view,
+            "next_id": swarm._next_id,
+            "n_leech": swarm._n_leech,
+            "n_seeds": swarm._n_seeds,
+            "population_log": _triples(swarm._population_log),
+            "pending_announce": [int(s) for s in swarm._pending_announce],
+            # Row order is deterministic state: maintenance and exchange
+            # iterate pairs in storage order.
+            "pairs": [[int(a), int(b)] for a, b in swarm._pairs],
+        },
+        "engine": swarm.engine.snapshot_state(),
+        "store": {
+            "capacity": store.capacity,
+            "nbr_width": store.nbr_width,
+            # LIFO pop order — the next allocation must hand out the
+            # same slots the uninterrupted run would have.
+            "free": [int(s) for s in store.free],
+            "slots": [int(s) for s in slots],
+            "peer_id": [int(v) for v in store.peer_id[slots]],
+            "is_seed": [bool(v) for v in store.is_seed[slots]],
+            "shaken": [bool(v) for v in store.shaken[slots]],
+            "counts": [int(v) for v in store.counts[slots]],
+            "bits": [[int(w) for w in row] for row in store.bits[slots]],
+            "joined_at": [float(v) for v in store.joined_at[slots]],
+            "seed_until": [_opt(v) for v in store.seed_until[slots]],
+            "first_piece_at": [_opt(v) for v in store.first_piece_at[slots]],
+            "prelast_at": [_opt(v) for v in store.prelast_at[slots]],
+            "shaken_at": [_opt(v) for v in store.shaken_at[slots]],
+            "upload_capacity": [
+                int(v) for v in store.upload_capacity[slots]
+            ],
+            # Neighbor rows trimmed to their fill; in-row order is the
+            # append order the refill logic depends on.
+            "nbr": [
+                [int(v) for v in store.nbr[s, : store.nbr_deg[s]]]
+                for s in slots
+            ],
+            "seeded": [[int(w) for w in row] for row in store.seeded[slots]],
+        },
+        "metrics": _snapshot_metrics(swarm.metrics),
+        "faults": (
+            None
+            if swarm.fault_injector is None
+            else swarm.fault_injector.snapshot_state()
+        ),
+    }
+
+
+def _restore_soa_swarm(document: dict, **swarm_kwargs):
+    """Rebuild a ready-to-continue ``SoaSwarm`` from a soa document."""
+    from repro.faults.plan import FaultPlan
+    from repro.sim.soa import PeerStore, SoaSwarm
+
+    config = SimConfig.from_dict(document["config"])
+    sw = document["swarm"]
+    faults_doc = document["faults"]
+    plan = (
+        None if faults_doc is None else FaultPlan.from_dict(faults_doc["plan"])
+    )
+    metrics = _restore_metrics(document["metrics"])
+
+    swarm = SoaSwarm(
+        config,
+        backend="soa",
+        instrumented_start_empty=bool(sw["instrumented_start_empty"]),
+        rarity_view=str(sw["rarity_view"]),
+        metrics=metrics,
+        faults=plan,
+        **swarm_kwargs,
+    )
+    swarm.rng.bit_generator.state = sw["rng"]
+    if swarm.fault_injector is not None:
+        swarm.fault_injector.restore_state(faults_doc)
+    swarm.engine.restore_state(document["engine"])
+
+    st = document["store"]
+    store = PeerStore(
+        int(st["capacity"]), config.num_pieces, int(st["nbr_width"])
+    )
+    store.free = [int(s) for s in st["free"]]
+    slots = np.asarray(st["slots"], dtype=np.int64)
+    if slots.size:
+        store.alive[slots] = True
+        store.peer_id[slots] = np.asarray(st["peer_id"], dtype=np.int64)
+        store.is_seed[slots] = np.asarray(st["is_seed"], dtype=bool)
+        store.shaken[slots] = np.asarray(st["shaken"], dtype=bool)
+        store.counts[slots] = np.asarray(st["counts"], dtype=np.int64)
+        store.bits[slots] = np.array(
+            [[int(w) for w in row] for row in st["bits"]], dtype=np.uint64
+        )
+        store.joined_at[slots] = np.asarray(
+            st["joined_at"], dtype=np.float64
+        )
+        store.seed_until[slots] = _nan_column(st["seed_until"])
+        store.first_piece_at[slots] = _nan_column(st["first_piece_at"])
+        store.prelast_at[slots] = _nan_column(st["prelast_at"])
+        store.shaken_at[slots] = _nan_column(st["shaken_at"])
+        store.upload_capacity[slots] = np.asarray(
+            st["upload_capacity"], dtype=np.int64
+        )
+        for slot, row in zip(slots, st["nbr"]):
+            if row:
+                store.nbr[slot, : len(row)] = [int(v) for v in row]
+            store.nbr_deg[slot] = len(row)
+        store.seeded[slots] = np.array(
+            [[int(w) for w in row] for row in st["seeded"]], dtype=np.uint64
+        )
+    swarm.store = store
+
+    swarm._pairs = np.asarray(sw["pairs"], dtype=np.int64).reshape(-1, 2)
+    swarm._id_to_slot = {
+        int(store.peer_id[s]): int(s) for s in slots
+    }
+    swarm._next_id = int(sw["next_id"])
+    swarm._n_leech = int(sw["n_leech"])
+    swarm._n_seeds = int(sw["n_seeds"])
+    swarm._population_log = [
+        (float(t), int(le), int(se)) for t, le, se in sw["population_log"]
+    ]
+    swarm._pending_announce = [int(s) for s in sw["pending_announce"]]
+    swarm._alive_dirty = True
+    swarm.piece_counts = np.asarray(sw["piece_counts"], dtype=np.int64)
+    stats = sw["connection_stats"]
+    swarm.connection_stats.survived = int(stats["survived"])
+    swarm.connection_stats.dropped = int(stats["dropped"])
+    swarm.connection_stats.attempts = int(stats["attempts"])
+    swarm.connection_stats.formed = int(stats["formed"])
+    swarm.seed_upload_count = int(sw["seed_upload_count"])
+    swarm.checkpoints_written = int(sw["checkpoints_written"])
+    swarm._rounds = int(sw["rounds"])
+    swarm._setup_done = bool(sw["setup_done"])
+    swarm.resumed_from_round = swarm._rounds
+    return swarm
+
+
 def _sanitize_rng_state(state: dict) -> dict:
     """numpy's PCG64 state dict, with any numpy scalars collapsed."""
     return {
@@ -338,6 +530,13 @@ def restore_swarm(document: dict, **swarm_kwargs) -> "Swarm":
             f"snapshot schema version {version!r} is not supported "
             f"(this build reads version {SCHEMA_VERSION})"
         )
+    if document.get("backend") == "soa":
+        try:
+            return _restore_soa_swarm(document, **swarm_kwargs)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"snapshot document is structurally invalid: {exc!r}"
+            )
     try:
         config = SimConfig.from_dict(document["config"])
         sw = document["swarm"]

@@ -86,6 +86,7 @@ def sim_efficiency(
     arrival_rate: float = 4.0,
     max_time: float = 150.0,
     seed: int = 0,
+    backend: str = "object",
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 0,
 ) -> tuple:
@@ -131,9 +132,10 @@ def sim_efficiency(
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             metrics=metrics,
+            backend=backend,
         )
         return result.metrics.efficiency(), result.events_processed
-    swarm = Swarm(config, metrics=metrics)
+    swarm = Swarm(config, metrics=metrics, backend=backend)
     result = swarm.run()
     return metrics.efficiency(), result.events_processed
 
@@ -159,6 +161,7 @@ def run_fig3a(
     seed: int = 0,
     sim_kwargs: dict | None = None,
     workers: int = 1,
+    backend: str = "object",
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 0,
 ) -> Fig3aResult:
@@ -172,6 +175,8 @@ def run_fig3a(
         model_points = efficiency_curve(list(k_values), lifetime=lifetime)
     sim_kwargs = dict(sim_kwargs or {})
     sim_kwargs.setdefault("num_pieces", num_pieces)
+    sim_kwargs.setdefault("backend", backend)
+    executor.telemetry.backend = sim_kwargs["backend"]
     interval = checkpoint_interval(checkpoint_dir, checkpoint_every)
     outcomes = executor.run(
         [

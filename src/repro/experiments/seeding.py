@@ -90,13 +90,13 @@ class SeedingResult:
         return {p.label: p for p in self.points}
 
 
-def _measure(label: str, config: SimConfig) -> tuple:
+def _measure(label: str, config: SimConfig, backend: str = "object") -> tuple:
     """One seeding configuration (executor work unit).
 
     Returns ``(point, events)`` — the measured point plus the engine's
     processed-event count for telemetry.
     """
-    result = run_swarm(config)
+    result = run_swarm(config, backend=backend)
     completed = result.metrics.completed
     durations = [c.duration for c in completed]
     first_pieces = [
@@ -138,6 +138,7 @@ def run_seeding_study(
     max_time: float = 150.0,
     seed: int = 0,
     workers: int = 1,
+    backend: str = "object",
 ) -> SeedingResult:
     """Run the seeding study and return all measured points.
 
@@ -177,6 +178,7 @@ def run_seeding_study(
                     f"capacity={capacity}",
                     base.with_changes(seed_upload_slots=capacity),
                 ),
+                {"backend": backend},
             )
         )
     viable = max(capacities)
@@ -191,6 +193,7 @@ def run_seeding_study(
                         seed_upload_slots=policy_capacity, super_seeding=True
                     ),
                 ),
+                {"backend": backend},
             )
         )
     if include_lingering:
@@ -204,9 +207,11 @@ def run_seeding_study(
                         completed_become_seeds=10.0,
                     ),
                 ),
+                {"backend": backend},
             )
         )
     executor = make_executor(workers=workers)
+    executor.telemetry.backend = backend
     points: List[SeedingPoint] = []
     for point, events in executor.run(tasks):
         points.append(point)

@@ -103,13 +103,21 @@ def chaos_point_task(
     plan: FaultPlan,
     config: SimConfig,
     instrument: int = 4,
+    backend: str = "object",
 ) -> dict:
     """Run one faulted swarm and measure its degradation.
 
     Module-level (picklable) so it fans out over worker processes; the
     seed sits at position 0, letting the executor re-derive it on
     retries (``TaskSpec(seed_index=0)``).
+
+    The soa backend has no per-peer instrumentation, so under
+    ``backend="soa"`` the task runs uninstrumented and the phase
+    fractions come back NaN; everything else (eta, ``p_r``/``p_n``,
+    fault counts) is measured the same way.
     """
+    if backend == "soa":
+        instrument = 0
     metrics = MetricsCollector(
         config.max_conns, entropy_every=1_000_000, occupancy_warmup=0.25
     )
@@ -118,6 +126,7 @@ def chaos_point_task(
         metrics=metrics,
         instrument_first=instrument,
         faults=plan.scaled(intensity),
+        backend=backend,
     )
     result = swarm.run()
 
@@ -246,6 +255,7 @@ def run_chaos_sweep(
     instrument: int = 4,
     seed: int = 0,
     workers: int = 1,
+    backend: str = "object",
     max_attempts: int = 2,
     on_error: str = "partial",
 ) -> ChaosResult:
@@ -260,6 +270,8 @@ def run_chaos_sweep(
         instrument: peers instrumented per swarm for phase segmentation.
         seed: root seed; every replication derives its own stream.
         workers: executor process-pool size.
+        backend: swarm backend (``"object"`` or ``"soa"``); soa runs
+            uninstrumented, so the phase-fraction columns come back NaN.
         max_attempts / on_error: crash-recovery policy, forwarded to the
             :class:`~repro.runtime.executor.ExperimentExecutor` — the
             default (2 attempts, partial) lets the sweep complete even
@@ -275,12 +287,13 @@ def run_chaos_sweep(
     executor = ExperimentExecutor(
         workers=workers, max_attempts=max_attempts, on_error=on_error
     )
+    executor.telemetry.backend = backend
     tasks = [
         TaskSpec(
             chaos_point_task,
             (derive_seed(seed, _CHAOS_STREAM, idx, rep),
              float(intensity), plan, config),
-            {"instrument": instrument},
+            {"instrument": instrument, "backend": backend},
             seed_index=0,
         )
         for idx, intensity in enumerate(intensities)

@@ -109,6 +109,27 @@ class FaultInjector:
             return True
         return False
 
+    def break_mask(self, count: int) -> np.ndarray:
+        """Vectorized :meth:`break_connection` for ``count`` connections.
+
+        Like :meth:`churn_mask`, a zero-probability plan returns an
+        all-false mask without consuming any RNG draws, preserving the
+        zero-intensity bit-identity guarantee.
+        """
+        if self.plan.connection_break_prob <= 0.0 or count <= 0:
+            return np.zeros(max(count, 0), dtype=bool)
+        mask = self.rng.random(count) < self.plan.connection_break_prob
+        self.stats.connections_broken += int(mask.sum())
+        return mask
+
+    def handshake_mask(self, count: int) -> np.ndarray:
+        """Vectorized :meth:`fail_handshake` for ``count`` handshakes."""
+        if self.plan.handshake_failure_prob <= 0.0 or count <= 0:
+            return np.zeros(max(count, 0), dtype=bool)
+        mask = self.rng.random(count) < self.plan.handshake_failure_prob
+        self.stats.handshakes_failed += int(mask.sum())
+        return mask
+
     # ------------------------------------------------------------------
     # Shake faults
     # ------------------------------------------------------------------
@@ -120,6 +141,14 @@ class FaultInjector:
             self.stats.shakes_failed += 1
             return True
         return False
+
+    def shake_mask(self, count: int) -> np.ndarray:
+        """Vectorized :meth:`fail_shake` for ``count`` shakes."""
+        if self.plan.shake_failure_prob <= 0.0 or count <= 0:
+            return np.zeros(max(count, 0), dtype=bool)
+        mask = self.rng.random(count) < self.plan.shake_failure_prob
+        self.stats.shakes_failed += int(mask.sum())
+        return mask
 
     # ------------------------------------------------------------------
     # Tracker outages

@@ -29,15 +29,31 @@ ride on :class:`~repro.sim.swarm.SwarmResult` and fold into
 from __future__ import annotations
 
 import time
-from typing import Dict
+from typing import Dict, Tuple
 
-__all__ = ["RoundProfiler", "STAGES"]
+__all__ = ["RoundProfiler", "STAGES", "SOA_STAGES"]
 
-#: Stage names in round-execution order.
+#: Stage names in round-execution order (object backend).
 STAGES = (
     "maintenance",
     "potential",
     "matching",
+    "exchange",
+    "seeds",
+    "bookkeeping",
+)
+
+#: Stage names of the vectorized soa backend's round pipeline:
+#: ``store`` (departures, aborts, churn, stale-connection teardown),
+#: ``interest`` (the whole-swarm packed-bitfield interest matrix),
+#: ``selection`` (slot-filling proposals and the rank-filter matching),
+#: ``exchange`` (batched tit-for-tat piece transfers), ``seeds`` (seed
+#: uploads and optimistic donations), ``bookkeeping`` (completions,
+#: shakes, refills, metrics).
+SOA_STAGES = (
+    "store",
+    "interest",
+    "selection",
     "exchange",
     "seeds",
     "bookkeeping",
@@ -59,12 +75,13 @@ class RoundProfiler:
     named stage and re-marks, so stages need no explicit "start".
     """
 
-    __slots__ = ("totals", "rounds", "_mark")
+    __slots__ = ("stages", "totals", "rounds", "_mark")
 
     STAGES = STAGES
 
-    def __init__(self):
-        self.totals: Dict[str, float] = {stage: 0.0 for stage in STAGES}
+    def __init__(self, stages: Tuple[str, ...] = STAGES):
+        self.stages = tuple(stages)
+        self.totals: Dict[str, float] = {stage: 0.0 for stage in self.stages}
         self.rounds = 0
         self._mark = 0.0
 
@@ -97,7 +114,7 @@ class RoundProfiler:
         """One-line per-stage summary (seconds and share of the total)."""
         total = self.total
         parts = []
-        for stage in STAGES:
+        for stage in self.stages:
             seconds = self.totals[stage]
             share = 100.0 * seconds / total if total > 0 else 0.0
             parts.append(f"{stage} {seconds:.3f}s ({share:.0f}%)")

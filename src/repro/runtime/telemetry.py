@@ -73,6 +73,8 @@ class Telemetry:
         round_profile: per-stage simulator wall seconds accumulated from
             :class:`~repro.runtime.profiler.RoundProfiler` runs (empty
             unless a profiled swarm contributed).
+        backend: the swarm backend that produced the simulator work
+            (``"object"`` or ``"soa"``; empty when no swarm ran).
     """
 
     wall_time: float = 0.0
@@ -91,6 +93,7 @@ class Telemetry:
     failure_log: List[TaskFailure] = field(default_factory=list, repr=False)
     batches: int = field(default=0, repr=False)
     round_profile: Dict[str, float] = field(default_factory=dict)
+    backend: str = ""
 
     def merge(self, other: "Telemetry") -> "Telemetry":
         """Fold another telemetry record into this one (in place)."""
@@ -113,6 +116,8 @@ class Telemetry:
             self.round_profile[stage] = (
                 self.round_profile.get(stage, 0.0) + seconds
             )
+        if other.backend:
+            self.backend = other.backend
         return self
 
     def add_round_profile(self, profile: Dict[str, float]) -> None:
@@ -151,6 +156,7 @@ class Telemetry:
             "resumes": self.resumes,
             "failure_log": [failure.to_dict() for failure in self.failure_log],
             "round_profile": dict(self.round_profile),
+            "backend": self.backend,
         }
 
     def format(self) -> str:
@@ -175,6 +181,8 @@ class Telemetry:
             )
         if self.resumes:
             text += f"; checkpoints: {self.resumes} task(s) resumed"
+        if self.backend:
+            text += f"; backend: {self.backend}"
         if self.round_profile:
             total = sum(self.round_profile.values())
             stages = ", ".join(
@@ -182,5 +190,6 @@ class Telemetry:
                 f" ({100.0 * seconds / total if total > 0 else 0.0:.0f}%)"
                 for stage, seconds in self.round_profile.items()
             )
-            text += f"\nround profile ({total:.3f}s sim): {stages}"
+            label = f" [{self.backend}]" if self.backend else ""
+            text += f"\nround profile{label} ({total:.3f}s sim): {stages}"
         return text

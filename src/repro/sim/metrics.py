@@ -171,6 +171,52 @@ class MetricsCollector:
                 self._occupancy_sums += histogram / total
                 self._occupancy_rounds += 1
 
+    def record_round(
+        self,
+        time: float,
+        leechers: int,
+        seeds: int,
+        *,
+        degrees: Optional[np.ndarray] = None,
+        conn_counts: Optional[np.ndarray] = None,
+    ) -> None:
+        """Array-native counterpart of :meth:`on_round_end`.
+
+        Used by the soa backend, which has no :class:`Tracker` of peer
+        objects to iterate.  The caller supplies pre-aggregated arrays:
+
+        Args:
+            time: round-end simulation time.
+            leechers / seeds: live population counts.
+            degrees: per-piece replication degrees for the entropy
+                sample (respecting ``entropy_includes_seeds``); only
+                consulted on entropy-sampling rounds.
+            conn_counts: active-connection counts for the leechers in
+                the occupancy scope (the caller applies the ``trading``
+                filter); only consulted after the warmup.
+        """
+        self.rounds_observed += 1
+        self.population_series.append((time, leechers, seeds))
+
+        if self.rounds_observed % self.entropy_every == 0:
+            if degrees is not None and len(degrees) and (leechers + seeds) > 0:
+                self.entropy_series.append((time, entropy(degrees)))
+            else:
+                self.entropy_series.append((time, 1.0))
+
+        if self.rounds_observed > self._warmup_rounds:
+            if conn_counts is not None and len(conn_counts):
+                clipped = np.minimum(conn_counts, self.max_conns)
+                histogram = np.bincount(
+                    clipped, minlength=self.max_conns + 1
+                ).astype(np.float64)
+                self._occupancy_sums += histogram / len(conn_counts)
+                self._occupancy_rounds += 1
+
+    def record_abort(self, time: float, pieces_held: int) -> None:
+        """Array-native counterpart of :meth:`on_peer_abort`."""
+        self.aborted.append((time, pieces_held))
+
     def on_peer_abort(self, peer: Peer, time: float) -> None:
         """Record a leecher abandoning its download (the fluid theta)."""
         self.aborted.append((time, peer.bitfield.count))

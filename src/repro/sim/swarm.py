@@ -88,6 +88,8 @@ class SwarmResult:
             identical either way.
         checkpoints_written: snapshots this run wrote (also excluded
             from the fingerprint).
+        backend: which swarm engine produced the result (``"object"``
+            or ``"soa"``; also excluded from the fingerprint).
     """
 
     config: SimConfig
@@ -105,6 +107,7 @@ class SwarmResult:
     round_profile: Optional[Dict[str, float]] = None
     resumed_from_round: Optional[int] = None
     checkpoints_written: int = 0
+    backend: str = "object"
 
     def fingerprint(self) -> str:
         """SHA-256 over every deterministic output of the run.
@@ -118,11 +121,22 @@ class SwarmResult:
         return result_fingerprint(self)
 
 
+#: Valid values for the ``backend`` constructor argument.
+BACKENDS = ("object", "soa")
+
+
 class Swarm:
     """A configurable BitTorrent swarm simulation.
 
     Args:
         config: the :class:`SimConfig`.
+        backend: ``"object"`` (this class: per-peer Python objects, the
+            fingerprint reference, full feature set) or ``"soa"`` (the
+            vectorized structure-of-arrays engine in
+            :mod:`repro.sim.soa`; orders of magnitude faster at scale,
+            statistically equivalent, supports the paper-scale config
+            subset).  ``Swarm(config, backend="soa")`` transparently
+            constructs a :class:`~repro.sim.soa.SoaSwarm`.
         instrument_first: instrument the first N leechers to enter the
             swarm (initial population first, then arrivals) — they log
             per-round potential-set and connection series.
@@ -151,10 +165,26 @@ class Swarm:
             when ``checkpoint_every > 0``.
     """
 
+    def __new__(cls, config: Optional[SimConfig] = None, **kwargs):
+        backend = kwargs.get("backend", "object")
+        if backend not in BACKENDS:
+            raise ParameterError(
+                f"unknown swarm backend {backend!r}; valid backends are "
+                f"{', '.join(repr(b) for b in BACKENDS)} "
+                f"(e.g. Swarm(config, backend='soa') or "
+                f"repro-bt run --backend soa)"
+            )
+        if cls is Swarm and backend == "soa":
+            from repro.sim.soa import SoaSwarm
+
+            return super().__new__(SoaSwarm)
+        return super().__new__(cls)
+
     def __init__(
         self,
         config: SimConfig,
         *,
+        backend: str = "object",
         instrument_first: int = 0,
         instrumented_avoid_seeds: bool = False,
         instrumented_start_empty: bool = True,
@@ -165,6 +195,12 @@ class Swarm:
         checkpoint_every: int = 0,
         checkpoint_path: Optional[str] = None,
     ):
+        if backend != "object":
+            raise ParameterError(
+                f"Swarm.__init__ implements the 'object' backend, got "
+                f"backend={backend!r}"
+            )
+        self.backend = "object"
         if instrument_first < 0:
             raise ParameterError(
                 f"instrument_first must be >= 0, got {instrument_first}"
@@ -798,10 +834,15 @@ class Swarm:
             ),
             resumed_from_round=self.resumed_from_round,
             checkpoints_written=self.checkpoints_written,
+            backend="object",
         )
 
 
 def run_swarm(config: SimConfig, **swarm_kwargs) -> SwarmResult:
-    """Convenience wrapper: build, set up, and run a swarm."""
+    """Convenience wrapper: build, set up, and run a swarm.
+
+    Accepts every :class:`Swarm` constructor keyword, including
+    ``backend="soa"`` for the vectorized engine.
+    """
     swarm = Swarm(config, **swarm_kwargs)
     return swarm.run()

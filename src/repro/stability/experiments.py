@@ -115,6 +115,7 @@ def run_stability_experiment(
     divergence_factor: float = 2.0,
     recovery_level: float = 0.5,
     entropy_every: int = 2,
+    backend: str = "object",
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 0,
 ) -> StabilityRun:
@@ -154,6 +155,7 @@ def run_stability_experiment(
                 entropy_every=entropy_every,
                 entropy_includes_seeds=True,
             ),
+            backend=backend,
         )
         metrics = result.metrics
     else:
@@ -162,7 +164,7 @@ def run_stability_experiment(
             entropy_every=entropy_every,
             entropy_includes_seeds=True,
         )
-        swarm = Swarm(config, metrics=metrics)
+        swarm = Swarm(config, metrics=metrics, backend=backend)
         result = swarm.run()
 
     times, leech, seeds = metrics.population_arrays()
@@ -206,6 +208,7 @@ def run_stability_sweep(
     seed: int = 0,
     entropy_every: int = 2,
     workers: int = 1,
+    backend: str = "object",
     checkpoint_dir: Optional[str] = None,
     checkpoint_every: int = 0,
 ) -> Tuple[Dict[int, StabilityRun], "object"]:
@@ -240,12 +243,13 @@ def run_stability_sweep(
     ]
     interval = checkpoint_every if checkpoint_dir is not None else 0
     executor = ExperimentExecutor(workers=workers, checkpoint_dir=checkpoint_dir)
+    executor.telemetry.backend = backend
     outcomes = executor.run(
         [
             TaskSpec(
                 run_stability_experiment,
                 (config,),
-                {"entropy_every": entropy_every},
+                {"entropy_every": entropy_every, "backend": backend},
                 checkpoint_interval=interval,
                 checkpoint_key=f"stability-B{num_pieces}",
             )

@@ -16,13 +16,16 @@ trajectory.  Pinned here from both ends:
 
 import json
 
+import numpy as np
 import pytest
 
 from ckpt_helpers import replay_config, replay_fault_plan, run_to_round
 from repro.checkpoint.format import dumps_payload
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.runtime.executor import _ATTEMPT_SALT, TaskSpec
 from repro.runtime.seeding import derive_seed
-from repro.sim.swarm import Swarm
+from repro.sim.swarm import Swarm, run_swarm
 
 
 def _final_states(swarm: Swarm) -> tuple:
@@ -57,6 +60,77 @@ def test_restore_does_not_advance_rng_before_run():
     document = json.loads(dumps_payload(partial.snapshot()).decode("utf-8"))
     resumed = Swarm.resume(document)
     assert resumed.rng.bit_generator.state == state_at_snapshot
+
+
+class TestBatchedMaskDrawAccounting:
+    """The vectorized fault masks keep the stream-consumption contract.
+
+    A zero-probability plan must return all-false masks *without*
+    consuming any RNG draws (the zero-intensity bit-identity
+    guarantee); a non-zero plan must consume exactly one batched
+    ``random(count)`` — the same stream positions as ``count``
+    sequential scalar draws.
+    """
+
+    MASKS = ("churn_mask", "break_mask", "handshake_mask", "shake_mask")
+
+    def test_zero_probability_masks_consume_no_draws(self):
+        injector = FaultInjector(FaultPlan(), 3)
+        before = injector.rng.bit_generator.state
+        for name in self.MASKS:
+            mask = getattr(injector, name)(17)
+            assert mask.shape == (17,) and not mask.any()
+        assert injector.rng.bit_generator.state == before
+        assert injector.stats.total() == 0
+
+    def test_nonzero_masks_consume_exactly_one_batched_draw(self):
+        plan = FaultPlan(
+            churn_hazard=0.4,
+            connection_break_prob=0.4,
+            handshake_failure_prob=0.4,
+            shake_failure_prob=0.4,
+        )
+        injector = FaultInjector(plan, 3)
+        reference = np.random.default_rng()
+        reference.bit_generator.state = injector.rng.bit_generator.state
+        for name in self.MASKS:
+            expected = reference.random(17) < 0.4
+            np.testing.assert_array_equal(
+                getattr(injector, name)(17), expected
+            )
+        assert (
+            injector.rng.bit_generator.state
+            == reference.bit_generator.state
+        )
+
+    def test_empty_count_masks_consume_no_draws(self):
+        plan = FaultPlan(churn_hazard=0.5)
+        injector = FaultInjector(plan, 3)
+        before = injector.rng.bit_generator.state
+        assert injector.churn_mask(0).size == 0
+        assert injector.rng.bit_generator.state == before
+
+    @pytest.mark.parametrize("backend", ["object", "soa"])
+    def test_zero_intensity_plan_is_bit_identical_to_no_plan(self, backend):
+        """``plan.scaled(0)`` and ``faults=None`` share one trajectory.
+
+        The deterministic outputs must match bit for bit apart from the
+        ``fault_stats`` presence marker (None without a plan, all-zero
+        counters with one) — the injector fired nothing and, thanks to
+        the zero-probability gating, drew nothing.
+        """
+        from repro.checkpoint.fingerprint import result_summary
+
+        config = replay_config()
+        plan = replay_fault_plan().scaled(0.0)
+        assert not plan.outages  # outages would perturb announces
+        plain = result_summary(run_swarm(config, backend=backend))
+        faulted_result = run_swarm(config, faults=plan, backend=backend)
+        faulted = result_summary(faulted_result)
+        assert faulted_result.fault_stats.total() == 0
+        assert plain.pop("fault_stats") is None
+        assert faulted.pop("fault_stats") is not None
+        assert faulted == plain
 
 
 class TestForAttemptExemption:

@@ -1,0 +1,98 @@
+"""Statistical equivalence: soa backend vs the object reference engine.
+
+The two backends make the same protocol decisions with the same
+probabilities but consume their RNG streams differently, so individual
+runs differ while ensemble statistics must agree.  These tests average
+a few seeds per configuration on both backends and compare the headline
+observables — completions, download times, connection probabilities and
+efficiency — within tolerances a few times wider than the measured
+backend gap (1-3%) to stay robust to seed noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.sim.metrics import MetricsCollector
+from repro.sim.swarm import run_swarm
+
+SEEDS = (0, 1, 2)
+
+
+def steady_config(**overrides):
+    """A dense steady swarm (the fig. 3/4(a) shape, shortened)."""
+    base = dict(
+        num_pieces=40,
+        max_conns=3,
+        ns_size=20,
+        arrival_process="poisson",
+        arrival_rate=4.0,
+        initial_leechers=80,
+        initial_distribution="uniform",
+        initial_fill=0.5,
+        num_seeds=1,
+        seed_upload_slots=2,
+        optimistic_unchoke_prob=0.5,
+        connection_setup_prob=0.8,
+        connection_failure_prob=0.1,
+        matching="blind",
+        piece_selection="rarest",
+        max_time=60.0,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+CONFIGS = {
+    "steady": steady_config(),
+    # Longer horizon: the sparse regime's bootstrap transient (where the
+    # backends differ most) must not dominate the completion count.
+    "sparse-fill": steady_config(
+        initial_fill=0.3, arrival_rate=2.0, max_time=100.0
+    ),
+    "small": steady_config(
+        num_pieces=20, initial_leechers=30, ns_size=10, max_conns=2
+    ),
+}
+
+
+def ensemble(config, backend):
+    """Seed-averaged observables for one backend."""
+    completed, duration, p_new, p_re, eta = [], [], [], [], []
+    for seed in SEEDS:
+        metrics = MetricsCollector(
+            config.max_conns, entropy_every=1_000_000, occupancy_warmup=0.25
+        )
+        result = run_swarm(
+            config.with_changes(seed=seed), metrics=metrics, backend=backend
+        )
+        assert result.backend == backend
+        completed.append(len(metrics.completed))
+        duration.append(metrics.mean_download_duration())
+        stats = result.connection_stats
+        p_new.append(stats.p_new())
+        p_re.append(stats.p_reenc())
+        eta.append(metrics.efficiency())
+    return {
+        "completed": float(np.mean(completed)),
+        "duration": float(np.mean(duration)),
+        "p_new": float(np.mean(p_new)),
+        "p_reenc": float(np.mean(p_re)),
+        "eta": float(np.mean(eta)),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_soa_backend_is_statistically_equivalent(name):
+    config = CONFIGS[name]
+    obj = ensemble(config, "object")
+    soa = ensemble(config, "soa")
+
+    assert obj["completed"] > 0 and soa["completed"] > 0
+    rel_completed = abs(soa["completed"] - obj["completed"]) / obj["completed"]
+    assert rel_completed < 0.10, (obj, soa)
+    rel_duration = abs(soa["duration"] - obj["duration"]) / obj["duration"]
+    assert rel_duration < 0.10, (obj, soa)
+    assert abs(soa["p_new"] - obj["p_new"]) < 0.05, (obj, soa)
+    assert abs(soa["p_reenc"] - obj["p_reenc"]) < 0.03, (obj, soa)
+    assert abs(soa["eta"] - obj["eta"]) < 0.05, (obj, soa)

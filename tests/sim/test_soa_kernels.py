@@ -1,0 +1,178 @@
+"""Unit tests for the soa backend's array kernels.
+
+Each kernel is checked against a straightforward scalar reference
+(the ``Bitfield`` class, a per-group Python loop, or a brute-force
+lexsort), including the fast paths that bypass the general code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.bitfield import Bitfield
+from repro.sim.soa import (
+    _contiguous_ranks,
+    group_ranks,
+    interest_flags,
+    mask_from_words,
+    pack_mask,
+    pack_rows,
+    popcount_rows,
+    unpack_rows,
+    weighted_pick_rows,
+    words_for,
+)
+
+
+@pytest.mark.parametrize("num_pieces", [1, 7, 63, 64, 65, 70, 128, 200])
+def test_pack_unpack_rows_round_trip(num_pieces):
+    rng = np.random.default_rng(num_pieces)
+    held = rng.random((17, num_pieces)) < 0.4
+    packed = pack_rows(held)
+    assert packed.shape == (17, words_for(num_pieces))
+    assert packed.dtype == np.uint64
+    np.testing.assert_array_equal(unpack_rows(packed, num_pieces), held)
+
+
+@pytest.mark.parametrize("num_pieces", [1, 64, 70, 200])
+def test_pack_rows_matches_bitfield_masks(num_pieces):
+    """Row packing and the scalar ``Bitfield`` agree bit for bit."""
+    rng = np.random.default_rng(3)
+    held = rng.random((9, num_pieces)) < 0.5
+    packed = pack_rows(held)
+    for row, bools in zip(packed, held):
+        pieces = [p for p in range(num_pieces) if bools[p]]
+        mask = Bitfield.from_pieces(num_pieces, pieces)._mask
+        assert mask_from_words(row) == mask
+        np.testing.assert_array_equal(row, pack_mask(num_pieces, mask))
+
+
+def test_pack_mask_high_bit():
+    """Bit 63 set: the word value exceeds int64 range and must survive."""
+    mask = 1 << 63
+    words = pack_mask(64, mask)
+    assert int(words[0]) == 1 << 63
+    assert mask_from_words(words) == mask
+
+
+def test_popcount_rows_matches_bitfield_count():
+    rng = np.random.default_rng(11)
+    held = rng.random((25, 130)) < 0.3
+    counts = popcount_rows(pack_rows(held))
+    np.testing.assert_array_equal(counts, held.sum(axis=1))
+
+
+def test_interest_flags_matches_bitfield_reference():
+    """Edge novelty flags equal the scalar subset comparisons."""
+    rng = np.random.default_rng(5)
+    num_pieces = 70
+    held = rng.random((30, num_pieces)) < 0.5
+    held[0, :] = False            # empty peer
+    held[1, :] = True             # complete peer
+    bits = pack_rows(held)
+    src = rng.integers(0, 30, size=200)
+    dst = rng.integers(0, 30, size=200)
+    give_sd, give_ds = interest_flags(bits, src, dst)
+    for k in range(src.size):
+        s, d = held[src[k]], held[dst[k]]
+        assert give_sd[k] == bool((s & ~d).any())
+        assert give_ds[k] == bool((d & ~s).any())
+
+
+def test_interest_flags_counts_path_is_exact():
+    """The empty/complete count shortcut agrees with the full XOR path."""
+    rng = np.random.default_rng(6)
+    num_pieces = 40
+    held = rng.random((50, num_pieces)) < 0.5
+    held[:10, :] = False          # flash-crowd bootstrap: many empties
+    held[10:14, :] = True
+    bits = pack_rows(held)
+    counts = popcount_rows(bits)
+    src = rng.integers(0, 50, size=500)
+    dst = rng.integers(0, 50, size=500)
+    plain = interest_flags(bits, src, dst)
+    fast = interest_flags(bits, src, dst, counts=counts,
+                          num_pieces=num_pieces)
+    np.testing.assert_array_equal(fast[0], plain[0])
+    np.testing.assert_array_equal(fast[1], plain[1])
+
+
+def test_interest_flags_counts_requires_num_pieces():
+    bits = pack_rows(np.ones((2, 8), dtype=bool))
+    counts = popcount_rows(bits)
+    edge = np.array([0]), np.array([1])
+    with pytest.raises(ValueError):
+        interest_flags(bits, *edge, counts=counts)
+
+
+def _rank_reference(keys, priority):
+    """Brute-force group ranks: lexsort, then position within group."""
+    order = np.lexsort((priority, keys))
+    ranks = np.empty(keys.size, dtype=np.int64)
+    for key in np.unique(keys):
+        members = order[keys[order] == key]
+        ranks[members] = np.arange(members.size)
+    return ranks
+
+
+def test_group_ranks_matches_reference():
+    rng = np.random.default_rng(7)
+    keys = rng.integers(0, 12, size=300)
+    priority = rng.permutation(300)
+    np.testing.assert_array_equal(
+        group_ranks(keys, priority), _rank_reference(keys, priority)
+    )
+
+
+def test_group_ranks_ascending_priority_fast_path():
+    """Already-ascending priorities take the single-sort branch."""
+    rng = np.random.default_rng(8)
+    keys = rng.integers(0, 9, size=120)
+    priority = np.arange(120)
+    np.testing.assert_array_equal(
+        group_ranks(keys, priority), _rank_reference(keys, priority)
+    )
+
+
+def test_group_ranks_lexsort_fallback_on_huge_keys():
+    """Keys too large for the fused int64 sort fall back to lexsort."""
+    rng = np.random.default_rng(9)
+    keys = rng.integers(0, 5, size=64) + (1 << 61)
+    priority = rng.permutation(64)
+    np.testing.assert_array_equal(
+        group_ranks(keys, priority), _rank_reference(keys, priority)
+    )
+
+
+def test_group_ranks_empty_and_singleton():
+    assert group_ranks(np.zeros(0, np.int64), np.zeros(0, np.int64)).size == 0
+    np.testing.assert_array_equal(
+        group_ranks(np.array([4]), np.array([0])), [0]
+    )
+
+
+def test_contiguous_ranks_matches_group_ranks():
+    """For pre-grouped keys the sort-free rank equals the general one."""
+    keys = np.repeat(np.array([3, 7, 7, 1, 9]), [2, 1, 3, 4, 2])
+    expected = group_ranks(keys, np.arange(keys.size))
+    np.testing.assert_array_equal(_contiguous_ranks(keys), expected)
+    assert _contiguous_ranks(np.zeros(0, np.int64)).size == 0
+
+
+def test_weighted_pick_rows_zero_rows_and_point_masses():
+    rng = np.random.default_rng(10)
+    weights = np.zeros((4, 6))
+    weights[1, 3] = 2.5           # point mass -> always column 3
+    weights[3, 0] = 1.0
+    picks = weighted_pick_rows(weights, rng)
+    assert picks[0] == -1 and picks[2] == -1
+    assert picks[1] == 3 and picks[3] == 0
+    assert weighted_pick_rows(np.zeros((0, 5)), rng).size == 0
+
+
+def test_weighted_pick_rows_frequencies_track_weights():
+    """The inverse-transform draw reproduces the weight distribution."""
+    rng = np.random.default_rng(12)
+    weights = np.tile(np.array([1.0, 2.0, 5.0]), (30_000, 1))
+    picks = weighted_pick_rows(weights, rng)
+    freq = np.bincount(picks, minlength=3) / picks.size
+    np.testing.assert_allclose(freq, np.array([1, 2, 5]) / 8.0, atol=0.02)

@@ -83,6 +83,20 @@ class TestParser:
         )
         assert args.method == "monte-carlo"
 
+    def test_run_backend_is_free_form(self):
+        args = build_parser().parse_args(["run", "F3a", "--backend", "soa"])
+        assert args.backend == "soa"
+        assert build_parser().parse_args(["run", "F3a"]).backend is None
+
+    def test_swarm_commands_default_object_backend(self):
+        parser = build_parser()
+        assert parser.parse_args(["stability", "3"]).backend == "object"
+        assert parser.parse_args(["seeding"]).backend == "object"
+        assert parser.parse_args(["chaos"]).backend == "object"
+        assert parser.parse_args(
+            ["scenario", "flash-crowd", "--backend", "soa"]
+        ).backend == "soa"
+
 
 class TestMain:
     def test_list_output(self, capsys):
@@ -155,6 +169,41 @@ class TestMain:
     def test_run_method_on_methodless_runner_warns(self, capsys):
         assert main(["run", "F2", "--quick", "--method", "exact"]) == 0
         assert "no method switch" in capsys.readouterr().err
+
+    def test_run_soa_backend_end_to_end(self, capsys):
+        assert main([
+            "run", "F3a", "--quick", "--seed", "1",
+            "--backend", "soa", "--timing",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3/4(a)" in out
+        assert "backend: soa" in out
+
+    def test_run_unknown_backend_lists_choices(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError) as excinfo:
+            main(["run", "F3a", "--quick", "--backend", "bogus"])
+        message = str(excinfo.value)
+        assert "unknown swarm backend 'bogus'" in message
+        assert "'object'" in message and "'soa'" in message
+
+    def test_run_backend_on_backendless_runner_warns(self, capsys):
+        assert main(["run", "F2", "--quick", "--backend", "soa"]) == 0
+        assert "no backend switch" in capsys.readouterr().err
+
+    def test_scenario_backend_runs_soa(self, capsys):
+        assert main([
+            "scenario", "flash-crowd", "--horizon", "10",
+            "--backend", "soa",
+        ]) == 0
+        assert "completed downloads" in capsys.readouterr().out
+
+    def test_scenario_unknown_backend_rejected(self):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            main(["scenario", "flash-crowd", "--backend", "bogus"])
 
     def test_serve_rejects_bad_bounds(self):
         from repro.errors import ParameterError
