@@ -412,11 +412,18 @@ def snapshot_soa_swarm(swarm) -> dict:
     }
 
 
-def _restore_soa_swarm(document: dict, **swarm_kwargs):
-    """Rebuild a ready-to-continue ``SoaSwarm`` from a soa document."""
+def _restore_soa_swarm(document: dict, swarm_cls=None, **swarm_kwargs):
+    """Rebuild a ready-to-continue ``SoaSwarm`` from a soa document.
+
+    ``swarm_cls`` lets the sharded backend restore the same document
+    shape into a :class:`~repro.sim.sharded.ShardEngine` (an ``SoaSwarm``
+    subclass with no extra snapshot state of its own).
+    """
     from repro.faults.plan import FaultPlan
     from repro.sim.soa import PeerStore, SoaSwarm
 
+    if swarm_cls is None:
+        swarm_cls = SoaSwarm
     config = SimConfig.from_dict(document["config"])
     sw = document["swarm"]
     faults_doc = document["faults"]
@@ -425,7 +432,7 @@ def _restore_soa_swarm(document: dict, **swarm_kwargs):
     )
     metrics = _restore_metrics(document["metrics"])
 
-    swarm = SoaSwarm(
+    swarm = swarm_cls(
         config,
         backend="soa",
         instrumented_start_empty=bool(sw["instrumented_start_empty"]),
@@ -533,6 +540,15 @@ def restore_swarm(document: dict, **swarm_kwargs) -> "Swarm":
     if document.get("backend") == "soa":
         try:
             return _restore_soa_swarm(document, **swarm_kwargs)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"snapshot document is structurally invalid: {exc!r}"
+            )
+    if document.get("backend") == "sharded":
+        from repro.sim.sharded import restore_sharded_swarm
+
+        try:
+            return restore_sharded_swarm(document, **swarm_kwargs)
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(
                 f"snapshot document is structurally invalid: {exc!r}"

@@ -105,11 +105,18 @@ def run_swarm_with_checkpoints(
         # Only run-control options pass through on resume; everything
         # simulation-defining (metrics, faults, instrumentation) comes
         # from the snapshot — a resumed run must continue the original
-        # trajectory, not a freshly-parameterised one.
+        # trajectory, not a freshly-parameterised one.  A sharded
+        # snapshot additionally honours ``shards`` (elastic re-sharding
+        # repartitions the checkpoint onto the new worker count).
+        allowed = (
+            ("profile", "shards")
+            if document.get("backend") == "sharded"
+            else ("profile",)
+        )
         control = {
             key: value
             for key, value in swarm_kwargs.items()
-            if key in ("profile",)
+            if key in allowed
         }
         swarm = restore_swarm(
             document,

@@ -91,10 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "swarm engine for simulation-backed experiments: 'object' "
-            "(per-peer reference engine, the default) or 'soa' "
+            "(per-peer reference engine, the default), 'soa' "
             "(vectorized structure-of-arrays engine; statistically "
-            "equivalent and ~10x+ faster on large swarms); unknown "
-            "values list the valid choices"
+            "equivalent and ~10x+ faster on large swarms), or 'sharded' "
+            "(the soa slab partitioned over --shards worker processes; "
+            "million-peer scale); unknown values list the valid choices"
+        ),
+    )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for --backend sharded (ignored by the "
+            "other backends)"
         ),
     )
     run.add_argument(
@@ -261,7 +271,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override max_time")
     scenario.add_argument(
         "--backend", default="object",
-        help="swarm engine: 'object' (default) or 'soa' (vectorized)",
+        help=(
+            "swarm engine: 'object' (default), 'soa' (vectorized) or "
+            "'sharded' (multiprocess; see --shards)"
+        ),
+    )
+    scenario.add_argument(
+        "--shards", type=int, default=2,
+        help="worker processes for --backend sharded (default 2)",
     )
 
     return parser
@@ -291,8 +308,9 @@ def _parse_backend(backend: str) -> str:
             f"unknown swarm backend {backend!r}; valid backends are "
             f"{', '.join(repr(b) for b in BACKENDS)} "
             f"('object' is the per-peer reference engine, 'soa' the "
-            f"vectorized array engine; e.g. repro-bt run F3a "
-            f"--backend soa)"
+            f"vectorized array engine, 'sharded' the multiprocess "
+            f"array engine; e.g. repro-bt run F3a --backend soa or "
+            f"repro-bt scenario steady --backend sharded --shards 4)"
         )
     return backend
 
@@ -313,7 +331,7 @@ def _command_run(
     workers: int = 1, timing: bool = False,
     checkpoint_dir: Optional[str] = None, checkpoint_every: int = 25,
     resume: bool = False, method: Optional[str] = None,
-    backend: Optional[str] = None,
+    backend: Optional[str] = None, shards: Optional[int] = None,
 ) -> int:
     import inspect
 
@@ -351,6 +369,15 @@ def _command_run(
                 f"note: {experiment} has no backend switch "
                 f"(it needs the reference engine's per-peer state); "
                 f"ignoring --backend",
+                file=sys.stderr,
+            )
+    if shards is not None:
+        if backend == "sharded" and "shards" in params:
+            kwargs["shards"] = shards
+        else:
+            print(
+                f"note: --shards only applies with --backend sharded on "
+                f"experiments that accept it; ignoring --shards",
                 file=sys.stderr,
             )
     if timing and "profile" in params:
@@ -521,7 +548,7 @@ def _command_serve(
 
 def _command_scenario(name: Optional[str], seed: int,
                       horizon: Optional[float],
-                      backend: str = "object") -> int:
+                      backend: str = "object", shards: int = 2) -> int:
     from repro.errors import ParameterError
     from repro.sim.scenarios import SCENARIOS
     from repro.sim.swarm import run_swarm
@@ -541,7 +568,9 @@ def _command_scenario(name: Optional[str], seed: int,
     config = factory(seed=seed)
     if horizon is not None:
         config = config.with_changes(max_time=horizon)
-    result = run_swarm(config, backend=_parse_backend(backend))
+    backend = _parse_backend(backend)
+    swarm_kwargs = {"shards": shards} if backend == "sharded" else {}
+    result = run_swarm(config, backend=backend, **swarm_kwargs)
     metrics = result.metrics
     stats = result.connection_stats
     print(f"scenario {name!r}: {result.total_rounds} rounds")
@@ -571,7 +600,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(
             args.experiment, args.quick, args.seed, args.workers, args.timing,
             args.checkpoint_dir, args.checkpoint_every, args.resume,
-            args.method, args.backend,
+            args.method, args.backend, args.shards,
         )
     if args.command == "trace":
         return _command_trace(args.archetype, args.output, args.seed, args.count)
@@ -598,7 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "scenario":
         return _command_scenario(args.name, args.seed, args.horizon,
-                                 args.backend)
+                                 args.backend, args.shards)
     parser.error(f"unknown command {args.command!r}")
     return 2  # pragma: no cover - parser.error raises
 

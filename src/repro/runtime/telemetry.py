@@ -74,7 +74,14 @@ class Telemetry:
             :class:`~repro.runtime.profiler.RoundProfiler` runs (empty
             unless a profiled swarm contributed).
         backend: the swarm backend that produced the simulator work
-            (``"object"`` or ``"soa"``; empty when no swarm ran).
+            (``"object"``, ``"soa"`` or ``"sharded"``; empty when no
+            swarm ran).  Merging records from *different* backends
+            joins the distinct labels with ``"+"`` (sorted), so a mixed
+            sweep reports e.g. ``"object+soa"`` instead of silently
+            keeping whichever label arrived first.
+        shards: shard worker processes behind the simulator work (0
+            when no sharded swarm contributed; merges take the max,
+            like ``workers``).
     """
 
     wall_time: float = 0.0
@@ -94,6 +101,7 @@ class Telemetry:
     batches: int = field(default=0, repr=False)
     round_profile: Dict[str, float] = field(default_factory=dict)
     backend: str = ""
+    shards: int = 0
 
     def merge(self, other: "Telemetry") -> "Telemetry":
         """Fold another telemetry record into this one (in place)."""
@@ -117,7 +125,13 @@ class Telemetry:
                 self.round_profile.get(stage, 0.0) + seconds
             )
         if other.backend:
-            self.backend = other.backend
+            if self.backend and self.backend != other.backend:
+                labels = set(self.backend.split("+"))
+                labels.update(other.backend.split("+"))
+                self.backend = "+".join(sorted(labels))
+            else:
+                self.backend = other.backend
+        self.shards = max(self.shards, other.shards)
         return self
 
     def add_round_profile(self, profile: Dict[str, float]) -> None:
@@ -157,6 +171,7 @@ class Telemetry:
             "failure_log": [failure.to_dict() for failure in self.failure_log],
             "round_profile": dict(self.round_profile),
             "backend": self.backend,
+            "shards": self.shards,
         }
 
     def format(self) -> str:
@@ -183,6 +198,8 @@ class Telemetry:
             text += f"; checkpoints: {self.resumes} task(s) resumed"
         if self.backend:
             text += f"; backend: {self.backend}"
+        if self.shards:
+            text += f"; shards: {self.shards}"
         if self.round_profile:
             total = sum(self.round_profile.values())
             stages = ", ".join(

@@ -108,6 +108,10 @@ class SwarmResult:
     resumed_from_round: Optional[int] = None
     checkpoints_written: int = 0
     backend: str = "object"
+    #: Per-shard round profiles keyed ``"shard0"``.. (sharded backend
+    #: with ``profile=True`` only; excluded from the fingerprint like
+    #: every other wall-clock observable).
+    shard_profiles: Optional[Dict[str, Dict[str, float]]] = None
 
     def fingerprint(self) -> str:
         """SHA-256 over every deterministic output of the run.
@@ -122,7 +126,7 @@ class SwarmResult:
 
 
 #: Valid values for the ``backend`` constructor argument.
-BACKENDS = ("object", "soa")
+BACKENDS = ("object", "soa", "sharded")
 
 
 class Swarm:
@@ -131,12 +135,17 @@ class Swarm:
     Args:
         config: the :class:`SimConfig`.
         backend: ``"object"`` (this class: per-peer Python objects, the
-            fingerprint reference, full feature set) or ``"soa"`` (the
+            fingerprint reference, full feature set), ``"soa"`` (the
             vectorized structure-of-arrays engine in
             :mod:`repro.sim.soa`; orders of magnitude faster at scale,
             statistically equivalent, supports the paper-scale config
-            subset).  ``Swarm(config, backend="soa")`` transparently
-            constructs a :class:`~repro.sim.soa.SoaSwarm`.
+            subset) or ``"sharded"`` (the SoA slab partitioned across
+            ``shards=N`` worker processes — :mod:`repro.sim.sharded`;
+            million-peer swarms, same config subset as ``"soa"``).
+            ``Swarm(config, backend="soa")`` transparently constructs a
+            :class:`~repro.sim.soa.SoaSwarm`, and
+            ``Swarm(config, backend="sharded", shards=N)`` a
+            :class:`~repro.sim.sharded.ShardedSwarm`.
         instrument_first: instrument the first N leechers to enter the
             swarm (initial population first, then arrivals) — they log
             per-round potential-set and connection series.
@@ -178,6 +187,10 @@ class Swarm:
             from repro.sim.soa import SoaSwarm
 
             return super().__new__(SoaSwarm)
+        if cls is Swarm and backend == "sharded":
+            from repro.sim.sharded import ShardedSwarm
+
+            return super().__new__(ShardedSwarm)
         return super().__new__(cls)
 
     def __init__(
@@ -842,7 +855,8 @@ def run_swarm(config: SimConfig, **swarm_kwargs) -> SwarmResult:
     """Convenience wrapper: build, set up, and run a swarm.
 
     Accepts every :class:`Swarm` constructor keyword, including
-    ``backend="soa"`` for the vectorized engine.
+    ``backend="soa"`` for the vectorized engine and
+    ``backend="sharded", shards=N`` for the multiprocess engine.
     """
     swarm = Swarm(config, **swarm_kwargs)
     return swarm.run()
