@@ -1,0 +1,124 @@
+"""CI guard: fail when a recorded perf headline regresses.
+
+Compares dotted keys in a freshly generated ``BENCH_perf.json`` against
+the copy committed at a baseline git ref (``HEAD`` by default — in CI
+that is the commit under test, whose checked-in numbers predate the
+bench rerun).  A key regresses when the current value drops more than
+``--tolerance`` (default 20%) below the baseline; higher is always
+fine, so the guard never blocks a speedup.
+
+Missing baselines are skipped with a note instead of failing: a fresh
+repo, a renamed section, or a first-ever bench run must not break CI.
+
+Usage (CI's shard-smoke job)::
+
+    python benchmarks/check_bench_regression.py \
+        --current BENCH_perf.json \
+        --key simulator_sharded.rounds_per_second
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+DEFAULT_KEYS = ["simulator_sharded.rounds_per_second"]
+
+
+def _lookup(report: dict, dotted: str):
+    """Resolve ``a.b.c`` in nested dicts; None when any hop is missing."""
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _baseline_report(ref: str, path: str) -> dict | None:
+    """The report file as committed at ``ref``, or None if unavailable."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{path}"],
+            capture_output=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent.parent,
+        ).stdout
+        report = json.loads(blob)
+    except (subprocess.CalledProcessError, OSError, ValueError):
+        return None
+    return report if isinstance(report, dict) else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        default="BENCH_perf.json",
+        help="freshly generated report file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref whose committed report is the baseline "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--key",
+        action="append",
+        dest="keys",
+        metavar="SECTION.FIELD",
+        help="dotted report key to guard; repeatable "
+        f"(default: {DEFAULT_KEYS})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop below baseline (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    keys = args.keys or DEFAULT_KEYS
+
+    try:
+        current = json.loads(Path(args.current).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"bench-regression: cannot read {args.current}: {exc}")
+        return 1
+    baseline = _baseline_report(args.baseline_ref, "BENCH_perf.json")
+    if baseline is None:
+        print(
+            f"bench-regression: no committed BENCH_perf.json at "
+            f"{args.baseline_ref}; nothing to compare"
+        )
+        return 0
+
+    failed = False
+    for key in keys:
+        base = _lookup(baseline, key)
+        now = _lookup(current, key)
+        if not isinstance(base, (int, float)) or isinstance(base, bool):
+            print(f"bench-regression: {key}: no numeric baseline; skipped")
+            continue
+        if not isinstance(now, (int, float)) or isinstance(now, bool):
+            print(f"bench-regression: {key}: missing from current report")
+            failed = True
+            continue
+        floor = base * (1.0 - args.tolerance)
+        verdict = "OK" if now >= floor else "REGRESSED"
+        print(
+            f"bench-regression: {key}: {now:g} vs baseline {base:g} "
+            f"(floor {floor:g}) {verdict}"
+        )
+        if now < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Tuple
 
-__all__ = ["RoundProfiler", "STAGES", "SOA_STAGES"]
+__all__ = ["RoundProfiler", "STAGES", "SOA_STAGES", "SHARD_COORD_STAGES"]
 
 #: Stage names in round-execution order (object backend).
 STAGES = (
@@ -56,6 +56,16 @@ SOA_STAGES = (
     "selection",
     "exchange",
     "seeds",
+    "bookkeeping",
+)
+
+#: Stage names of the sharded coordinator's cycle: ``comms`` (fabric
+#: writes/reads, step dispatch, and the barrier wait net of the slowest
+#: worker's compute time) and ``bookkeeping`` (metrics fold, population
+#: log, checkpoint cadence).  Worker-side round stages keep the
+#: ``SOA_STAGES`` names, so a merged sharded profile shows both layers.
+SHARD_COORD_STAGES = (
+    "comms",
     "bookkeeping",
 )
 
@@ -95,6 +105,19 @@ class RoundProfiler:
         now = time.perf_counter()
         self.totals[stage] += now - self._mark
         self._mark = now
+
+    def charge(self, stage: str, seconds: float) -> None:
+        """Add externally measured ``seconds`` without touching the mark.
+
+        Used where elapsed wall time is *not* what a stage should pay —
+        e.g. the sharded coordinator's barrier wait, which charges only
+        the wait net of the slowest worker's compute time.
+        """
+        self.totals[stage] += seconds
+
+    def mark(self) -> None:
+        """Reset the stage clock without charging anything."""
+        self._mark = time.perf_counter()
 
     @property
     def total(self) -> float:

@@ -82,6 +82,12 @@ class Telemetry:
         shards: shard worker processes behind the simulator work (0
             when no sharded swarm contributed; merges take the max,
             like ``workers``).
+        bytes_broadcast: bytes of global replication counts delivered
+            to shard workers over the shared-memory fabric (counted
+            once per shard per round; 0 when no sharded swarm ran).
+        bytes_migrated: bytes of migration rows carried through the
+            fabric, counted on each leg (coordinator inbox write and
+            outbox read), so a peer hopping shards costs two legs.
     """
 
     wall_time: float = 0.0
@@ -102,6 +108,8 @@ class Telemetry:
     round_profile: Dict[str, float] = field(default_factory=dict)
     backend: str = ""
     shards: int = 0
+    bytes_broadcast: int = 0
+    bytes_migrated: int = 0
 
     def merge(self, other: "Telemetry") -> "Telemetry":
         """Fold another telemetry record into this one (in place)."""
@@ -132,6 +140,8 @@ class Telemetry:
             else:
                 self.backend = other.backend
         self.shards = max(self.shards, other.shards)
+        self.bytes_broadcast += other.bytes_broadcast
+        self.bytes_migrated += other.bytes_migrated
         return self
 
     def add_round_profile(self, profile: Dict[str, float]) -> None:
@@ -172,6 +182,8 @@ class Telemetry:
             "round_profile": dict(self.round_profile),
             "backend": self.backend,
             "shards": self.shards,
+            "bytes_broadcast": self.bytes_broadcast,
+            "bytes_migrated": self.bytes_migrated,
         }
 
     def format(self) -> str:
@@ -200,6 +212,12 @@ class Telemetry:
             text += f"; backend: {self.backend}"
         if self.shards:
             text += f"; shards: {self.shards}"
+        if self.bytes_broadcast or self.bytes_migrated:
+            text += (
+                f"; shard comms: "
+                f"{self.bytes_broadcast / 1e6:.1f} MB broadcast, "
+                f"{self.bytes_migrated / 1e6:.1f} MB migrated"
+            )
         if self.round_profile:
             total = sum(self.round_profile.values())
             stages = ", ".join(

@@ -9,13 +9,16 @@ collector, and coordinated checkpoints.
 
 Design contract (mirrors ``docs/RUNTIME.md``):
 
-* **Lockstep rounds.** Every shard advances exactly one protocol round
-  per coordinator cycle.  The per-cycle message to a shard carries the
-  global replication counts (broadcast for rarest-first), arrivals
-  assigned to the shard, immigrant peer rows, and an emigrant quota;
-  the reply carries the shard's round report and its emigrant rows.
+* **Lockstep rounds over a zero-copy data plane.** Every shard
+  advances exactly one protocol round per coordinator cycle.  The hot
+  per-round payloads — the global replication-count broadcast (for
+  rarest-first), immigrant peer rows, the shard's round report, and
+  its emigrant rows — travel through the preallocated shared-memory
+  fabric of :mod:`repro.sim.shm` (double-buffered numpy views, stamped
+  per round); the pipe carries only the low-rate control plane
+  (init / step barrier with arrivals + quotas / snapshot / stop).
   Rows use the same column layout as the checkpoint store block, so a
-  migration message *is* a slice of a snapshot.
+  migration batch *is* a slice of a snapshot.
 * **Splittable seeding.** Shard ``i`` of generation ``g`` seeds its
   engine from ``derive_seed(seed, SHARD_NS, 1 + g, shards, i)``; the
   coordinator's tracker stream is ``derive_seed(seed, SHARD_NS, 0)``.
@@ -40,17 +43,20 @@ from __future__ import annotations
 import multiprocessing
 import time as _time
 import traceback
+from multiprocessing import resource_tracker as _resource_tracker
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import CheckpointError, ParameterError, SimulationError
 from repro.faults.plan import FaultPlan, FaultStats
+from repro.runtime.profiler import SHARD_COORD_STAGES, RoundProfiler
 from repro.runtime.seeding import derive_seed
 from repro.runtime.telemetry import Telemetry
 from repro.sim.config import SimConfig
 from repro.sim.engine import Event
 from repro.sim.metrics import MetricsCollector
+from repro.sim.shm import ShardFabric, WorkerFabric
 from repro.sim.soa import SoaSwarm, unpack_rows
 from repro.sim.swarm import ConnectionStats, Swarm, SwarmResult
 
@@ -254,8 +260,9 @@ class ShardEngine(SoaSwarm):
         slots = store.allocate(count)
         self._alive_dirty = True
         store.peer_id[slots] = ids
-        for pid, slot in zip(ids, slots):
-            self._id_to_slot[int(pid)] = int(slot)
+        self._id_to_slot.update(
+            zip(np.asarray(ids).tolist(), slots.tolist())
+        )
         store.joined_at[slots] = times
         self._n_leech += count
         config = self.config
@@ -266,7 +273,7 @@ class ShardEngine(SoaSwarm):
             )
             chosen = self.rng.choice(len(fractions), size=count, p=fractions)
             store.upload_capacity[slots] = caps[chosen]
-        self._pending_announce.extend(int(s) for s in slots)
+        self._pending_announce.extend(slots.tolist())
 
     def absorb_rows(self, rows: dict) -> None:
         """Admit immigrant peers; they re-announce next round."""
@@ -278,8 +285,7 @@ class ShardEngine(SoaSwarm):
         slots = store.allocate(count)
         self._alive_dirty = True
         store.peer_id[slots] = ids
-        for pid, slot in zip(ids, slots):
-            self._id_to_slot[int(pid)] = int(slot)
+        self._id_to_slot.update(zip(ids.tolist(), slots.tolist()))
         store.is_seed[slots] = rows["is_seed"]
         store.shaken[slots] = rows["shaken"]
         store.counts[slots] = rows["counts"]
@@ -297,7 +303,7 @@ class ShardEngine(SoaSwarm):
         seeds = int(np.asarray(rows["is_seed"]).sum())
         self._n_seeds += seeds
         self._n_leech += count - seeds
-        self._pending_announce.extend(int(s) for s in slots)
+        self._pending_announce.extend(slots.tolist())
 
     def extract_emigrants(self, count: int) -> Optional[dict]:
         """Remove up to ``count`` random alive peers, returning their rows."""
@@ -371,8 +377,16 @@ def _shard_metrics(max_conns: int, opts: dict) -> MetricsCollector:
 # Worker process
 # ----------------------------------------------------------------------
 def _shard_worker(conn) -> None:
-    """Shard worker main loop: one command in, one reply out."""
+    """Shard worker main loop: one command in, one reply out.
+
+    Control messages (and the variable-size completion/abort records)
+    ride the pipe; the per-round broadcast, migration rows, and the
+    integer round report go through the attached :class:`WorkerFabric`.
+    The worker only ever closes its attached segments — the
+    coordinator owns and unlinks them.
+    """
     engine: Optional[ShardEngine] = None
+    fabric: Optional[WorkerFabric] = None
     try:
         while True:
             try:
@@ -396,6 +410,7 @@ def _shard_worker(conn) -> None:
                     )
                     engine._next_id = payload["id_start"]
                     engine.setup()
+                    fabric = WorkerFabric(payload["fabric"])
                     conn.send(("ok", engine.state_summary()))
                 elif command == "restore":
                     from repro.checkpoint.schema import _restore_soa_swarm
@@ -407,6 +422,7 @@ def _shard_worker(conn) -> None:
                     )
                     engine._completed_reported = len(engine.metrics.completed)
                     engine._aborted_reported = len(engine.metrics.aborted)
+                    fabric = WorkerFabric(payload["fabric"])
                     conn.send(("ok", engine.state_summary()))
                 elif command == "adopt":
                     engine = ShardEngine(
@@ -430,15 +446,29 @@ def _shard_worker(conn) -> None:
                     engine.engine.schedule_at(
                         payload["next_round_time"], Event("round")
                     )
+                    fabric = WorkerFabric(payload["fabric"])
                     conn.send(("ok", engine.state_summary()))
                 elif command == "step":
+                    fabric.apply_updates(payload.get("fabric_updates"))
+                    round_index = payload["round"]
+                    busy_start = _time.perf_counter()
                     report = engine.step_round(
-                        payload["global_counts"],
-                        payload["immigrants"],
+                        fabric.read_broadcast(round_index),
+                        fabric.read_inbox(round_index),
                         payload["arrivals"],
                         payload["emigrate"],
                     )
-                    conn.send(("report", report))
+                    busy = _time.perf_counter() - busy_start
+                    fabric.write_outbox(
+                        report.pop("emigrants"), round_index
+                    )
+                    fabric.write_report(report, round_index)
+                    conn.send(("report", {
+                        "time": report["time"],
+                        "completed": report["completed"],
+                        "aborted": report["aborted"],
+                        "busy": busy,
+                    }))
                 elif command == "snapshot":
                     from repro.checkpoint.schema import snapshot_soa_swarm
 
@@ -463,6 +493,12 @@ def _shard_worker(conn) -> None:
                 conn.send(("error", traceback.format_exc()))
                 return
     finally:
+        if engine is not None:
+            # Drop the broadcast view so the fabric's mappings close
+            # cleanly (a live numpy view would pin the mmap).
+            engine._global_counts = None
+        if fabric is not None:
+            fabric.close()
         conn.close()
 
 
@@ -554,6 +590,10 @@ class ShardedSwarm(Swarm):
         self._restore_docs: Optional[List[dict]] = None
         self._adopt_rows: Optional[List[Optional[dict]]] = None
         self._last_document: Optional[dict] = None
+        self._fabric: Optional[ShardFabric] = None
+        self._bytes_broadcast = 0
+        self._bytes_migrated = 0
+        self._comms_profiler: Optional[RoundProfiler] = None
 
         if self.shards == 1:
             self._solo = SoaSwarm(
@@ -644,6 +684,11 @@ class ShardedSwarm(Swarm):
     # ------------------------------------------------------------------
     def _spawn_processes(self) -> None:
         context = multiprocessing.get_context("fork")
+        # Start the resource tracker *before* forking so every worker
+        # shares the coordinator's tracker: attach registrations and the
+        # coordinator's unlink then net out in one ledger instead of a
+        # per-child tracker unlinking live segments at worker exit.
+        _resource_tracker.ensure_running()
         self._procs = []
         self._conns = []
         for _ in range(self.shards):
@@ -678,7 +723,7 @@ class ShardedSwarm(Swarm):
         return [process.pid for process in self._procs]
 
     def close(self) -> None:
-        """Tear down worker processes (idempotent)."""
+        """Tear down workers and unlink the fabric (idempotent)."""
         for index, conn in enumerate(self._conns):
             try:
                 conn.send(("stop", None))
@@ -692,10 +737,30 @@ class ShardedSwarm(Swarm):
                 process.join(timeout=2.0)
         self._procs = []
         self._conns = []
+        if self._fabric is not None:
+            self._fold_fabric_bytes()
+            self._fabric.close()
+            self._fabric = None
+
+    def _fold_fabric_bytes(self) -> None:
+        """Accumulate the fabric's byte counters (survives recovery)."""
+        fabric = self._fabric
+        if fabric is None:
+            return
+        self._bytes_broadcast += fabric.bytes_broadcast
+        self._bytes_migrated += fabric.bytes_migrated
+        fabric.bytes_broadcast = 0
+        fabric.bytes_migrated = 0
+
+    def fabric_segment_names(self) -> List[str]:
+        """Names of the live shared-memory segments (lifecycle tests)."""
+        if self._fabric is None:
+            return []
+        return self._fabric.segment_names()
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:
-            if self._procs:
+            if self._procs or getattr(self, "_fabric", None) is not None:
                 self.close()
         except Exception:  # noqa: BLE001
             pass
@@ -703,6 +768,35 @@ class ShardedSwarm(Swarm):
     # ------------------------------------------------------------------
     # Startup
     # ------------------------------------------------------------------
+    def _create_fabric(self) -> None:
+        """Allocate the shared-memory fabric, sized for this start.
+
+        Sizing is only a head start — the per-round
+        :meth:`ShardFabric.ensure` call is the hard guarantee, growing
+        any block whose coming round would not fit.
+        """
+        config = self.config
+        expected = (
+            config.num_seeds + config.initial_leechers + config.flash_size
+        ) // self.shards + 1
+        conn_rows = max(64, expected)
+        for state in self._shard_state:
+            if state is not None:
+                conn_rows = max(
+                    conn_rows, state["n_leech"] + state["n_seeds"]
+                )
+        if self._adopt_rows is not None:
+            for rows in self._adopt_rows:
+                if rows is not None:
+                    conn_rows = max(conn_rows, int(rows["peer_id"].size))
+        self._fabric = ShardFabric(
+            self.shards,
+            config.num_pieces,
+            _bits_words(config.num_pieces),
+            conn_rows=conn_rows,
+            migration_rows=64,
+        )
+
     def _ensure_started(self) -> None:
         if self._started:
             return
@@ -712,10 +806,17 @@ class ShardedSwarm(Swarm):
                 self._solo.setup()
             return
         self._spawn_processes()
+        # The fabric is created *after* the fork so children never
+        # inherit coordinator-owned SharedMemory objects; workers
+        # attach by name from the spec in their init payload.
+        self._create_fabric()
+        if self.profile and self._comms_profiler is None:
+            self._comms_profiler = RoundProfiler(SHARD_COORD_STAGES)
         if self._restore_docs is not None:
             for index, document in enumerate(self._restore_docs):
                 self._send(index, ("restore", {
                     "document": document, "profile": self.profile,
+                    "fabric": self._fabric.spec(index),
                 }))
         elif self._adopt_rows is not None:
             for index in range(self.shards):
@@ -727,6 +828,7 @@ class ShardedSwarm(Swarm):
                     "rows": self._adopt_rows[index],
                     "rounds": self._rounds,
                     "next_round_time": self._next_round_time,
+                    "fabric": self._fabric.spec(index),
                 }))
         else:
             id_start = 0
@@ -738,6 +840,7 @@ class ShardedSwarm(Swarm):
                     "faults": self.fault_plan,
                     "profile": self.profile,
                     "id_start": id_start,
+                    "fabric": self._fabric.spec(index),
                 }))
                 id_start += (
                     shard_config.num_seeds
@@ -830,7 +933,12 @@ class ShardedSwarm(Swarm):
                         self._tracker_rng.binomial(population, self.shard_mix)
                     )
 
-        global_counts = self._global_counts()
+        fabric = self._fabric
+        prof = self._comms_profiler
+        round_index = self._rounds + 1
+        if prof is not None:
+            prof.begin_round()
+        fabric.write_broadcast(self._global_counts(), round_index)
         for index in range(self.shards):
             arrivals = None
             if arrival_times[index]:
@@ -838,20 +946,51 @@ class ShardedSwarm(Swarm):
                     np.asarray(arrival_times[index], dtype=np.float64),
                     np.asarray(arrival_ids[index], dtype=np.int64),
                 )
+            pending = self._pending_rows[index]
+            incoming = (
+                0 if pending is None else int(pending["peer_id"].size)
+            )
+            state = self._shard_state[index]
+            # The coordinator knows every upcoming row count before the
+            # step message goes out, so growth is always pre-arranged.
+            updates = fabric.ensure(
+                index,
+                conn_rows=(state["n_leech"] + state["n_seeds"]
+                           + incoming + len(arrival_times[index])),
+                inbox_rows=incoming,
+                outbox_rows=quotas[index],
+            )
+            fabric.write_inbox(index, pending, round_index)
             self._send(index, ("step", {
-                "global_counts": global_counts,
-                "immigrants": self._pending_rows[index],
+                "round": round_index,
                 "arrivals": arrivals,
                 "emigrate": quotas[index],
+                "fabric_updates": updates,
             }))
-        reports = [self._recv(index) for index in range(self.shards)]
+        if prof is not None:
+            prof.lap("comms")
+        wait_start = _time.perf_counter()
+        replies = [self._recv(index) for index in range(self.shards)]
+        if prof is not None:
+            # The barrier wait minus the slowest worker's compute is
+            # fabric overhead; the compute itself is the shards' work.
+            waited = _time.perf_counter() - wait_start
+            busy = max(reply["busy"] for reply in replies)
+            prof.charge("comms", max(waited - busy, 0.0))
+            prof.mark()
 
         # -- all replies in hand: commit the round
         self._pending_rows = [None] * self.shards
         outbound: List[List[dict]] = [[] for _ in range(self.shards)]
-        for index, report in enumerate(reports):
-            emigrants = report.pop("emigrants", None)
+        reports: List[dict] = []
+        for index, reply in enumerate(replies):
+            report = fabric.read_report(index, round_index)
+            report["time"] = reply["time"]
+            report["completed"] = reply["completed"]
+            report["aborted"] = reply["aborted"]
+            reports.append(report)
             self._shard_state[index] = report
+            emigrants = fabric.read_outbox(index, round_index)
             if emigrants is not None and self.shards > 1:
                 destinations = self._tracker_rng.integers(
                     0, self.shards - 1, size=emigrants["peer_id"].size
@@ -863,6 +1002,8 @@ class ShardedSwarm(Swarm):
                         outbound[target].append(part)
         for target in range(self.shards):
             self._pending_rows[target] = _concat_rows(outbound[target])
+        if prof is not None:
+            prof.lap("comms")
 
         n_leech = sum(report["n_leech"] for report in reports)
         n_seeds = sum(report["n_seeds"] for report in reports)
@@ -886,6 +1027,12 @@ class ShardedSwarm(Swarm):
         metrics.record_round(
             time, n_leech, n_seeds, degrees=degrees, conn_counts=conn_counts
         )
+        # Connection counts are views into the report blocks; drop them
+        # now so block growth / close never has a dangling export.
+        for report in reports:
+            report["conn_counts"] = None
+        if prof is not None:
+            prof.lap("bookkeeping")
 
         self._rounds += 1
         self._next_round_time = time + config.piece_time
@@ -1200,6 +1347,20 @@ class ShardedSwarm(Swarm):
                 profiles[f"shard{index}"] = dict(final["profile"])
                 for stage, seconds in final["profile"].items():
                     aggregate[stage] = aggregate.get(stage, 0.0) + seconds
+        if self._comms_profiler is not None:
+            coord_profile = self._comms_profiler.as_dict()
+            profiles["coordinator"] = dict(coord_profile)
+            for stage, seconds in coord_profile.items():
+                aggregate[stage] = aggregate.get(stage, 0.0) + seconds
+        self._fold_fabric_bytes()
+        comms = {
+            "bytes_broadcast": self._bytes_broadcast,
+            "bytes_migrated": self._bytes_migrated,
+            "bytes_per_round": (
+                (self._bytes_broadcast + self._bytes_migrated)
+                / max(self._rounds, 1)
+            ),
+        }
         wall_time = _time.perf_counter() - start
         self.shard_profiles = profiles or None
         self.telemetry = Telemetry(
@@ -1210,6 +1371,8 @@ class ShardedSwarm(Swarm):
             backend="sharded",
             shards=self.shards,
             round_profile=dict(aggregate),
+            bytes_broadcast=self._bytes_broadcast,
+            bytes_migrated=self._bytes_migrated,
         )
         return SwarmResult(
             config=self.config,
@@ -1229,6 +1392,7 @@ class ShardedSwarm(Swarm):
             checkpoints_written=self.checkpoints_written,
             backend="sharded",
             shard_profiles=self.shard_profiles,
+            comms=comms,
         )
 
 

@@ -60,6 +60,7 @@ from repro.sim.piece_selection import RARITY_EXPONENT
 
 __all__ = [
     "PeerStore",
+    "ScratchArena",
     "SoaSwarm",
     "pack_rows",
     "unpack_rows",
@@ -332,9 +333,10 @@ class PeerStore:
         """Take ``count`` slots off the free list, fully reset."""
         if count > len(self.free):
             self.grow(self.capacity + count)
-        slots = np.array(
-            [self.free.pop() for _ in range(count)], dtype=np.int64
-        )
+        # The last `count` entries reversed == `count` repeated pops.
+        take = self.free[len(self.free) - count:]
+        del self.free[len(self.free) - count:]
+        slots = np.array(take[::-1], dtype=np.int64)
         self.alive[slots] = True
         self.is_seed[slots] = False
         self.shaken[slots] = False
@@ -356,8 +358,7 @@ class PeerStore:
         self.peer_id[slots] = -1
         self.nbr[slots] = -1
         self.nbr_deg[slots] = 0
-        for slot in np.sort(slots):
-            self.free.append(int(slot))
+        self.free.extend(np.sort(slots).tolist())
 
     def append_neighbor(self, row: int, value: int) -> None:
         """Append ``value`` to a leecher's neighbor row."""
@@ -393,6 +394,51 @@ class PeerStore:
         packed[tail] = -1
         self.nbr[rows] = packed
         self.nbr_deg[rows] = new_deg
+
+
+# ----------------------------------------------------------------------
+# The scratch arena
+# ----------------------------------------------------------------------
+class ScratchArena:
+    """Reusable per-round work buffers, keyed by name.
+
+    Steady-state rounds of the SoA engine need a handful of
+    capacity-sized temporaries (masks, quotas, sweep buffers).  The
+    arena keeps one persistent buffer per name and hands out zeroed or
+    filled *views* of the requested size, so a settled swarm allocates
+    ~zero fresh arrays per round; buffers grow geometrically with the
+    slab.  ``created`` counts (re)allocations — the reuse test pins it
+    flat across steady-state rounds.
+
+    Values are always explicitly reset on take, so arena reuse is
+    bit-invisible to the simulation.
+    """
+
+    __slots__ = ("_buffers", "created")
+
+    def __init__(self):
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.created = 0
+
+    def take(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """An *uninitialized* length-``size`` view of buffer ``name``."""
+        buf = self._buffers.get(name)
+        if buf is None or buf.size < size or buf.dtype != dtype:
+            grown = size if buf is None else max(size, 2 * buf.size)
+            buf = np.empty(grown, dtype=dtype)
+            self._buffers[name] = buf
+            self.created += 1
+        return buf[:size]
+
+    def zeros(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        view = self.take(name, size, dtype)
+        view.fill(0)
+        return view
+
+    def full(self, name: str, size: int, fill, dtype=np.int64) -> np.ndarray:
+        view = self.take(name, size, dtype)
+        view.fill(fill)
+        return view
 
 
 # ----------------------------------------------------------------------
@@ -484,6 +530,9 @@ class SoaSwarm(Swarm):
         self.store = PeerStore(
             expected, config.num_pieces, self._accept_cap
         )
+        #: Reusable per-round temporaries (masks, quotas, sweeps): a
+        #: settled swarm's rounds run allocation-free out of this arena.
+        self.scratch = ScratchArena()
         #: Active trading connections as (slot_a, slot_b) rows, a < b.
         #: Row order is part of the deterministic state (checkpointed).
         self._pairs = np.zeros((0, 2), dtype=np.int64)
@@ -608,8 +657,7 @@ class SoaSwarm(Swarm):
         ids = np.arange(self._next_id, self._next_id + count, dtype=np.int64)
         self._next_id += count
         store.peer_id[slots] = ids
-        for pid, slot in zip(ids, slots):
-            self._id_to_slot[int(pid)] = int(slot)
+        self._id_to_slot.update(zip(ids.tolist(), slots.tolist()))
         store.joined_at[slots] = time
         if is_seed:
             store.is_seed[slots] = True
@@ -643,7 +691,7 @@ class SoaSwarm(Swarm):
         if announce:
             self._announce_batch(slots)
         else:
-            self._pending_announce.extend(int(s) for s in slots)
+            self._pending_announce.extend(slots.tolist())
         return slots
 
     # ------------------------------------------------------------------
@@ -742,7 +790,7 @@ class SoaSwarm(Swarm):
         p_cand = cand[idx]
         # Announce quota: proposals stay grouped by announcer in draw
         # order, so the within-group rank is position minus group start.
-        quota = np.zeros(cap, dtype=np.int64)
+        quota = self.scratch.zeros("announce_quota", cap)
         quota[ann] = need
         admit = _contiguous_ranks(p_ann) < quota[p_ann]
         p_ann = p_ann[admit]
@@ -764,7 +812,8 @@ class SoaSwarm(Swarm):
         # Candidate-role row space: capacity left after this pass's own
         # announcer-role additions.  Only oversubscribed candidates
         # (rare outside flash setup) need the rank filter.
-        space = self._accept_cap - store.nbr_deg
+        space = self.scratch.take("announce_space", cap)
+        np.subtract(self._accept_cap, store.nbr_deg, out=space)
         space[store.is_seed] = np.iinfo(np.int64).max
         space -= np.bincount(p_ann, minlength=cap)
         load = np.bincount(p_cand, minlength=cap)
@@ -908,7 +957,7 @@ class SoaSwarm(Swarm):
             profiler.lap("store")
 
         leech = np.flatnonzero(store.alive & ~store.is_seed)
-        pot_full = np.zeros(store.capacity, dtype=np.int64)
+        pot_full = self.scratch.zeros("pot_full", store.capacity)
         if leech.size:
             src, dst, row_idx = self._leech_edges(leech)
             if src.size:
@@ -1131,7 +1180,7 @@ class SoaSwarm(Swarm):
         # Per-peer sweep positions (the object backend's random
         # processing order); a proposal's priority is its owner's turn,
         # slots within the turn in draw order.
-        sweep = np.full(cap, -1, dtype=np.int64)
+        sweep = self.scratch.full("sweep", cap, -1)
         sweep[leech[rows]] = self.rng.permutation(rows.size)
         priority = (
             sweep[proposer] * config.max_conns
@@ -1168,7 +1217,7 @@ class SoaSwarm(Swarm):
         keep_idx = ok_idx[keep]
         end_a = proposer[keep_idx]
         end_b = candidate[keep_idx]
-        remaining = np.zeros(cap, dtype=np.int64)
+        remaining = self.scratch.zeros("remaining", cap)
         remaining[leech] = open_slots
         priority = priority[keep_idx]
         # Iterated two-sided rank filter: each pass admits proposals
@@ -1584,11 +1633,36 @@ class SoaSwarm(Swarm):
     def _drop_pairs_touching(self, slots: np.ndarray) -> None:
         if self._pairs.shape[0] == 0:
             return
-        gone = np.zeros(self.store.capacity, dtype=bool)
+        gone = self.scratch.zeros("pair_gone", self.store.capacity, np.bool_)
         gone[slots] = True
         keep = ~(gone[self._pairs[:, 0]] | gone[self._pairs[:, 1]])
         if not keep.all():
             self._pairs = self._pairs[keep]
+
+    def _scrub_rows(
+        self, slots: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sever leecher ``slots``'s relations, batch-wise.
+
+        Decrements every seed neighbor's relation counter (duplicates
+        across slots accumulate via ``subtract.at``; entries within one
+        row are unique) and returns the ``(holders, values)`` row
+        deletions for the surviving leech neighbors — holders are the
+        neighbors still carrying an entry, values the departing slot.
+        """
+        store = self.store
+        deg = store.nbr_deg[slots]
+        width = int(deg.max()) if deg.size else 0
+        if width == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        sub = store.nbr[slots, :width]
+        mask = np.arange(width)[None, :] < deg[:, None]
+        entries = sub[mask]
+        owners = np.repeat(slots, deg)
+        seed_mask = store.is_seed[entries]
+        np.subtract.at(store.nbr_deg, entries[seed_mask], 1)
+        return entries[~seed_mask], owners[~seed_mask]
 
     def _handle_shakes(self, time: float) -> None:
         threshold = self.config.shake_threshold
@@ -1608,23 +1682,10 @@ class SoaSwarm(Swarm):
         shakers = candidates[ratios >= threshold]
         if shakers.size == 0:
             return
-        holders_parts = []
-        values_parts = []
-        for slot in shakers:
-            deg = int(store.nbr_deg[slot])
-            row = store.nbr[slot, :deg]
-            seed_neighbors = row[store.is_seed[row]]
-            store.nbr_deg[seed_neighbors] -= 1
-            leech_neighbors = row[~store.is_seed[row]]
-            holders_parts.append(leech_neighbors)
-            values_parts.append(
-                np.full(leech_neighbors.size, slot, dtype=np.int64)
-            )
-        holders = np.concatenate(holders_parts)
-        values = np.concatenate(values_parts)
+        holders, values = self._scrub_rows(shakers)
         # Shakers may be mutual neighbors; drop cross-entries only from
         # rows that are not themselves being cleared below.
-        shaking = np.zeros(store.capacity, dtype=bool)
+        shaking = self.scratch.zeros("shaking", store.capacity, np.bool_)
         shaking[shakers] = True
         outside = ~shaking[holders]
         store.remove_row_entries(holders[outside], values[outside])
@@ -1660,40 +1721,24 @@ class SoaSwarm(Swarm):
     def _remove_peers(self, slots: np.ndarray) -> None:
         """Depart peers: scrub relations, replication counts, free slots."""
         store = self.store
-        holders_parts = []
-        values_parts = []
-        for slot in slots:
-            if store.is_seed[slot]:
-                continue  # counter-only: no own row to walk
-            deg = int(store.nbr_deg[slot])
-            row = store.nbr[slot, :deg]
-            seed_neighbors = row[store.is_seed[row]]
-            store.nbr_deg[seed_neighbors] -= 1
-            leech_neighbors = row[~store.is_seed[row]]
-            holders_parts.append(leech_neighbors)
-            values_parts.append(
-                np.full(leech_neighbors.size, slot, dtype=np.int64)
-            )
-        if store.is_seed[slots].any():
+        seed_departing = store.is_seed[slots]
+        holders, values = self._scrub_rows(slots[~seed_departing])
+        if seed_departing.any():
             # Seeds are counter-only: their relations live in leecher
             # rows, found by scanning the whole adjacency once.
-            seed_slots = slots[store.is_seed[slots]]
+            seed_slots = slots[seed_departing]
             hit = np.isin(store.nbr, seed_slots)
-            hit_rows = np.flatnonzero(hit.any(axis=1))
-            for row_slot in hit_rows:
-                entries = store.nbr[row_slot][hit[row_slot]]
-                holders_parts.append(
-                    np.full(entries.size, row_slot, dtype=np.int64)
+            counts = hit.sum(axis=1)
+            hit_rows = np.flatnonzero(counts)
+            if hit_rows.size:
+                holders = np.concatenate(
+                    [holders, np.repeat(hit_rows, counts[hit_rows])]
                 )
-                values_parts.append(entries)
-        holders = np.concatenate(holders_parts) if holders_parts else (
-            np.zeros(0, dtype=np.int64)
-        )
-        values = np.concatenate(values_parts) if values_parts else (
-            np.zeros(0, dtype=np.int64)
-        )
+                values = np.concatenate([values, store.nbr[hit]])
         if holders.size:
-            departing = np.zeros(store.capacity, dtype=bool)
+            departing = self.scratch.zeros(
+                "departing", store.capacity, np.bool_
+            )
             departing[slots] = True
             outside = ~departing[holders]
             store.remove_row_entries(holders[outside], values[outside])
@@ -1704,8 +1749,8 @@ class SoaSwarm(Swarm):
         self._n_seeds -= seeds_gone
         self._n_leech -= slots.size - seeds_gone
         self._drop_pairs_touching(slots)
-        for slot in slots:
-            del self._id_to_slot[int(store.peer_id[slot])]
+        for pid in store.peer_id[slots].tolist():
+            del self._id_to_slot[pid]
         store.release(slots)
         self._alive_dirty = True
 

@@ -108,10 +108,16 @@ class SwarmResult:
     resumed_from_round: Optional[int] = None
     checkpoints_written: int = 0
     backend: str = "object"
-    #: Per-shard round profiles keyed ``"shard0"``.. (sharded backend
+    #: Per-shard round profiles keyed ``"shard0"``.. plus the
+    #: coordinator's ``"coordinator"`` comms profile (sharded backend
     #: with ``profile=True`` only; excluded from the fingerprint like
     #: every other wall-clock observable).
     shard_profiles: Optional[Dict[str, Dict[str, float]]] = None
+    #: Shared-memory fabric byte accounting (``bytes_broadcast``,
+    #: ``bytes_migrated``, ``bytes_per_round``) for multi-shard runs;
+    #: None elsewhere.  A wall-clock-adjacent observable, excluded from
+    #: the fingerprint.
+    comms: Optional[Dict[str, float]] = None
 
     def fingerprint(self) -> str:
         """SHA-256 over every deterministic output of the run.

@@ -60,3 +60,21 @@ class TestShards:
         assert t.to_dict()["shards"] == 4
         assert "shards: 4" in t.format()
         assert "backend: sharded" in t.format()
+
+
+class TestFabricBytes:
+    def test_merge_sums_byte_counters(self):
+        a = Telemetry(bytes_broadcast=1000, bytes_migrated=250)
+        a.merge(Telemetry(bytes_broadcast=500, bytes_migrated=750))
+        a.merge(Telemetry())
+        assert a.bytes_broadcast == 1500
+        assert a.bytes_migrated == 1000
+
+    def test_default_absent_from_format(self):
+        assert "shard comms" not in Telemetry().format()
+
+    def test_round_trip_and_format(self):
+        t = Telemetry(bytes_broadcast=2_500_000, bytes_migrated=500_000)
+        assert t.to_dict()["bytes_broadcast"] == 2_500_000
+        assert t.to_dict()["bytes_migrated"] == 500_000
+        assert "shard comms: 2.5 MB broadcast, 0.5 MB migrated" in t.format()

@@ -17,10 +17,16 @@ snapshot documents:
   plans, and across mid-run re-sharding.
 """
 
+import os
+import signal
+from multiprocessing import shared_memory
+
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.errors import SimulationError
 from repro.faults.plan import FaultPlan
 from repro.sim.config import SimConfig
 from repro.sim.sharded import restore_sharded_swarm
@@ -285,3 +291,107 @@ def test_sharded_runs_are_deterministic_per_seed(config, shards):
         ).run().fingerprint()
 
     assert run() == run()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory fabric lifecycle: no segment may outlive its swarm.
+# ----------------------------------------------------------------------
+def _segment_exists(name: str) -> bool:
+    """Whether ``name`` still exists in the OS shm namespace."""
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+def _lifecycle_config(**overrides) -> SimConfig:
+    base = dict(
+        num_pieces=8,
+        max_conns=2,
+        ns_size=4,
+        arrival_process="poisson",
+        arrival_rate=0.5,
+        initial_leechers=12,
+        initial_distribution="uniform",
+        initial_fill=0.3,
+        num_seeds=2,
+        seed_upload_slots=2,
+        piece_selection="rarest",
+        max_time=10.0,
+        seed=7,
+    )
+    base.update(overrides)
+    return SimConfig(**base)
+
+
+def test_fabric_segments_unlinked_after_normal_close():
+    swarm = Swarm(_lifecycle_config(), backend="sharded", shards=2)
+    assert swarm.step_round()
+    names = swarm.fabric_segment_names()
+    assert len(names) == 1 + 3 * 2  # broadcast + per-shard triples
+    assert all(_segment_exists(name) for name in names)
+    swarm.close()
+    for name in names:
+        assert not _segment_exists(name)
+
+
+def test_fabric_segments_recreated_after_sigkilled_worker():
+    """Recovery tears the whole fabric down and builds a fresh one; the
+    dead generation's segments must be gone the moment recovery ends."""
+    swarm = Swarm(_lifecycle_config(), backend="sharded", shards=2)
+    try:
+        for _ in range(3):
+            assert swarm.step_round()
+        old_names = swarm.fabric_segment_names()
+        os.kill(swarm.worker_pids()[0], signal.SIGKILL)
+        assert swarm.step_round()  # notices the death, recovers, steps
+        assert swarm.worker_restarts == 1
+        new_names = swarm.fabric_segment_names()
+        assert set(old_names).isdisjoint(new_names)
+        for name in old_names:
+            assert not _segment_exists(name)
+        assert all(_segment_exists(name) for name in new_names)
+    finally:
+        swarm.close()
+    for name in new_names:
+        assert not _segment_exists(name)
+
+
+def test_fabric_segments_unlinked_after_coordinator_exception():
+    """``run()`` must clean the fabric even when it dies mid-flight —
+    here via restart-budget exhaustion with every worker SIGKILLed."""
+    swarm = Swarm(
+        _lifecycle_config(), backend="sharded", shards=2,
+        max_worker_restarts=0,
+    )
+    assert swarm.step_round()
+    names = swarm.fabric_segment_names()
+    assert all(_segment_exists(name) for name in names)
+    for pid in swarm.worker_pids():
+        os.kill(pid, signal.SIGKILL)
+    with pytest.raises(SimulationError, match="restart budget"):
+        swarm.run()
+    for name in names:
+        assert not _segment_exists(name)
+
+
+def test_fabric_growth_unlinks_replaced_segments():
+    """A migration burst beyond the initial row capacity grows blocks
+    in place; the replaced segments disappear immediately."""
+    config = _lifecycle_config(
+        initial_leechers=400, arrival_process="none", arrival_rate=0.0,
+        max_time=4.0,
+    )
+    swarm = Swarm(config, backend="sharded", shards=2, shard_mix=0.5)
+    try:
+        for _ in range(2):
+            assert swarm.step_round()
+        assert swarm._fabric.grows >= 1
+        names = swarm.fabric_segment_names()
+        assert all(_segment_exists(name) for name in names)
+    finally:
+        swarm.close()
+    for name in names:
+        assert not _segment_exists(name)

@@ -9,7 +9,11 @@ import numpy as np
 import pytest
 
 from repro.sim.bitfield import Bitfield
+from repro.sim.config import SimConfig
 from repro.sim.soa import (
+    PeerStore,
+    ScratchArena,
+    SoaSwarm,
     _contiguous_ranks,
     group_ranks,
     interest_flags,
@@ -176,3 +180,101 @@ def test_weighted_pick_rows_frequencies_track_weights():
     picks = weighted_pick_rows(weights, rng)
     freq = np.bincount(picks, minlength=3) / picks.size
     np.testing.assert_allclose(freq, np.array([1, 2, 5]) / 8.0, atol=0.02)
+
+
+# ----------------------------------------------------------------------
+# Free-list kernels and the scratch arena
+# ----------------------------------------------------------------------
+def test_peer_store_allocate_release_matches_scalar_reference():
+    """The vectorized free-list ops replay a scalar pop/append loop
+    exactly, so slot recycling order (and thus checkpoints) is pinned."""
+    store = PeerStore(32, num_pieces=10, nbr_width=4)
+    reference = list(store.free)
+    rng = np.random.default_rng(5)
+    live: list = []
+    for _ in range(200):
+        if live and rng.random() < 0.45:
+            pick = rng.permutation(len(live))[: rng.integers(1, 4)]
+            slots = np.array([live[i] for i in pick], dtype=np.int64)
+            live = [s for i, s in enumerate(live) if i not in set(pick)]
+            store.release(slots)
+            for slot in np.sort(slots):  # scalar reference: sorted appends
+                reference.append(int(slot))
+        else:
+            count = int(rng.integers(1, 4))
+            if count > len(reference):
+                continue
+            slots = store.allocate(count)
+            expected = [reference.pop() for _ in range(count)]
+            assert slots.tolist() == expected
+            live.extend(slots.tolist())
+        assert store.free == reference
+
+
+def test_scratch_arena_reuses_buffers():
+    arena = ScratchArena()
+    first = arena.take("x", 8)
+    assert arena.created == 1
+    again = arena.take("x", 5)
+    assert arena.created == 1
+    assert np.shares_memory(first, again)
+    assert again.size == 5
+
+
+def test_scratch_arena_grows_and_switches_dtype():
+    arena = ScratchArena()
+    arena.take("x", 8)
+    grown = arena.take("x", 20)
+    assert arena.created == 2
+    assert grown.size == 20
+    # Growth is geometric: a slightly larger ask reuses the slack.
+    assert arena.take("x", 16).size == 16
+    assert arena.created == 2
+    switched = arena.take("x", 4, np.bool_)
+    assert switched.dtype == np.bool_
+    assert arena.created == 3
+
+
+def test_scratch_arena_views_are_reset():
+    arena = ScratchArena()
+    arena.take("z", 6)[:] = 7
+    assert not arena.zeros("z", 6).any()
+    np.testing.assert_array_equal(
+        arena.full("z", 4, -1), np.full(4, -1, dtype=np.int64)
+    )
+
+
+def test_soa_steady_state_rounds_allocate_no_new_scratch():
+    """After warm-up, rounds must not create new arena buffers: every
+    per-round temporary is served from the reused slabs."""
+    config = SimConfig(
+        num_pieces=16,
+        max_conns=2,
+        ns_size=5,
+        arrival_process="poisson",
+        arrival_rate=0.5,
+        initial_leechers=30,
+        initial_distribution="uniform",
+        initial_fill=0.7,
+        num_seeds=2,
+        seed_upload_slots=2,
+        completed_become_seeds=0.0,
+        abort_rate=0.05,
+        shake_threshold=0.5,
+        piece_selection="rarest",
+        max_time=40.0,
+        seed=3,
+    )
+    swarm = SoaSwarm(config)
+    swarm.setup()
+    while swarm._rounds < 10 and swarm.engine.step() is not None:
+        pass
+    assert swarm._rounds >= 10
+    warm = swarm.scratch.created
+    assert warm > 0
+    capacity = swarm.store.capacity
+    while swarm._rounds < 30 and swarm.engine.step() is not None:
+        pass
+    assert swarm._rounds >= 30
+    assert swarm.store.capacity == capacity  # no slab growth mid-test
+    assert swarm.scratch.created == warm
